@@ -1,0 +1,209 @@
+(* Benchmark & experiment harness.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1       -- Table 1 rows only
+     dune exec bench/main.exe -- table1-quick -- Table 1 with reduced trials
+     dune exec bench/main.exe -- figure1      -- Figure 1 walkthrough
+     dune exec bench/main.exe -- figure2      -- Figure 2 probability series
+     dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- ablation     -- design-choice ablations
+
+   The micro benchmarks measure the per-mode execution cost (normal /
+   hybrid-detection / RaceFuzzer) on representative workloads — the
+   Table 1 runtime-ratio claim — plus detector and scheduler primitives. *)
+
+open Bechamel
+open Toolkit
+module W = Rf_workloads
+
+let run_engine ?(policy = Rf_runtime.Engine.Every_op) ?(listeners = []) ~seed program
+    =
+  ignore
+    (Rf_runtime.Engine.run
+       ~config:{ Rf_runtime.Engine.default_config with seed; policy }
+       ~listeners ~strategy:(Rf_runtime.Strategy.random ()) program)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro benchmarks: one Test.make per Table-1 runtime mode    *)
+
+let bench_mode name (w : W.Workload.t) mode =
+  Test.make ~name:(Printf.sprintf "%s/%s" w.W.Workload.name name)
+    (Staged.stage (fun () ->
+         match mode with
+         | `Normal ->
+             run_engine ~policy:(Rf_runtime.Engine.Sync_and Rf_util.Site.Set.empty)
+               ~seed:1 w.W.Workload.program
+         | `Hybrid ->
+             let d = Rf_detect.Detector.hybrid () in
+             run_engine ~policy:Rf_runtime.Engine.Every_op
+               ~listeners:[ Rf_detect.Detector.feed d ]
+               ~seed:1 w.W.Workload.program
+         | `Racefuzzer pair ->
+             let report = Racefuzzer.Algo.fresh_report () in
+             let strategy = Racefuzzer.Algo.strategy ~pair ~report () in
+             let watch =
+               Rf_util.Site.Set.add
+                 (Rf_util.Site.Pair.fst pair)
+                 (Rf_util.Site.Set.singleton (Rf_util.Site.Pair.snd pair))
+             in
+             ignore
+               (Rf_runtime.Engine.run
+                  ~config:
+                    {
+                      Rf_runtime.Engine.default_config with
+                      seed = 1;
+                      policy = Rf_runtime.Engine.Sync_and watch;
+                    }
+                  ~strategy w.W.Workload.program)))
+
+let micro_tests () =
+  [
+    (* Table 1 runtime columns on the compute-heavy and an I/O-ish program *)
+    bench_mode "normal" W.Moldyn.workload `Normal;
+    bench_mode "hybrid" W.Moldyn.workload `Hybrid;
+    bench_mode "racefuzzer" W.Moldyn.workload
+      (`Racefuzzer (Rf_util.Site.Pair.make W.Moldyn.site_steps_r W.Moldyn.site_steps_w));
+    bench_mode "normal" W.Weblech.workload `Normal;
+    bench_mode "hybrid" W.Weblech.workload `Hybrid;
+    bench_mode "racefuzzer" W.Weblech.workload (`Racefuzzer W.Weblech.harmful_pair);
+    (* detector cost comparison on the same access-heavy trace *)
+    Test.make ~name:"detect/hb-precise"
+      (Staged.stage (fun () ->
+           let d = Rf_detect.Detector.hb_precise ~cap:1024 () in
+           run_engine ~listeners:[ Rf_detect.Detector.feed d ] ~seed:1
+             W.Moldyn.workload.W.Workload.program));
+    Test.make ~name:"detect/fasttrack"
+      (Staged.stage (fun () ->
+           let d = Rf_detect.Detector.fasttrack () in
+           run_engine ~listeners:[ Rf_detect.Detector.feed d ] ~seed:1
+             W.Moldyn.workload.W.Workload.program));
+    Test.make ~name:"detect/eraser"
+      (Staged.stage (fun () ->
+           let d = Rf_detect.Detector.eraser () in
+           run_engine ~listeners:[ Rf_detect.Detector.feed d ] ~seed:1
+             W.Moldyn.workload.W.Workload.program));
+    (* primitive costs *)
+    Test.make ~name:"prim/vclock-join"
+      (Staged.stage
+         (let a = Rf_vclock.Vclock.of_list (List.init 8 (fun i -> (i, i * 3))) in
+          let b = Rf_vclock.Vclock.of_list (List.init 8 (fun i -> (i, 25 - i))) in
+          fun () -> ignore (Rf_vclock.Vclock.join a b)));
+    Test.make ~name:"prim/prng-int"
+      (Staged.stage
+         (let p = Rf_util.Prng.create 7 in
+          fun () -> ignore (Rf_util.Prng.int p 1000)));
+    Test.make ~name:"prim/figure1-run"
+      (Staged.stage (fun () -> run_engine ~seed:3 W.Figure1.program));
+  ]
+
+let run_micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"rf" ~fmt:"%s/%s" (micro_tests ()))
+  in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results2 = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Fmt.pr "## %s@." measure;
+      Hashtbl.iter
+        (fun name (res : Analyze.OLS.t) ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Fmt.pr "  %-28s %12.2f ns/run@." name est
+          | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+        tbl)
+    results2
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let run_ablation () =
+  let seeds = List.init 100 Fun.id in
+  Fmt.pr "=== Ablation: postpone timeout (figure2, k=100) ===@.";
+  Fmt.pr "%-12s %8s %8s@." "timeout" "P(race)" "P(error)";
+  List.iter
+    (fun timeout ->
+      let r =
+        Racefuzzer.Fuzzer.fuzz_pair ~seeds
+          ~postpone_timeout:(match timeout with 0 -> None | t -> Some t)
+          ~program:(fun () -> W.Figure2.program ~k:100 ())
+          W.Figure2.race_pair
+      in
+      let n = List.length r.Racefuzzer.Fuzzer.trials in
+      Fmt.pr "%-12s %8.2f %8.2f@."
+        (if timeout = 0 then "none" else string_of_int timeout)
+        r.Racefuzzer.Fuzzer.probability
+        (float_of_int r.Racefuzzer.Fuzzer.error_trials /. float_of_int n))
+    [ 0; 5; 50; 2000 ];
+  Fmt.pr "@.=== Ablation: race resolution (always vs random), figure1 ===@.";
+  (* resolution ablation is approximated by measuring the ERROR1 rate:
+     random resolution gives ~0.5; a scheduler without the coin flip would
+     sit at 0 or 1. We measure the achieved split as evidence. *)
+  let r =
+    Racefuzzer.Fuzzer.fuzz_pair ~seeds ~program:W.Figure1.program W.Figure1.real_pair
+  in
+  let n = List.length r.Racefuzzer.Fuzzer.trials in
+  Fmt.pr "random resolution: ERROR1 in %d/%d trials (expected ~%d)@."
+    r.Racefuzzer.Fuzzer.error_trials n (n / 2);
+  Fmt.pr "@.=== Ablation: switch policy steps (moldyn) ===@.";
+  let steps policy =
+    let o =
+      Rf_runtime.Engine.run
+        ~config:{ Rf_runtime.Engine.default_config with seed = 2; policy }
+        ~strategy:(Rf_runtime.Strategy.random ()) W.Moldyn.workload.W.Workload.program
+    in
+    (o.Rf_runtime.Outcome.steps, o.Rf_runtime.Outcome.switches)
+  in
+  let s1, w1 = steps Rf_runtime.Engine.Every_op in
+  let s2, w2 = steps (Rf_runtime.Engine.Sync_and Rf_util.Site.Set.empty) in
+  Fmt.pr "every-op:  %d steps, %d strategy consultations@." s1 w1;
+  Fmt.pr "sync-only: %d steps, %d strategy consultations@." s2 w2
+
+(* ------------------------------------------------------------------ *)
+(* Experiment drivers                                                  *)
+
+let run_table1 ~quick () =
+  let config =
+    if quick then Rf_report.Table1.quick_config else Rf_report.Table1.default_config
+  in
+  Fmt.pr "=== Table 1 (paper: Sen, PLDI 2008) ===@.";
+  let t0 = Unix.gettimeofday () in
+  let rows = Rf_report.Table1.generate ~config () in
+  Rf_report.Table1.render Fmt.stdout rows;
+  Fmt.pr "@.(generated in %.1fs)@." (Unix.gettimeofday () -. t0)
+
+let run_figure1 () =
+  Fmt.pr "=== Figure 1 experiment ===@.";
+  Rf_report.Figure1_exp.render Fmt.stdout (Rf_report.Figure1_exp.generate ())
+
+let run_figure2 () =
+  Fmt.pr "=== Figure 2 experiment: P(race)/P(error) vs padding k ===@.";
+  Rf_report.Figure2_exp.render Fmt.stdout (Rf_report.Figure2_exp.generate ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      run_table1 ~quick:false ();
+      Fmt.pr "@.";
+      run_figure1 ();
+      Fmt.pr "@.";
+      run_figure2 ();
+      Fmt.pr "@.";
+      run_ablation ();
+      Fmt.pr "@.";
+      run_micro ()
+  | [ "table1" ] -> run_table1 ~quick:false ()
+  | [ "table1-quick" ] -> run_table1 ~quick:true ()
+  | [ "figure1" ] -> run_figure1 ()
+  | [ "figure2" ] -> run_figure2 ()
+  | [ "micro" ] -> run_micro ()
+  | [ "ablation" ] -> run_ablation ()
+  | _ ->
+      Fmt.epr "usage: main.exe [table1|table1-quick|figure1|figure2|micro|ablation]@.";
+      exit 2

@@ -1,0 +1,380 @@
+(* racefuzzer — command-line interface.
+
+   Subcommands:
+     run       execute an RFL program under a chosen scheduler
+     detect    phase 1: report potential races in an RFL program
+     fuzz      full two-phase analysis of an RFL program
+     replay    re-run one phase-2 execution from its seed
+     deadlock  deadlock-directed testing (Goodlock cycles + postponement)
+     atomicity atomicity-directed testing (split transactions)
+     workload  analyze a built-in Table-1 workload analogue
+     list      list built-in workloads
+     table1    regenerate the paper's Table 1
+     figure2   regenerate the paper's Figure 2 series *)
+
+open Cmdliner
+open Rf_util
+
+let strategy_of_name = function
+  | "random" -> Ok (Rf_runtime.Strategy.random ())
+  | "round-robin" | "rr" -> Ok (Rf_runtime.Strategy.round_robin ())
+  | "default" | "timesliced" -> Ok (Rf_runtime.Strategy.timesliced ())
+  | "run-until-block" -> Ok (Rf_runtime.Strategy.run_until_block ())
+  | "rapos" -> Ok (Racefuzzer.Rapos.strategy ())
+  | s -> Error (Fmt.str "unknown strategy %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"RFL source file.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (replayable).")
+
+let seeds_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "trials" ] ~docv:"N" ~doc:"Number of seeds/trials per experiment.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:"Scheduler: random, round-robin, default, run-until-block, rapos.")
+
+let load file =
+  try Ok (Rf_lang.Lang.load_file file) with
+  | Rf_lang.Lang.Error m -> Error m
+  | Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  in
+  let action file seed strategy trace =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog -> (
+        match strategy_of_name strategy with
+        | Error m ->
+            Fmt.epr "%s@." m;
+            exit 1
+        | Ok strat ->
+            let main = Rf_lang.Lang.program prog in
+            let o =
+              Rf_runtime.Engine.run
+                ~config:
+                  { Rf_runtime.Engine.default_config with seed; record_trace = trace }
+                ~strategy:strat main
+            in
+            Fmt.pr "%a@." Rf_runtime.Outcome.pp o;
+            (match o.Rf_runtime.Outcome.trace with
+            | Some tr when trace -> Fmt.pr "@.%a" Rf_events.Trace.pp tr
+            | _ -> ());
+            if not (Rf_runtime.Outcome.ok o) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an RFL program under a chosen scheduler.")
+    Term.(const action $ file_arg $ seed_arg $ strategy_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* detect                                                              *)
+
+let detect_cmd =
+  let detector_arg =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "detector" ] ~docv:"NAME" ~doc:"hybrid, hb (precise), fasttrack, or eraser.")
+  in
+  let action file detector trials =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog ->
+        let mk =
+          match detector with
+          | "hybrid" -> Rf_detect.Detector.hybrid ~cap:128
+          | "hb" | "happens-before" -> Rf_detect.Detector.hb_precise ~cap:128
+          | "fasttrack" -> (fun () -> Rf_detect.Detector.fasttrack ())
+          | "eraser" -> Rf_detect.Detector.eraser ~site_cap:16
+          | s ->
+              Fmt.epr "unknown detector %S@." s;
+              exit 1
+        in
+        let d = mk () in
+        let main = Rf_lang.Lang.program ~print:ignore prog in
+        List.iter
+          (fun seed ->
+            ignore
+              (Rf_runtime.Engine.run
+                 ~config:{ Rf_runtime.Engine.default_config with seed }
+                 ~listeners:[ Rf_detect.Detector.feed d ]
+                 ~strategy:(Rf_runtime.Strategy.random ()) main))
+          (List.init trials Fun.id);
+        let races = Rf_detect.Detector.races d in
+        Fmt.pr "%s: %d potential racing statement pair(s)@."
+          (Rf_detect.Detector.name d)
+          (List.length races);
+        List.iter (fun r -> Fmt.pr "  %a@." Rf_detect.Race.pp r) races
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Phase 1: report potential races in an RFL program.")
+    Term.(const action $ file_arg $ detector_arg $ seeds_arg 5)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let print_analysis (a : Racefuzzer.Fuzzer.analysis) =
+  let potential = Racefuzzer.Fuzzer.potential_pairs a.Racefuzzer.Fuzzer.a_phase1 in
+  Fmt.pr "phase 1: %d potential racing pair(s)@." (Site.Pair.Set.cardinal potential);
+  List.iter
+    (fun (r : Racefuzzer.Fuzzer.pair_result) ->
+      let n = List.length r.Racefuzzer.Fuzzer.trials in
+      let verdict =
+        if Racefuzzer.Fuzzer.is_harmful r then "REAL RACE — HARMFUL"
+        else if Racefuzzer.Fuzzer.is_real r then "REAL RACE (benign here)"
+        else "false alarm"
+      in
+      Fmt.pr "  %a: race %d/%d, errors %d, deadlocks %d -> %s@." Site.Pair.pp
+        r.Racefuzzer.Fuzzer.pr_pair r.Racefuzzer.Fuzzer.race_trials n
+        r.Racefuzzer.Fuzzer.error_trials r.Racefuzzer.Fuzzer.deadlock_trials verdict;
+      Option.iter
+        (fun seed -> Fmt.pr "      replay race with:  --seed %d@." seed)
+        r.Racefuzzer.Fuzzer.race_seed;
+      Option.iter
+        (fun seed -> Fmt.pr "      replay error with: --seed %d@." seed)
+        r.Racefuzzer.Fuzzer.error_seed)
+    a.Racefuzzer.Fuzzer.results;
+  Fmt.pr "summary: %d real (%d harmful) of %d potential@."
+    (Site.Pair.Set.cardinal a.Racefuzzer.Fuzzer.real_pairs)
+    (Site.Pair.Set.cardinal a.Racefuzzer.Fuzzer.error_pairs)
+    (Site.Pair.Set.cardinal potential)
+
+let fuzz_cmd =
+  let p1_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "phase1-seeds" ] ~docv:"N" ~doc:"Executions observed by hybrid detection.")
+  in
+  let action file p1 trials =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog ->
+        let main = Rf_lang.Lang.program ~print:ignore prog in
+        let a =
+          Racefuzzer.Fuzzer.analyze
+            ~phase1_seeds:(List.init p1 Fun.id)
+            ~seeds_per_pair:(List.init trials Fun.id)
+            main
+        in
+        print_analysis a
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Full two-phase RaceFuzzer analysis of an RFL program.")
+    Term.(const action $ file_arg $ p1_arg $ seeds_arg 100)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+
+let replay_cmd =
+  let pair_arg =
+    Arg.(
+      required
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "pair" ] ~docv:"L1:L2" ~doc:"Racing pair as two source line numbers.")
+  in
+  let action file seed (l1, l2) =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog -> (
+        let base = Filename.basename file in
+        (* sites are registered as statements execute: warm the registry
+           with a few throwaway runs so line lookup sees all sites *)
+        let warm = Rf_lang.Lang.program ~print:ignore prog in
+        List.iter
+          (fun s ->
+            ignore
+              (Rf_runtime.Engine.run
+                 ~config:{ Rf_runtime.Engine.default_config with seed = s }
+                 ~strategy:(Rf_runtime.Strategy.random ()) warm))
+          [ 0; 1; 2 ];
+        let sites_at l = Site.find_by_line ~file:base ~line:l in
+        match (sites_at l1, sites_at l2) with
+        | s1 :: _, s2 :: _ ->
+            let main = Rf_lang.Lang.program prog in
+            let pair = Site.Pair.make s1 s2 in
+            let o, report = Racefuzzer.Fuzzer.replay ~seed ~program:main pair in
+            List.iter
+              (fun h -> Fmt.pr "%a@." Racefuzzer.Algo.pp_hit h)
+              (Racefuzzer.Algo.hits report);
+            Fmt.pr "%a@." Rf_runtime.Outcome.pp o
+        | _ ->
+            Fmt.epr "no statement sites found on lines %d/%d of %s@." l1 l2 base;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay one phase-2 execution from its seed (paper §2.2 replay).")
+    Term.(const action $ file_arg $ seed_arg $ pair_arg)
+
+(* ------------------------------------------------------------------ *)
+(* deadlock                                                            *)
+
+let deadlock_cmd =
+  let action file trials =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog ->
+        let main = Rf_lang.Lang.program ~print:ignore prog in
+        let results =
+          Racefuzzer.Deadlock_fuzzer.analyze
+            ~phase1_seeds:(List.init 5 Fun.id)
+            ~seeds_per_candidate:(List.init trials Fun.id)
+            main
+        in
+        if results = [] then Fmt.pr "no potential lock-order cycles found@."
+        else
+          List.iter
+            (fun (r : Racefuzzer.Deadlock_fuzzer.candidate_result) ->
+              Fmt.pr "%a@."
+                Rf_detect.Goodlock.pp_candidate r.Racefuzzer.Deadlock_fuzzer.dc_candidate;
+              Fmt.pr "  realized in %d/%d trials -> %s@."
+                r.Racefuzzer.Deadlock_fuzzer.dc_deadlock_trials
+                r.Racefuzzer.Deadlock_fuzzer.dc_trials
+                (if Racefuzzer.Deadlock_fuzzer.is_real r then "REAL DEADLOCK"
+                 else "false alarm");
+              Option.iter
+                (fun seed -> Fmt.pr "  replay with seed %d@." seed)
+                r.Racefuzzer.Deadlock_fuzzer.dc_seed)
+            results
+  in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:
+         "Deadlock-directed testing: find lock-order cycles and try to realize \
+          them (paper §1 generalization).")
+    Term.(const action $ file_arg $ seeds_arg 50)
+
+(* ------------------------------------------------------------------ *)
+(* atomicity                                                           *)
+
+let atomicity_cmd =
+  let action file trials =
+    match load file with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok prog ->
+        let main = Rf_lang.Lang.program ~print:ignore prog in
+        let results =
+          Racefuzzer.Atom_fuzzer.analyze
+            ~phase1_seeds:(List.init 5 Fun.id)
+            ~seeds_per_candidate:(List.init trials Fun.id)
+            main
+        in
+        if results = [] then Fmt.pr "no split transactions found@."
+        else
+          List.iter
+            (fun (r : Racefuzzer.Atom_fuzzer.candidate_result) ->
+              Fmt.pr "%a@." Rf_detect.Atomicity.pp_candidate
+                r.Racefuzzer.Atom_fuzzer.ac_candidate;
+              Fmt.pr "  violated in %d/%d trials (%d with uncaught exceptions) -> %s@."
+                r.Racefuzzer.Atom_fuzzer.ac_violation_trials
+                r.Racefuzzer.Atom_fuzzer.ac_trials
+                r.Racefuzzer.Atom_fuzzer.ac_error_trials
+                (if Racefuzzer.Atom_fuzzer.is_harmful r then "REAL, HARMFUL"
+                 else if Racefuzzer.Atom_fuzzer.is_real r then "REAL (benign here)"
+                 else "not realized");
+              Option.iter
+                (fun seed -> Fmt.pr "  replay with seed %d@." seed)
+                r.Racefuzzer.Atom_fuzzer.ac_seed)
+            results
+  in
+  Cmd.v
+    (Cmd.info "atomicity"
+       ~doc:
+         "Atomicity-directed testing: find split lock-protected transactions and \
+          land interfering writes in the gap (paper §1 generalization).")
+    Term.(const action $ file_arg $ seeds_arg 50)
+
+(* ------------------------------------------------------------------ *)
+(* workloads                                                           *)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Workload name.")
+  in
+  let action name trials =
+    match Rf_workloads.Registry.find name with
+    | None ->
+        Fmt.epr "unknown workload %S (see 'racefuzzer list')@." name;
+        exit 1
+    | Some w ->
+        Fmt.pr "%a@.@." Rf_workloads.Workload.pp w;
+        let a =
+          Racefuzzer.Fuzzer.analyze
+            ~phase1_seeds:(List.init 5 Fun.id)
+            ~seeds_per_pair:(List.init trials Fun.id)
+            w.Rf_workloads.Workload.program
+        in
+        print_analysis a
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Analyze a built-in Table-1 workload analogue.")
+    Term.(const action $ name_arg $ seeds_arg 100)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun w -> Fmt.pr "%a@." Rf_workloads.Workload.pp w)
+      (Rf_workloads.Registry.all @ Rf_workloads.Registry.litmus)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads.") Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+
+let table1_cmd =
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer trials.") in
+  let action quick =
+    let config =
+      if quick then Rf_report.Table1.quick_config else Rf_report.Table1.default_config
+    in
+    Rf_report.Table1.render Fmt.stdout (Rf_report.Table1.generate ~config ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
+    Term.(const action $ quick_arg)
+
+let figure2_cmd =
+  let action trials =
+    Rf_report.Figure2_exp.render Fmt.stdout (Rf_report.Figure2_exp.generate ~trials ())
+  in
+  Cmd.v
+    (Cmd.info "figure2" ~doc:"Regenerate the paper's Figure 2 probability series.")
+    Term.(const action $ seeds_arg 200)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "racefuzzer" ~version:"1.0.0"
+       ~doc:"Race-directed random testing of concurrent programs (Sen, PLDI 2008).")
+    [
+      run_cmd; detect_cmd; fuzz_cmd; replay_cmd; deadlock_cmd; atomicity_cmd;
+      workload_cmd; list_cmd; table1_cmd; figure2_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cache4j_bug.ml: Fmt Fun List Printexc Racefuzzer Rf_runtime Rf_util Rf_workloads Site

@@ -1,0 +1,1 @@
+examples/cache4j_bug.mli:

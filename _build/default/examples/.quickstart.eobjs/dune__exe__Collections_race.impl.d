@@ -1,0 +1,1 @@
+examples/collections_race.ml: Api Collections Fmt Fun Jcoll Linked_list List Option Outcome Printexc Racefuzzer Rf_collections Rf_runtime Rf_util Site

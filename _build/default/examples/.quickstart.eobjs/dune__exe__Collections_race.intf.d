@@ -1,0 +1,1 @@
+examples/collections_race.mli:

@@ -1,0 +1,1 @@
+examples/dsl_tour.ml: Fmt Fun List Racefuzzer Rf_detect Rf_lang Rf_runtime Rf_util Site

@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Fmt Fun List Racefuzzer Rf_events Rf_lang Rf_runtime Rf_util Site Sys

@@ -1,0 +1,1 @@
+examples/figure2.ml: Fmt Rf_report

@@ -1,0 +1,1 @@
+examples/figure2.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Fmt Fun List Lock Option Printexc Printf Racefuzzer Rf_runtime Rf_util Site

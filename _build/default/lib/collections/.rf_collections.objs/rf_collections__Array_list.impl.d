@@ -1,0 +1,1 @@
+lib/collections/array_list.ml: Api Jcoll List Lock Op Printf Rf_runtime Rf_util Site

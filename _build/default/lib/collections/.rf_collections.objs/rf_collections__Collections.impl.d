@@ -1,0 +1,1 @@
+lib/collections/collections.ml: Api Jcoll Rf_runtime

@@ -1,0 +1,1 @@
+lib/collections/collections.mli: Jcoll

@@ -1,0 +1,1 @@
+lib/collections/hash_set.ml: Api Jcoll List Lock Op Rf_runtime Rf_util Site

@@ -1,0 +1,1 @@
+lib/collections/jcoll.ml: List Lock Op Rf_runtime

@@ -1,0 +1,1 @@
+lib/collections/jcoll.mli: Lock Rf_runtime

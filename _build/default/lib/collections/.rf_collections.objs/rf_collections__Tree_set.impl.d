@@ -1,0 +1,1 @@
+lib/collections/tree_set.ml: Api Jcoll Lock Op Rf_runtime Rf_util Site

@@ -1,0 +1,1 @@
+lib/collections/vector.ml: Api Array Jcoll List Lock Op Printf Rf_runtime Rf_util Site

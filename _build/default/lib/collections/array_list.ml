@@ -1,0 +1,159 @@
+(** Model of [java.util.ArrayList] (JDK 1.4.2): growable array, not
+    synchronized, fail-fast iterator via [modCount]. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "array_list"
+let s line label = Site.make ~file ~line label
+
+(* Static sites: one per distinct field-access statement, like bytecode. *)
+let site_size_r = s 1 "size(read)"
+let site_size_w = s 2 "size(write)"
+let site_mod_r = s 3 "modCount(read)"
+let site_mod_w = s 4 "modCount++"
+let site_data_r = s 5 "elementData[i](read)"
+let site_data_w = s 6 "elementData[i](write)"
+let site_arr_r = s 7 "elementData(read)"
+let site_arr_w = s 8 "elementData(write)"
+let site_it_mod = s 9 "iterator.checkForComodification"
+let site_it_size = s 10 "iterator.hasNext:size"
+let site_it_data = s 11 "iterator.next:elementData[i]"
+
+type t = {
+  data : int Api.Sarray.t Api.Cell.t;  (** the elementData reference *)
+  size : int Api.Cell.t;
+  mod_count : int Api.Cell.t;
+  monitor : Lock.t;
+}
+
+let create ?(capacity = 8) () =
+  {
+    data = Api.Cell.make ~name:"elementData" (Api.Sarray.make (max 1 capacity) 0);
+    size = Api.Cell.make ~name:"size" 0;
+    mod_count = Api.Cell.make ~name:"modCount" 0;
+    monitor = Lock.create ~name:"ArrayList" ();
+  }
+
+let size t = Api.Cell.read ~site:site_size_r t.size
+let is_empty t = size t = 0
+
+let bump_mod t =
+  Api.Cell.write ~site:site_mod_w t.mod_count
+    (Api.Cell.read ~site:site_mod_r t.mod_count + 1)
+
+let ensure_capacity t needed =
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  if needed > Api.Sarray.length arr then begin
+    let bigger = Api.Sarray.make (2 * Api.Sarray.length arr) 0 in
+    let n = Api.Cell.read ~site:site_size_r t.size in
+    for i = 0 to n - 1 do
+      Api.Sarray.set ~site:site_data_w bigger i (Api.Sarray.get ~site:site_data_r arr i)
+    done;
+    Api.Cell.write ~site:site_arr_w t.data bigger
+  end
+
+let add t e =
+  let n = Api.Cell.read ~site:site_size_r t.size in
+  ensure_capacity t (n + 1);
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  Api.Sarray.set ~site:site_data_w arr n e;
+  Api.Cell.write ~site:site_size_w t.size (n + 1);
+  bump_mod t;
+  true
+
+let get t i =
+  let n = Api.Cell.read ~site:site_size_r t.size in
+  if i < 0 || i >= n then
+    raise (Op.No_such_element (Printf.sprintf "ArrayList.get(%d) of size %d" i n));
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  Api.Sarray.get ~site:site_data_r arr i
+
+let set t i e =
+  let n = Api.Cell.read ~site:site_size_r t.size in
+  if i < 0 || i >= n then
+    raise (Op.No_such_element (Printf.sprintf "ArrayList.set(%d) of size %d" i n));
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  let old = Api.Sarray.get ~site:site_data_r arr i in
+  Api.Sarray.set ~site:site_data_w arr i e;
+  old
+
+let index_of t e =
+  let n = Api.Cell.read ~site:site_size_r t.size in
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  let rec go i =
+    if i >= n then -1
+    else if Api.Sarray.get ~site:site_data_r arr i = e then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains t e = index_of t e >= 0
+
+let remove_at t i =
+  let n = Api.Cell.read ~site:site_size_r t.size in
+  if i < 0 || i >= n then
+    raise (Op.No_such_element (Printf.sprintf "ArrayList.remove(%d) of size %d" i n));
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  let old = Api.Sarray.get ~site:site_data_r arr i in
+  for j = i to n - 2 do
+    Api.Sarray.set ~site:site_data_w arr j (Api.Sarray.get ~site:site_data_r arr (j + 1))
+  done;
+  Api.Cell.write ~site:site_size_w t.size (n - 1);
+  bump_mod t;
+  old
+
+let remove t e =
+  let i = index_of t e in
+  if i < 0 then false
+  else begin
+    ignore (remove_at t i);
+    true
+  end
+
+let clear t =
+  Api.Cell.write ~site:site_size_w t.size 0;
+  bump_mod t
+
+(** Fail-fast iterator (java.util.AbstractList.Itr): snapshots [modCount]
+    at creation, re-checks it on every [next], raising
+    ConcurrentModificationException on mismatch — with no lock held, which
+    is the racy read the paper's §5.3 describes. *)
+let iterator t : Jcoll.iter =
+  let expected = Api.Cell.read ~site:site_it_mod t.mod_count in
+  let cursor = ref 0 in
+  {
+    Jcoll.has_next = (fun () -> !cursor < Api.Cell.read ~site:site_it_size t.size);
+    next =
+      (fun () ->
+        let m = Api.Cell.read ~site:site_it_mod t.mod_count in
+        if m <> expected then
+          raise (Op.Concurrent_modification "ArrayList iterator");
+        let n = Api.Cell.read ~site:site_it_size t.size in
+        if !cursor >= n then raise (Op.No_such_element "ArrayList iterator");
+        let arr = Api.Cell.read ~site:site_arr_r t.data in
+        let v = Api.Sarray.get ~site:site_it_data arr !cursor in
+        incr cursor;
+        v);
+  }
+
+let to_list_dbg t =
+  let n = Api.Cell.unsafe_peek t.size in
+  let arr = Api.Cell.unsafe_peek t.data in
+  List.init n (fun i -> Api.Sarray.unsafe_peek arr i)
+
+(** Wrap as a generic collection object. *)
+let as_coll t : Jcoll.t =
+  {
+    Jcoll.cname = "ArrayList";
+    monitor = t.monitor;
+    size = (fun () -> size t);
+    is_empty = (fun () -> is_empty t);
+    add = (fun e -> add t e);
+    remove = (fun e -> remove t e);
+    contains = (fun e -> contains t e);
+    clear = (fun () -> clear t);
+    iterator = (fun () -> iterator t);
+    to_list_dbg = (fun () -> to_list_dbg t);
+    synchronized = false;
+  }

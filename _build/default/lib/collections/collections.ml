@@ -1,0 +1,62 @@
+(** Model of [java.util.Collections.synchronizedList]/[synchronizedSet]
+    decorators and the cross-collection operations whose incomplete
+    synchronization the paper's §5.3 exposes.
+
+    The decorator wraps every single-collection method in a [synchronized]
+    block on the backing collection's monitor — exactly like the JDK.  The
+    crucial detail reproduced here: [iterator()] is specified by the JDK to
+    be *user-synchronized* — the wrapper hands out the backing iterator,
+    and iteration proceeds with no lock.  [AbstractCollection.containsAll],
+    [addAll], [removeAll] and [AbstractList.equals] (in {!Jcoll}) iterate
+    their *argument* that way even when called through a synchronized
+    wrapper, because the wrapper only locks the receiver.  Hence
+    [l1.containsAll(l2)] holds [l1]'s monitor while reading [l2.modCount]
+    unlocked — the real races RaceFuzzer confirms, leading to
+    ConcurrentModificationException / NoSuchElementException. *)
+
+open Rf_runtime
+
+(** [synchronized c] — Collections.synchronizedCollection(c). *)
+let synchronized (c : Jcoll.t) : Jcoll.t =
+  let sync f = Api.sync c.Jcoll.monitor f in
+  {
+    c with
+    Jcoll.cname = "Synchronized" ^ c.Jcoll.cname;
+    size = (fun () -> sync c.Jcoll.size);
+    is_empty = (fun () -> sync c.Jcoll.is_empty);
+    add = (fun e -> sync (fun () -> c.Jcoll.add e));
+    remove = (fun e -> sync (fun () -> c.Jcoll.remove e));
+    contains = (fun e -> sync (fun () -> c.Jcoll.contains e));
+    clear = (fun () -> sync c.Jcoll.clear);
+    (* The iterator is created under the lock (it reads modCount/fields),
+       but the returned iterator itself is the backing, unsynchronized
+       one — per the JDK specification. *)
+    iterator = (fun () -> sync c.Jcoll.iterator);
+    synchronized = true;
+  }
+
+let synchronized_list = synchronized
+let synchronized_set = synchronized
+
+(* ------------------------------------------------------------------ *)
+(* Bulk operations as called through a synchronized receiver:          *)
+(* synchronized(this) { AbstractCollection.xxxAll(arg) }               *)
+
+let guarded (recv : Jcoll.t) f =
+  if recv.Jcoll.synchronized then Api.sync recv.Jcoll.monitor f else f ()
+
+(** [contains_all c1 c2] — l1.containsAll(l2): locks l1 (if synchronized),
+    iterates l2 without its lock. *)
+let contains_all (c1 : Jcoll.t) (c2 : Jcoll.t) =
+  guarded c1 (fun () -> Jcoll.contains_all c1 c2)
+
+let add_all (c1 : Jcoll.t) (c2 : Jcoll.t) = guarded c1 (fun () -> Jcoll.add_all c1 c2)
+
+let remove_all (c1 : Jcoll.t) (c2 : Jcoll.t) =
+  guarded c1 (fun () -> Jcoll.remove_all c1 c2)
+
+let equals (c1 : Jcoll.t) (c2 : Jcoll.t) = guarded c1 (fun () -> Jcoll.equals c1 c2)
+
+(** [remove_all_self c] — l2.removeAll() as used in the paper's example: a
+    synchronized bulk self-clear that bumps modCount under l2's lock. *)
+let clear_sync (c : Jcoll.t) = c.Jcoll.clear ()

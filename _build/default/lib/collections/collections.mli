@@ -1,0 +1,20 @@
+(** Model of [java.util.Collections.synchronizedList]/[Set] and the bulk
+    operations as dispatched through a synchronized receiver.  The wrapper
+    locks every single-collection method on the backing monitor but — per
+    the JDK specification — hands out the backing, unsynchronized iterator,
+    which is what makes [l1.containsAll(l2)] hold [l1]'s monitor while
+    reading [l2.modCount] unlocked: the real races of the paper's §5.3. *)
+
+val synchronized : Jcoll.t -> Jcoll.t
+val synchronized_list : Jcoll.t -> Jcoll.t
+val synchronized_set : Jcoll.t -> Jcoll.t
+
+val contains_all : Jcoll.t -> Jcoll.t -> bool
+(** Locks the receiver (if synchronized), iterates the argument unlocked. *)
+
+val add_all : Jcoll.t -> Jcoll.t -> bool
+val remove_all : Jcoll.t -> Jcoll.t -> bool
+val equals : Jcoll.t -> Jcoll.t -> bool
+
+val clear_sync : Jcoll.t -> unit
+(** The paper's [l2.removeAll()] stand-in: a synchronized bulk clear. *)

@@ -1,0 +1,129 @@
+(** Model of [java.util.HashSet] (JDK 1.4.2): chained hash table, not
+    synchronized, fail-fast iterator over the bucket array. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "hash_set"
+let s line label = Site.make ~file ~line label
+
+let site_size_r = s 1 "size(read)"
+let site_size_w = s 2 "size(write)"
+let site_mod_r = s 3 "modCount(read)"
+let site_mod_w = s 4 "modCount++"
+let site_bucket_r = s 5 "table[i](read)"
+let site_bucket_w = s 6 "table[i](write)"
+let site_it_mod = s 7 "iterator.checkForComodification"
+let site_it_bucket = s 8 "iterator.next:table[i]"
+let site_it_size = s 9 "iterator.hasNext:size"
+
+type t = {
+  buckets : int list Api.Sarray.t;  (** each slot is one heap location *)
+  nbuckets : int;
+  size : int Api.Cell.t;
+  mod_count : int Api.Cell.t;
+  monitor : Lock.t;
+}
+
+let create ?(nbuckets = 16) () =
+  {
+    buckets = Api.Sarray.make nbuckets [];
+    nbuckets;
+    size = Api.Cell.make ~name:"size" 0;
+    mod_count = Api.Cell.make ~name:"modCount" 0;
+    monitor = Lock.create ~name:"HashSet" ();
+  }
+
+let hash t e = ((e * 0x9e3779b1) land max_int) mod t.nbuckets
+
+let size t = Api.Cell.read ~site:site_size_r t.size
+let is_empty t = size t = 0
+
+let bump_mod t =
+  Api.Cell.write ~site:site_mod_w t.mod_count
+    (Api.Cell.read ~site:site_mod_r t.mod_count + 1)
+
+let contains t e =
+  let b = Api.Sarray.get ~site:site_bucket_r t.buckets (hash t e) in
+  List.mem e b
+
+let add t e =
+  let i = hash t e in
+  let b = Api.Sarray.get ~site:site_bucket_r t.buckets i in
+  if List.mem e b then false
+  else begin
+    Api.Sarray.set ~site:site_bucket_w t.buckets i (e :: b);
+    Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size + 1);
+    bump_mod t;
+    true
+  end
+
+let remove t e =
+  let i = hash t e in
+  let b = Api.Sarray.get ~site:site_bucket_r t.buckets i in
+  if not (List.mem e b) then false
+  else begin
+    Api.Sarray.set ~site:site_bucket_w t.buckets i (List.filter (fun x -> x <> e) b);
+    Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size - 1);
+    bump_mod t;
+    true
+  end
+
+let clear t =
+  for i = 0 to t.nbuckets - 1 do
+    Api.Sarray.set ~site:site_bucket_w t.buckets i []
+  done;
+  Api.Cell.write ~site:site_size_w t.size 0;
+  bump_mod t
+
+let iterator t : Jcoll.iter =
+  let expected = Api.Cell.read ~site:site_it_mod t.mod_count in
+  let bucket = ref 0 in
+  let chain = ref [] in
+  let advance () =
+    while !chain = [] && !bucket < t.nbuckets do
+      chain := Api.Sarray.get ~site:site_it_bucket t.buckets !bucket;
+      incr bucket
+    done
+  in
+  {
+    Jcoll.has_next =
+      (fun () ->
+        (* HashIterator keeps a cursor over the table; the size read models
+           its liveness probe. *)
+        ignore (Api.Cell.read ~site:site_it_size t.size);
+        advance ();
+        !chain <> []);
+    next =
+      (fun () ->
+        let m = Api.Cell.read ~site:site_it_mod t.mod_count in
+        if m <> expected then raise (Op.Concurrent_modification "HashSet iterator");
+        advance ();
+        match !chain with
+        | [] -> raise (Op.No_such_element "HashSet iterator")
+        | e :: rest ->
+            chain := rest;
+            e);
+  }
+
+let to_list_dbg t =
+  let acc = ref [] in
+  for i = 0 to t.nbuckets - 1 do
+    acc := Api.Sarray.unsafe_peek t.buckets i @ !acc
+  done;
+  List.sort compare !acc
+
+let as_coll t : Jcoll.t =
+  {
+    Jcoll.cname = "HashSet";
+    monitor = t.monitor;
+    size = (fun () -> size t);
+    is_empty = (fun () -> is_empty t);
+    add = (fun e -> add t e);
+    remove = (fun e -> remove t e);
+    contains = (fun e -> contains t e);
+    clear = (fun () -> clear t);
+    iterator = (fun () -> iterator t);
+    to_list_dbg = (fun () -> to_list_dbg t);
+    synchronized = false;
+  }

@@ -1,0 +1,91 @@
+(** Model of the JDK collection framework core, faithful to the concurrency
+    structure of JDK 1.4.2 (paper §5.1, §5.3).
+
+    Every collection is represented as a record of closures over
+    instrumented shared cells, so the engine observes each field access the
+    way the paper's tool observes bytecode field accesses.  Collections
+    carry a [modCount] cell and fail-fast iterators that read it without
+    any lock — exactly the JDK pattern whose races the paper reports: "the
+    iterator accesses the modCount field of l2 without holding the lock on
+    l2".
+
+    The generic algorithms at the bottom replicate
+    [AbstractCollection.containsAll]/[addAll]/[removeAll] and
+    [AbstractList.equals]: when invoked through a synchronized wrapper (see
+    {!Collections}) they hold the *receiver's* monitor but iterate the
+    *argument* without its lock — the JDK 1.4.2 bug RaceFuzzer found
+    exceptions for. *)
+
+open Rf_runtime
+
+exception Concurrent_modification = Op.Concurrent_modification
+exception No_such_element = Op.No_such_element
+
+(** Fail-fast iterator: [has_next]/[next], Java style. *)
+type iter = { has_next : unit -> bool; next : unit -> int }
+
+(** A collection "object".  All closures are *unsynchronized* unless the
+    record was produced by a synchronized wrapper; [monitor] is the monitor
+    a wrapper synchronizes on. *)
+type t = {
+  cname : string;  (** concrete class name, for reports *)
+  monitor : Lock.t;
+  size : unit -> int;
+  is_empty : unit -> bool;
+  add : int -> bool;  (** list: append (returns true); set: add-if-absent *)
+  remove : int -> bool;  (** remove one occurrence by value *)
+  contains : int -> bool;
+  clear : unit -> unit;
+  iterator : unit -> iter;
+  to_list_dbg : unit -> int list;  (** uninstrumented snapshot, tests only *)
+  synchronized : bool;
+}
+
+
+let fold_iter f init (it : iter) =
+  let acc = ref init in
+  while it.has_next () do
+    acc := f !acc (it.next ())
+  done;
+  !acc
+
+(** [containsAll c1 c2] — iterates [c2] via its iterator and probes [c1].
+    No lock on [c2] is taken here, mirroring AbstractCollection. *)
+let contains_all (c1 : t) (c2 : t) =
+  let it = c2.iterator () in
+  let ok = ref true in
+  while !ok && it.has_next () do
+    if not (c1.contains (it.next ())) then ok := false
+  done;
+  !ok
+
+(** [addAll c1 c2] — appends every element of [c2] to [c1]. *)
+let add_all (c1 : t) (c2 : t) =
+  fold_iter
+    (fun changed e ->
+      let b = c1.add e in
+      changed || b)
+    false (c2.iterator ())
+
+(** [removeAll c1 c2] — removes from [c1] every element present in [c2]. *)
+let remove_all (c1 : t) (c2 : t) =
+  fold_iter
+    (fun changed e ->
+      let b = c1.remove e in
+      changed || b)
+    false (c2.iterator ())
+
+(** [equals c1 c2] — AbstractList.equals: lock-free lock-step iteration
+    over both collections. *)
+let equals (c1 : t) (c2 : t) =
+  let i1 = c1.iterator () and i2 = c2.iterator () in
+  let rec go () =
+    match (i1.has_next (), i2.has_next ()) with
+    | true, true -> if i1.next () = i2.next () then go () else false
+    | false, false -> true
+    | _ -> false
+  in
+  go ()
+
+(** Drain an iterator into a list (instrumented). *)
+let elements (c : t) = List.rev (fold_iter (fun acc e -> e :: acc) [] (c.iterator ()))

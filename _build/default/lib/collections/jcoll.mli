@@ -1,0 +1,41 @@
+(** Core of the model JDK collection framework: the generic collection
+    "object" every concrete class converts to, fail-fast iterators, and
+    the AbstractCollection/AbstractList bulk algorithms whose missing
+    argument-locking is exactly the JDK 1.4.2 bug of the paper's §5.3
+    ([containsAll] iterates its argument with no lock, reading [modCount]
+    unprotected). *)
+
+open Rf_runtime
+
+exception Concurrent_modification of string
+exception No_such_element of string
+
+type iter = { has_next : unit -> bool; next : unit -> int }
+
+type t = {
+  cname : string;  (** concrete class name, for reports *)
+  monitor : Lock.t;  (** every Java object has one *)
+  size : unit -> int;
+  is_empty : unit -> bool;
+  add : int -> bool;
+  remove : int -> bool;
+  contains : int -> bool;
+  clear : unit -> unit;
+  iterator : unit -> iter;
+  to_list_dbg : unit -> int list;  (** uninstrumented snapshot, tests only *)
+  synchronized : bool;
+}
+
+val fold_iter : ('a -> int -> 'a) -> 'a -> iter -> 'a
+
+val contains_all : t -> t -> bool
+(** [contains_all c1 c2] — AbstractCollection: iterates [c2] lock-free. *)
+
+val add_all : t -> t -> bool
+val remove_all : t -> t -> bool
+
+val equals : t -> t -> bool
+(** AbstractList.equals: lock-free lock-step iteration of both. *)
+
+val elements : t -> int list
+(** Drain a fresh iterator (instrumented). *)

@@ -1,0 +1,175 @@
+(** Model of [java.util.LinkedList] (JDK 1.4.2): doubly-linked list with a
+    sentinel header node, not synchronized, fail-fast iterator.
+
+    Node link fields are instrumented cells with per-node heap locations,
+    so unsynchronized structural updates race observably — including the
+    [containsAll]/[removeAll] combination of the paper's §5.3 that throws
+    both ConcurrentModificationException and NoSuchElementException. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "linked_list"
+let s line label = Site.make ~file ~line label
+
+let site_size_r = s 1 "size(read)"
+let site_size_w = s 2 "size(write)"
+let site_mod_r = s 3 "modCount(read)"
+let site_mod_w = s 4 "modCount++"
+let site_next_r = s 5 "node.next(read)"
+let site_next_w = s 6 "node.next(write)"
+let site_prev_r = s 7 "node.prev(read)"
+let site_prev_w = s 8 "node.prev(write)"
+let site_item_r = s 9 "node.item(read)"
+let site_it_mod = s 10 "iterator.checkForComodification"
+let site_it_next = s 11 "iterator.next:node.next"
+let site_it_size = s 12 "iterator.hasNext:size"
+
+type node = {
+  item : int;  (** immutable payload, like a final field *)
+  next : node option Api.Cell.t;
+  prev : node option Api.Cell.t;
+}
+
+type t = {
+  header : node;  (** sentinel; circular list *)
+  size : int Api.Cell.t;
+  mod_count : int Api.Cell.t;
+  monitor : Lock.t;
+}
+
+let make_node item =
+  { item; next = Api.Cell.make ~name:"next" None; prev = Api.Cell.make ~name:"prev" None }
+
+let create () =
+  let header = make_node min_int in
+  Api.Cell.unsafe_poke header.next (Some header);
+  Api.Cell.unsafe_poke header.prev (Some header);
+  {
+    header;
+    size = Api.Cell.make ~name:"size" 0;
+    mod_count = Api.Cell.make ~name:"modCount" 0;
+    monitor = Lock.create ~name:"LinkedList" ();
+  }
+
+let size t = Api.Cell.read ~site:site_size_r t.size
+let is_empty t = size t = 0
+
+let bump_mod t =
+  Api.Cell.write ~site:site_mod_w t.mod_count
+    (Api.Cell.read ~site:site_mod_r t.mod_count + 1)
+
+let next_of n =
+  match Api.Cell.read ~site:site_next_r n.next with
+  | Some m -> m
+  | None -> raise (Op.No_such_element "LinkedList: broken next link")
+
+let prev_of n =
+  match Api.Cell.read ~site:site_prev_r n.prev with
+  | Some m -> m
+  | None -> raise (Op.No_such_element "LinkedList: broken prev link")
+
+(* insert [e] before node [succ] *)
+let add_before t e succ =
+  let pred = prev_of succ in
+  let fresh = make_node e in
+  Api.Cell.write ~site:site_next_w fresh.next (Some succ);
+  Api.Cell.write ~site:site_prev_w fresh.prev (Some pred);
+  Api.Cell.write ~site:site_next_w pred.next (Some fresh);
+  Api.Cell.write ~site:site_prev_w succ.prev (Some fresh);
+  Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size + 1);
+  bump_mod t
+
+let add t e =
+  add_before t e t.header;
+  true
+
+let add_first t e = add_before t e (next_of t.header)
+
+let unlink t n =
+  let pred = prev_of n and succ = next_of n in
+  Api.Cell.write ~site:site_next_w pred.next (Some succ);
+  Api.Cell.write ~site:site_prev_w succ.prev (Some pred);
+  Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size - 1);
+  bump_mod t
+
+let find_node t e =
+  let rec go n =
+    if n == t.header then None
+    else if n.item = e then Some n
+    else go (next_of n)
+  in
+  go (next_of t.header)
+
+let contains t e = find_node t e <> None
+
+let remove t e =
+  match find_node t e with
+  | None -> false
+  | Some n ->
+      unlink t n;
+      true
+
+let remove_first t =
+  let n = next_of t.header in
+  if n == t.header then raise (Op.No_such_element "LinkedList.removeFirst");
+  unlink t n;
+  n.item
+
+let get t i =
+  let n = size t in
+  if i < 0 || i >= n then
+    raise (Op.No_such_element (Printf.sprintf "LinkedList.get(%d) of size %d" i n));
+  let rec go node j = if j = 0 then node.item else go (next_of node) (j - 1) in
+  go (next_of t.header) i
+
+let clear t =
+  Api.Cell.write ~site:site_next_w t.header.next (Some t.header);
+  Api.Cell.write ~site:site_prev_w t.header.prev (Some t.header);
+  Api.Cell.write ~site:site_size_w t.size 0;
+  bump_mod t
+
+let iterator t : Jcoll.iter =
+  let expected = Api.Cell.read ~site:site_it_mod t.mod_count in
+  let cursor = ref (next_of t.header) in
+  {
+    Jcoll.has_next = (fun () -> Api.Cell.read ~site:site_it_size t.size > 0 && !cursor != t.header);
+    next =
+      (fun () ->
+        let m = Api.Cell.read ~site:site_it_mod t.mod_count in
+        if m <> expected then raise (Op.Concurrent_modification "LinkedList iterator");
+        let n = !cursor in
+        if n == t.header then raise (Op.No_such_element "LinkedList iterator");
+        cursor :=
+          (match Api.Cell.read ~site:site_it_next n.next with
+          | Some m' -> m'
+          | None -> raise (Op.No_such_element "LinkedList iterator: broken link"));
+        n.item);
+  }
+
+let to_list_dbg t =
+  let rec go n acc =
+    if n == t.header then List.rev acc
+    else
+      match Api.Cell.unsafe_peek n.next with
+      | Some m -> go m (n.item :: acc)
+      | None -> List.rev acc
+  in
+  match Api.Cell.unsafe_peek t.header.next with
+  | Some first -> go first []
+  | None -> []
+
+let as_coll t : Jcoll.t =
+  {
+    Jcoll.cname = "LinkedList";
+    monitor = t.monitor;
+    size = (fun () -> size t);
+    is_empty = (fun () -> is_empty t);
+    add = (fun e -> add t e);
+    remove = (fun e -> remove t e);
+    contains = (fun e -> contains t e);
+    clear = (fun () -> clear t);
+    iterator = (fun () -> iterator t);
+    to_list_dbg = (fun () -> to_list_dbg t);
+    synchronized = false;
+  }

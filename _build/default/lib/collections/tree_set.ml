@@ -1,0 +1,210 @@
+(** Model of [java.util.TreeSet] (JDK 1.4.2): binary search tree (the JDK
+    uses a red-black tree; plain BST preserves the identical concurrency
+    structure — link-field reads and writes plus modCount), not
+    synchronized, fail-fast in-order iterator. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "tree_set"
+let s line label = Site.make ~file ~line label
+
+let site_size_r = s 1 "size(read)"
+let site_size_w = s 2 "size(write)"
+let site_mod_r = s 3 "modCount(read)"
+let site_mod_w = s 4 "modCount++"
+let site_root_r = s 5 "root(read)"
+let site_root_w = s 6 "root(write)"
+let site_link_r = s 7 "node.left/right(read)"
+let site_link_w = s 8 "node.left/right(write)"
+let site_it_mod = s 9 "iterator.checkForComodification"
+let site_it_link = s 10 "iterator.next:node.link"
+let site_it_size = s 11 "iterator.hasNext:size"
+
+type node = {
+  key : int;
+  left : node option Api.Cell.t;
+  right : node option Api.Cell.t;
+}
+
+type t = {
+  root : node option Api.Cell.t;
+  size : int Api.Cell.t;
+  mod_count : int Api.Cell.t;
+  monitor : Lock.t;
+}
+
+let make_node key =
+  { key; left = Api.Cell.make ~name:"left" None; right = Api.Cell.make ~name:"right" None }
+
+let create () =
+  {
+    root = Api.Cell.make ~name:"root" None;
+    size = Api.Cell.make ~name:"size" 0;
+    mod_count = Api.Cell.make ~name:"modCount" 0;
+    monitor = Lock.create ~name:"TreeSet" ();
+  }
+
+let size t = Api.Cell.read ~site:site_size_r t.size
+let is_empty t = size t = 0
+
+let bump_mod t =
+  Api.Cell.write ~site:site_mod_w t.mod_count
+    (Api.Cell.read ~site:site_mod_r t.mod_count + 1)
+
+let contains t e =
+  let rec go = function
+    | None -> false
+    | Some n ->
+        if e = n.key then true
+        else if e < n.key then go (Api.Cell.read ~site:site_link_r n.left)
+        else go (Api.Cell.read ~site:site_link_r n.right)
+  in
+  go (Api.Cell.read ~site:site_root_r t.root)
+
+let add t e =
+  let rec go n =
+    if e = n.key then false
+    else if e < n.key then
+      match Api.Cell.read ~site:site_link_r n.left with
+      | Some l -> go l
+      | None ->
+          Api.Cell.write ~site:site_link_w n.left (Some (make_node e));
+          true
+    else
+      match Api.Cell.read ~site:site_link_r n.right with
+      | Some r -> go r
+      | None ->
+          Api.Cell.write ~site:site_link_w n.right (Some (make_node e));
+          true
+  in
+  let inserted =
+    match Api.Cell.read ~site:site_root_r t.root with
+    | None ->
+        Api.Cell.write ~site:site_root_w t.root (Some (make_node e));
+        true
+    | Some r -> go r
+  in
+  if inserted then begin
+    Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size + 1);
+    bump_mod t
+  end;
+  inserted
+
+(* BST delete; instrumented link traffic mirrors TreeMap.deleteEntry. *)
+let remove t e =
+  let rec min_key n =
+    match Api.Cell.read ~site:site_link_r n.left with
+    | Some l -> min_key l
+    | None -> n.key
+  in
+  let rec go node =
+    (* returns (new_subtree, removed) *)
+    match node with
+    | None -> (None, false)
+    | Some n ->
+        if e < n.key then begin
+          let sub, removed = go (Api.Cell.read ~site:site_link_r n.left) in
+          if removed then Api.Cell.write ~site:site_link_w n.left sub;
+          (Some n, removed)
+        end
+        else if e > n.key then begin
+          let sub, removed = go (Api.Cell.read ~site:site_link_r n.right) in
+          if removed then Api.Cell.write ~site:site_link_w n.right sub;
+          (Some n, removed)
+        end
+        else begin
+          match
+            ( Api.Cell.read ~site:site_link_r n.left,
+              Api.Cell.read ~site:site_link_r n.right )
+          with
+          | None, r -> (r, true)
+          | l, None -> (l, true)
+          | Some _, Some r ->
+              (* replace with successor *)
+              let succ = min_key r in
+              let fresh = make_node succ in
+              Api.Cell.write ~site:site_link_w fresh.left
+                (Api.Cell.read ~site:site_link_r n.left);
+              let r' =
+                let rec del_min node =
+                  match node with
+                  | None -> None
+                  | Some m ->
+                      (match Api.Cell.read ~site:site_link_r m.left with
+                      | None -> Api.Cell.read ~site:site_link_r m.right
+                      | Some _ ->
+                          let sub = del_min (Api.Cell.read ~site:site_link_r m.left) in
+                          Api.Cell.write ~site:site_link_w m.left sub;
+                          Some m)
+                in
+                del_min (Some r)
+              in
+              Api.Cell.write ~site:site_link_w fresh.right r';
+              (Some fresh, true)
+        end
+  in
+  let sub, removed = go (Api.Cell.read ~site:site_root_r t.root) in
+  if removed then begin
+    Api.Cell.write ~site:site_root_w t.root sub;
+    Api.Cell.write ~site:site_size_w t.size (Api.Cell.read ~site:site_size_r t.size - 1);
+    bump_mod t
+  end;
+  removed
+
+let clear t =
+  Api.Cell.write ~site:site_root_w t.root None;
+  Api.Cell.write ~site:site_size_w t.size 0;
+  bump_mod t
+
+(** In-order fail-fast iterator via an explicit descent stack. *)
+let iterator t : Jcoll.iter =
+  let expected = Api.Cell.read ~site:site_it_mod t.mod_count in
+  let stack = ref [] in
+  let rec push_left = function
+    | None -> ()
+    | Some n ->
+        stack := n :: !stack;
+        push_left (Api.Cell.read ~site:site_it_link n.left)
+  in
+  push_left (Api.Cell.read ~site:site_root_r t.root);
+  {
+    Jcoll.has_next =
+      (fun () ->
+        ignore (Api.Cell.read ~site:site_it_size t.size);
+        !stack <> []);
+    next =
+      (fun () ->
+        let m = Api.Cell.read ~site:site_it_mod t.mod_count in
+        if m <> expected then raise (Op.Concurrent_modification "TreeSet iterator");
+        match !stack with
+        | [] -> raise (Op.No_such_element "TreeSet iterator")
+        | n :: rest ->
+            stack := rest;
+            push_left (Api.Cell.read ~site:site_it_link n.right);
+            n.key);
+  }
+
+let to_list_dbg t =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        let acc = go acc (Api.Cell.unsafe_peek n.right) in
+        go (n.key :: acc) (Api.Cell.unsafe_peek n.left)
+  in
+  go [] (Api.Cell.unsafe_peek t.root)
+
+let as_coll t : Jcoll.t =
+  {
+    Jcoll.cname = "TreeSet";
+    monitor = t.monitor;
+    size = (fun () -> size t);
+    is_empty = (fun () -> is_empty t);
+    add = (fun e -> add t e);
+    remove = (fun e -> remove t e);
+    contains = (fun e -> contains t e);
+    clear = (fun () -> clear t);
+    iterator = (fun () -> iterator t);
+    to_list_dbg = (fun () -> to_list_dbg t);
+    synchronized = false;
+  }

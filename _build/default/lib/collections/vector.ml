@@ -1,0 +1,178 @@
+(** Model of [java.util.Vector] as of JDK 1.1 (paper Table 1: 9 potential
+    races, all 9 real and previously known).
+
+    Mutators and point queries are internally synchronized on the vector's
+    own monitor, but — as in JDK 1.1 — the [Enumeration] returned by
+    [elements()] reads [elementCount] and [elementData] with *no* lock, and
+    the bulk helpers [copy_into]/[last_index_of] re-read fields between
+    synchronized sections.  Every racy pair here is a *real* race: there is
+    no implicit synchronization to fool phase 2, matching the paper's
+    potential = real = known column for vector 1.1. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "vector"
+let s line label = Site.make ~file ~line label
+
+let site_count_r = s 1 "elementCount(read,sync)"
+let site_count_w = s 2 "elementCount(write,sync)"
+let site_data_r = s 3 "elementData[i](read,sync)"
+let site_data_w = s 4 "elementData[i](write,sync)"
+let site_enum_count = s 5 "Enumeration.elementCount(read,unsync)"
+let site_enum_data = s 6 "Enumeration.elementData[i](read,unsync)"
+let site_copy_count = s 7 "copyInto.elementCount(read,unsync)"
+let site_copy_data = s 8 "copyInto.elementData[i](read,unsync)"
+
+type t = {
+  data : int Api.Sarray.t Api.Cell.t;
+  count : int Api.Cell.t;  (** elementCount *)
+  monitor : Lock.t;
+}
+
+let site_arr_r = s 9 "elementData(read)"
+let site_arr_w = s 10 "elementData(write)"
+
+let create ?(capacity = 8) () =
+  {
+    data = Api.Cell.make ~name:"elementData" (Api.Sarray.make (max 1 capacity) 0);
+    count = Api.Cell.make ~name:"elementCount" 0;
+    monitor = Lock.create ~name:"Vector" ();
+  }
+
+let sync t f = Api.sync t.monitor f
+
+let size t = sync t (fun () -> Api.Cell.read ~site:site_count_r t.count)
+let is_empty t = size t = 0
+
+let ensure_capacity_locked t needed =
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  if needed > Api.Sarray.length arr then begin
+    let bigger = Api.Sarray.make (2 * Api.Sarray.length arr) 0 in
+    let n = Api.Cell.read ~site:site_count_r t.count in
+    for i = 0 to n - 1 do
+      Api.Sarray.set ~site:site_data_w bigger i (Api.Sarray.get ~site:site_data_r arr i)
+    done;
+    Api.Cell.write ~site:site_arr_w t.data bigger
+  end
+
+let add t e =
+  sync t (fun () ->
+      let n = Api.Cell.read ~site:site_count_r t.count in
+      ensure_capacity_locked t (n + 1);
+      let arr = Api.Cell.read ~site:site_arr_r t.data in
+      Api.Sarray.set ~site:site_data_w arr n e;
+      Api.Cell.write ~site:site_count_w t.count (n + 1));
+  true
+
+let get t i =
+  sync t (fun () ->
+      let n = Api.Cell.read ~site:site_count_r t.count in
+      if i < 0 || i >= n then
+        raise (Op.No_such_element (Printf.sprintf "Vector.elementAt(%d) of size %d" i n));
+      let arr = Api.Cell.read ~site:site_arr_r t.data in
+      Api.Sarray.get ~site:site_data_r arr i)
+
+(** [setElementAt(e, i)]: in-place overwrite under the monitor.  Its
+    element write genuinely races with the Enumeration's and copyInto's
+    unsynchronized element reads — unlike append, whose writes are ordered
+    before any read through the (racy but directional) elementCount
+    publication. *)
+let set_element_at t i e =
+  sync t (fun () ->
+      let n = Api.Cell.read ~site:site_count_r t.count in
+      if i < 0 || i >= n then
+        raise (Op.No_such_element (Printf.sprintf "Vector.setElementAt(%d) of size %d" i n));
+      let arr = Api.Cell.read ~site:site_arr_r t.data in
+      Api.Sarray.set ~site:site_data_w arr i e)
+
+let index_of t e =
+  sync t (fun () ->
+      let n = Api.Cell.read ~site:site_count_r t.count in
+      let arr = Api.Cell.read ~site:site_arr_r t.data in
+      let rec go i =
+        if i >= n then -1
+        else if Api.Sarray.get ~site:site_data_r arr i = e then i
+        else go (i + 1)
+      in
+      go 0)
+
+let contains t e = index_of t e >= 0
+
+let remove_at_locked t i =
+  let n = Api.Cell.read ~site:site_count_r t.count in
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  for j = i to n - 2 do
+    Api.Sarray.set ~site:site_data_w arr j (Api.Sarray.get ~site:site_data_r arr (j + 1))
+  done;
+  Api.Cell.write ~site:site_count_w t.count (n - 1)
+
+let remove t e =
+  sync t (fun () ->
+      let n = Api.Cell.read ~site:site_count_r t.count in
+      let arr = Api.Cell.read ~site:site_arr_r t.data in
+      let rec find i =
+        if i >= n then -1
+        else if Api.Sarray.get ~site:site_data_r arr i = e then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      if i < 0 then false
+      else begin
+        remove_at_locked t i;
+        true
+      end)
+
+let clear t =
+  sync t (fun () -> Api.Cell.write ~site:site_count_w t.count 0)
+
+(** JDK 1.1 [Vector.elements()]: the Enumeration reads the fields with no
+    synchronization — each of its reads races with every synchronized
+    mutator write.  These are the table's "all real" races. *)
+let elements t : Jcoll.iter =
+  let cursor = ref 0 in
+  {
+    Jcoll.has_next =
+      (fun () -> !cursor < Api.Cell.read ~site:site_enum_count t.count);
+    next =
+      (fun () ->
+        let n = Api.Cell.read ~site:site_enum_count t.count in
+        if !cursor >= n then raise (Op.No_such_element "Vector enumeration");
+        let arr = Api.Cell.read ~site:site_arr_r t.data in
+        let v = Api.Sarray.get ~site:site_enum_data arr !cursor in
+        incr cursor;
+        v);
+  }
+
+(** [copyInto(dst)] as in JDK 1.1: reads the count unsynchronized before
+    copying — races with concurrent mutators and can throw when the vector
+    shrinks mid-copy. *)
+let copy_into t (dst : int array) =
+  let n = Api.Cell.read ~site:site_copy_count t.count in
+  let arr = Api.Cell.read ~site:site_arr_r t.data in
+  for i = 0 to n - 1 do
+    if i < Array.length dst then
+      dst.(i) <- Api.Sarray.get ~site:site_copy_data arr i
+    else raise (Op.No_such_element "Vector.copyInto: destination too small")
+  done;
+  n
+
+let to_list_dbg t =
+  let n = Api.Cell.unsafe_peek t.count in
+  let arr = Api.Cell.unsafe_peek t.data in
+  List.init n (fun i -> Api.Sarray.unsafe_peek arr i)
+
+let as_coll t : Jcoll.t =
+  {
+    Jcoll.cname = "Vector";
+    monitor = t.monitor;
+    size = (fun () -> size t);
+    is_empty = (fun () -> is_empty t);
+    add = (fun e -> add t e);
+    remove = (fun e -> remove t e);
+    contains = (fun e -> contains t e);
+    clear = (fun () -> clear t);
+    iterator = (fun () -> elements t);
+    to_list_dbg = (fun () -> to_list_dbg t);
+    synchronized = true;
+  }

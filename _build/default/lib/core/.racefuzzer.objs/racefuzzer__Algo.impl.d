@@ -1,0 +1,1 @@
+lib/core/algo.ml: Fmt Hashtbl List Loc Op Prng Rf_events Rf_runtime Rf_util Site Strategy

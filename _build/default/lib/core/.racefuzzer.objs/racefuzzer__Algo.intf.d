@@ -1,0 +1,1 @@
+lib/core/algo.mli: Format Loc Rf_runtime Rf_util Site Strategy

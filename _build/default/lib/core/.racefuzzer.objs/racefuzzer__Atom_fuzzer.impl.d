@@ -1,0 +1,1 @@
+lib/core/atom_fuzzer.ml: Algo Engine Fun Hashtbl List Op Outcome Prng Rf_detect Rf_events Rf_runtime Rf_util Site Strategy

@@ -1,0 +1,1 @@
+lib/core/atom_fuzzer.mli: Rf_detect Rf_runtime Strategy

@@ -1,0 +1,1 @@
+lib/core/deadlock_fuzzer.ml: Algo Engine Fun Hashtbl List Op Outcome Prng Rf_detect Rf_runtime Rf_util Site Strategy

@@ -1,0 +1,1 @@
+lib/core/deadlock_fuzzer.mli: Rf_detect Rf_runtime Rf_util Strategy

@@ -1,0 +1,1 @@
+lib/core/fuzzer.ml: Algo Array Domain Engine Fun Int List Outcome Rf_detect Rf_runtime Rf_util Site Strategy Unix

@@ -1,0 +1,1 @@
+lib/core/fuzzer.mli: Algo Engine Outcome Rf_detect Rf_runtime Rf_util Site Strategy

@@ -1,0 +1,1 @@
+lib/core/rapos.ml: Array List Loc Op Prng Rf_events Rf_runtime Rf_util Strategy

@@ -1,0 +1,1 @@
+lib/core/rapos.mli: Op Rf_runtime Strategy

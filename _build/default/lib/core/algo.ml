@@ -1,0 +1,189 @@
+(** The RaceFuzzer scheduling strategy — Algorithms 1 and 2 of the paper.
+
+    Given a candidate racing pair [RaceSet = {s1, s2}] from phase 1, the
+    strategy drives a random scheduler with one twist: a thread about to
+    execute a statement of the pair is *postponed* — parked with its
+    operation pending — until some other thread arrives at a statement of
+    the pair whose pending access touches the same dynamic memory location
+    with at least one write ([Racing], Algorithm 2).  At that moment a
+    *real race* has been created: the two accesses are temporally adjacent
+    and unordered.  The strategy records the hit and resolves the race by a
+    coin flip (Algorithm 1, lines 11–18): either the arriving thread runs
+    first, or every postponed racing thread runs first — which is how
+    order-dependent errors hiding behind the race get exposed.
+
+    Two liveness devices from the paper's §2.2 and §4:
+
+    - when every enabled thread is postponed, a random postponed thread is
+      released and executed ("if we manage to postpone all the threads,
+      then we pick a random thread from the set to break the deadlock");
+    - a postpone timeout models the monitor thread that "periodically
+      removes those threads from the postponed set that are waiting for a
+      long time", preventing livelock when one thread spins without
+      synchronizing. *)
+
+open Rf_util
+open Rf_runtime
+
+(** One created real race. *)
+type hit = {
+  hit_pair : Site.Pair.t;  (** the RaceSet *)
+  hit_sites : Site.t * Site.t;  (** postponed site, arriving site *)
+  hit_loc : Loc.t;  (** the shared dynamic location *)
+  hit_arriving : int;  (** tid that arrived second *)
+  hit_postponed : int list;  (** racing postponed tids (>1 when all reads... ) *)
+  hit_step : int;
+  resolved_arriving : bool;  (** coin flip: arriving thread executed first *)
+}
+
+let pp_hit ppf h =
+  Fmt.pf ppf "REAL RACE %a on %a at step %d (t%d vs %a), resolved toward %s"
+    Site.Pair.pp h.hit_pair Loc.pp h.hit_loc h.hit_step h.hit_arriving
+    (Fmt.list ~sep:Fmt.comma (fun ppf t -> Fmt.pf ppf "t%d" t))
+    h.hit_postponed
+    (if h.resolved_arriving then "arriving" else "postponed")
+
+(** Mutable per-run report the strategy writes into. *)
+type report = {
+  mutable hits : hit list;  (** newest first *)
+  mutable evictions : int;  (** all-postponed deadlock breaks *)
+  mutable timeout_releases : int;  (** livelock-relief releases *)
+  mutable postponements : int;
+}
+
+let fresh_report () =
+  { hits = []; evictions = 0; timeout_releases = 0; postponements = 0 }
+
+let race_created r = r.hits <> []
+let hits r = List.rev r.hits
+
+(** Default bound (in scheduler steps) a thread may stay postponed. *)
+let default_postpone_timeout = 2_000
+
+(** [Racing (s, t, postponed)] — Algorithm 2: the postponed threads whose
+    pending access conflicts with [m] (same dynamic location, at least one
+    write).  Postponed threads are always parked at a [RaceSet] memory
+    operation, so no site check is needed here, mirroring the paper. *)
+let racing (m : Op.mem) postponed (enabled : Strategy.entry list) =
+  List.filter
+    (fun (e : Strategy.entry) ->
+      Hashtbl.mem postponed e.Strategy.tid
+      &&
+      match Op.pend_mem e.Strategy.pend with
+      | Some m' ->
+          Loc.equal m.Op.loc m'.Op.loc
+          && (m.Op.access = Rf_events.Event.Write
+             || m'.Op.access = Rf_events.Event.Write)
+      | None -> false)
+    enabled
+
+(** Build the strategy for one run.
+
+    [pair] is the RaceSet; [report] collects hits; [postpone_timeout]
+    bounds how long (in strategy consultations) a thread may stay
+    postponed, [None] disabling relief (ablation). *)
+let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report () :
+    Strategy.t =
+  (* tid -> step at which it was postponed *)
+  let postponed : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* threads that must execute next (race resolved toward them, or evicted
+     to break an all-postponed deadlock) *)
+  let queue : int list ref = ref [] in
+  let choose (view : Strategy.view) =
+    (* Livelock relief: free threads postponed for too long. *)
+    (match postpone_timeout with
+    | None -> ()
+    | Some bound ->
+        let stale =
+          Hashtbl.fold
+            (fun tid since acc -> if view.step - since > bound then tid :: acc else acc)
+            postponed []
+        in
+        List.iter
+          (fun tid ->
+            Hashtbl.remove postponed tid;
+            report.timeout_releases <- report.timeout_releases + 1)
+          stale);
+    (* Serve the must-run queue first (Algorithm 1 line 16: execute all
+       threads of R). *)
+    let rec from_queue () =
+      match !queue with
+      | [] -> None
+      | tid :: rest ->
+          queue := rest;
+          if List.exists (fun (e : Strategy.entry) -> e.tid = tid) view.enabled then
+            Some tid
+          else from_queue ()
+    in
+    match from_queue () with
+    | Some tid -> tid
+    | None ->
+        let rec pick_loop () =
+          let avail =
+            List.filter
+              (fun (e : Strategy.entry) -> not (Hashtbl.mem postponed e.tid))
+              view.enabled
+          in
+          match avail with
+          | [] ->
+              (* Everyone enabled is postponed: break the scheduler deadlock
+                 by releasing and *executing* a random postponed thread. *)
+              let victims =
+                List.filter
+                  (fun (e : Strategy.entry) -> Hashtbl.mem postponed e.tid)
+                  view.enabled
+              in
+              let v = Prng.pick view.prng victims in
+              Hashtbl.remove postponed v.Strategy.tid;
+              report.evictions <- report.evictions + 1;
+              v.Strategy.tid
+          | _ -> (
+              let e = Prng.pick view.prng avail in
+              match Op.pend_mem e.Strategy.pend with
+              | Some m when Site.Pair.mem m.Op.site pair -> (
+                  match racing m postponed view.enabled with
+                  | [] ->
+                      (* No racing partner parked yet: wait for one. *)
+                      Hashtbl.replace postponed e.Strategy.tid view.step;
+                      report.postponements <- report.postponements + 1;
+                      pick_loop ()
+                  | r ->
+                      (* Real race created. Record and resolve randomly. *)
+                      let first = List.hd r in
+                      let postponed_site =
+                        match Op.pend_mem first.Strategy.pend with
+                        | Some m' -> m'.Op.site
+                        | None -> m.Op.site
+                      in
+                      let toward_arriving = Prng.bool view.prng in
+                      report.hits <-
+                        {
+                          hit_pair = pair;
+                          hit_sites = (postponed_site, m.Op.site);
+                          hit_loc = m.Op.loc;
+                          hit_arriving = e.Strategy.tid;
+                          hit_postponed = List.map (fun (x : Strategy.entry) -> x.tid) r;
+                          hit_step = view.step;
+                          resolved_arriving = toward_arriving;
+                        }
+                        :: report.hits;
+                      if toward_arriving then
+                        (* arriving thread executes; R stays postponed *)
+                        e.Strategy.tid
+                      else begin
+                        (* postponed side executes (all of R); arriving
+                           thread is postponed in its place *)
+                        Hashtbl.replace postponed e.Strategy.tid view.step;
+                        report.postponements <- report.postponements + 1;
+                        List.iter
+                          (fun (x : Strategy.entry) -> Hashtbl.remove postponed x.tid)
+                          r;
+                        let tids = List.map (fun (x : Strategy.entry) -> x.tid) r in
+                        queue := List.tl tids;
+                        List.hd tids
+                      end)
+              | _ -> e.Strategy.tid)
+        in
+        pick_loop ()
+  in
+  Strategy.make ~name:"racefuzzer" choose

@@ -1,0 +1,47 @@
+(** Deadlock-directed random testing — the paper's §1 generalization: bias
+    the random scheduler by "a set of statements whose simultaneous
+    execution could lead to a concurrency problem", here the inner-acquire
+    statements of a {!Rf_detect.Goodlock} lock-order cycle.  Postponing
+    threads at those statements steers the cycle's participants into
+    holding one lock each; the engine's deadlock detection then confirms a
+    *real* deadlock, while gate-protected (false) cycles never materialize. *)
+
+open Rf_runtime
+
+type report = { mutable postponed_total : int; mutable evictions : int }
+
+val fresh_report : unit -> report
+
+val strategy :
+  ?postpone_timeout:int option ->
+  sites:Rf_util.Site.Set.t ->
+  report:report ->
+  unit ->
+  Strategy.t
+(** The postponement strategy for one candidate cycle's inner sites. *)
+
+type candidate_result = {
+  dc_candidate : Rf_detect.Goodlock.candidate;
+  dc_trials : int;
+  dc_deadlock_trials : int;
+      (** trials whose deadlock blocked a thread at *every* cycle site —
+          unrelated deadlocks are not credited *)
+  dc_probability : float;
+  dc_seed : int option;  (** a seed reproducing the deadlock *)
+}
+
+val is_real : candidate_result -> bool
+
+val phase1 : ?seeds:int list -> (unit -> unit) -> Rf_detect.Goodlock.candidate list
+
+val fuzz_candidate :
+  ?seeds:int list ->
+  program:(unit -> unit) ->
+  Rf_detect.Goodlock.candidate ->
+  candidate_result
+
+val analyze :
+  ?phase1_seeds:int list ->
+  ?seeds_per_candidate:int list ->
+  (unit -> unit) ->
+  candidate_result list

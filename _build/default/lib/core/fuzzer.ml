@@ -1,0 +1,248 @@
+(** The two-phase RaceFuzzer driver.
+
+    Phase 1 executes the program under an unconstrained random scheduler
+    with the hybrid detector attached and collects potential racing
+    statement pairs.  Phase 2 re-executes the program once per (pair, seed)
+    under the {!Algo} strategy, classifying each pair as real when a race
+    is actually created, and as harmful when the created race leads to an
+    uncaught exception or deadlock.  Different invocations are independent
+    (the paper's "embarrassingly parallel" remark), so everything is
+    driven by explicit seed lists. *)
+
+open Rf_util
+open Rf_runtime
+
+type program = unit -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                             *)
+
+type phase1_result = {
+  potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
+  p1_outcomes : Outcome.t list;
+  p1_wall : float;
+}
+
+let potential_pairs r =
+  List.fold_left
+    (fun acc (race : Rf_detect.Race.t) -> Site.Pair.Set.add race.Rf_detect.Race.pair acc)
+    Site.Pair.Set.empty r.potential
+
+(** Run hybrid race detection over [seeds] executions (the paper uses one;
+    more executions can only widen the candidate set). *)
+let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
+    (program : program) : phase1_result =
+  let detector = Rf_detect.Detector.hybrid () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    List.map
+      (fun seed ->
+        Engine.run
+          ~config:{ Engine.default_config with seed; max_steps }
+          ~listeners:[ Rf_detect.Detector.feed detector ]
+          ~strategy:(Strategy.random ()) program)
+      seeds
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  { potential = Rf_detect.Detector.races detector; p1_outcomes = outcomes; p1_wall = wall }
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2                                                             *)
+
+type trial = {
+  t_seed : int;
+  t_outcome : Outcome.t;
+  t_report : Algo.report;
+}
+
+type pair_result = {
+  pr_pair : Site.Pair.t;
+  trials : trial list;
+  race_trials : int;  (** trials that created a real race *)
+  error_trials : int;  (** trials with an uncaught exception *)
+  deadlock_trials : int;
+  probability : float;  (** race_trials / trials — Table 1's last column *)
+  race_seed : int option;  (** a seed reproducing the race, for replay *)
+  error_seed : int option;
+  pr_wall : float;
+}
+
+let is_real r = r.race_trials > 0
+let is_harmful r = r.error_trials > 0
+
+let run_trial ?postpone_timeout ~max_steps ~(program : program) (pair : Site.Pair.t)
+    seed : trial =
+  let watch =
+    Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
+  in
+  let report = Algo.fresh_report () in
+  let strategy = Algo.strategy ?postpone_timeout ~pair ~report () in
+  let outcome =
+    Engine.run
+      ~config:
+        { Engine.default_config with seed; policy = Engine.Sync_and watch; max_steps }
+      ~strategy program
+  in
+  { t_seed = seed; t_outcome = outcome; t_report = report }
+
+let aggregate_trials ~pair ~wall trials : pair_result =
+  let race_trials = List.filter (fun t -> Algo.race_created t.t_report) trials in
+  let error_trials =
+    (* an error is attributed to the race only if the race was created in
+       that run (the exception must be a consequence we can tie to it) *)
+    List.filter
+      (fun t -> Algo.race_created t.t_report && Outcome.has_exception t.t_outcome)
+      trials
+  in
+  let deadlock_trials = List.filter (fun t -> Outcome.deadlocked t.t_outcome) trials in
+  {
+    pr_pair = pair;
+    trials;
+    race_trials = List.length race_trials;
+    error_trials = List.length error_trials;
+    deadlock_trials = List.length deadlock_trials;
+    probability =
+      (if trials = [] then 0.0
+       else float_of_int (List.length race_trials) /. float_of_int (List.length trials));
+    race_seed = (match race_trials with [] -> None | t :: _ -> Some t.t_seed);
+    error_seed = (match error_trials with [] -> None | t :: _ -> Some t.t_seed);
+    pr_wall = wall;
+  }
+
+(** Fuzz one candidate pair across [seeds].  Engine switch points are
+    restricted to synchronization operations plus the pair's two sites —
+    the paper's low-overhead configuration (§4). *)
+let fuzz_pair ?(seeds = List.init 100 Fun.id) ?postpone_timeout
+    ?(max_steps = Engine.default_config.max_steps) ~(program : program)
+    (pair : Site.Pair.t) : pair_result =
+  let t0 = Unix.gettimeofday () in
+  let trials = List.map (run_trial ?postpone_timeout ~max_steps ~program pair) seeds in
+  aggregate_trials ~pair ~wall:(Unix.gettimeofday () -. t0) trials
+
+(** Parallel variant: trials are split across [domains] OCaml domains —
+    the paper's observation that "different invocations of RaceFuzzer are
+    independent of each other [so] performance can be increased linearly
+    with the number of processors or cores".  Result is identical to the
+    sequential {!fuzz_pair} on the same seed list (trials are re-sorted by
+    seed), modulo wall-clock time. *)
+let fuzz_pair_parallel ?(domains = 4) ?(seeds = List.init 100 Fun.id)
+    ?postpone_timeout ?(max_steps = Engine.default_config.max_steps)
+    ~(program : program) (pair : Site.Pair.t) : pair_result =
+  let t0 = Unix.gettimeofday () in
+  let domains = max 1 (min domains (List.length seeds)) in
+  let chunks = Array.make domains [] in
+  List.iteri (fun i seed -> chunks.(i mod domains) <- seed :: chunks.(i mod domains)) seeds;
+  let workers =
+    Array.map
+      (fun chunk ->
+        Domain.spawn (fun () ->
+            List.map (run_trial ?postpone_timeout ~max_steps ~program pair) chunk))
+      chunks
+  in
+  let trials = Array.to_list workers |> List.concat_map Domain.join in
+  let trials = List.sort (fun a b -> Int.compare a.t_seed b.t_seed) trials in
+  aggregate_trials ~pair ~wall:(Unix.gettimeofday () -. t0) trials
+
+(** Re-run a single phase-2 execution from its seed: the paper's replay
+    mechanism.  Returns the outcome and the race report. *)
+let replay ?postpone_timeout ?(record_trace = false)
+    ?(max_steps = Engine.default_config.max_steps) ~seed ~(program : program)
+    (pair : Site.Pair.t) =
+  let watch =
+    Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
+  in
+  let report = Algo.fresh_report () in
+  let strategy = Algo.strategy ?postpone_timeout ~pair ~report () in
+  let outcome =
+    Engine.run
+      ~config:
+        {
+          Engine.default_config with
+          seed;
+          policy = Engine.Sync_and watch;
+          record_trace;
+          max_steps;
+        }
+      ~strategy program
+  in
+  (outcome, report)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis                                              *)
+
+type analysis = {
+  a_phase1 : phase1_result;
+  results : pair_result list;
+  real_pairs : Site.Pair.Set.t;
+  error_pairs : Site.Pair.Set.t;
+  deadlock_pairs : Site.Pair.Set.t;
+}
+
+let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
+    ?postpone_timeout ?max_steps (program : program) : analysis =
+  let p1 = phase1 ~seeds:phase1_seeds ?max_steps program in
+  let pairs = Site.Pair.Set.elements (potential_pairs p1) in
+  let results =
+    List.map
+      (fun pair -> fuzz_pair ~seeds:seeds_per_pair ?postpone_timeout ?max_steps ~program pair)
+      pairs
+  in
+  let collect p =
+    List.fold_left
+      (fun acc r -> if p r then Site.Pair.Set.add r.pr_pair acc else acc)
+      Site.Pair.Set.empty results
+  in
+  {
+    a_phase1 = p1;
+    results;
+    real_pairs = collect is_real;
+    error_pairs = collect is_harmful;
+    deadlock_pairs = collect (fun r -> r.deadlock_trials > 0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                           *)
+
+(** Count exception behaviour of a program under an arbitrary baseline
+    scheduler (simple random, default, ...): returns the number of trials
+    that raised, and the set of distinct exception sites observed. *)
+type baseline_result = {
+  b_trials : int;
+  b_error_trials : int;
+  b_exception_sites : Site.Set.t;
+  b_deadlock_trials : int;
+}
+
+let baseline ?(seeds = List.init 100 Fun.id) ?(policy = Engine.Every_op)
+    ?max_steps ~(make_strategy : unit -> Strategy.t) (program : program) :
+    baseline_result =
+  let outcomes =
+    List.map
+      (fun seed ->
+        Engine.run
+          ~config:
+            {
+              Engine.default_config with
+              seed;
+              policy;
+              max_steps =
+                (match max_steps with
+                | Some m -> m
+                | None -> Engine.default_config.max_steps);
+            }
+          ~strategy:(make_strategy ()) program)
+      seeds
+  in
+  {
+    b_trials = List.length outcomes;
+    b_error_trials =
+      List.length (List.filter Outcome.has_exception outcomes);
+    b_exception_sites =
+      List.fold_left
+        (fun acc o ->
+          List.fold_left
+            (fun acc s -> Site.Set.add s acc)
+            acc (Outcome.exn_sites o))
+        Site.Set.empty outcomes;
+    b_deadlock_trials = List.length (List.filter Outcome.deadlocked outcomes);
+  }

@@ -1,0 +1,118 @@
+(** The two-phase RaceFuzzer driver.
+
+    Phase 1 ({!phase1}) observes random executions with the hybrid
+    detector attached and collects potential racing statement pairs.
+    Phase 2 ({!fuzz_pair}) re-executes once per (pair, seed) under the
+    {!Algo} strategy, classifying a pair as {e real} when a race is
+    actually created and {e harmful} when a trial with a created race ends
+    in an uncaught exception.  {!analyze} chains both phases.
+
+    Invocations are independent, so {!fuzz_pair_parallel} distributes
+    trials over OCaml domains — the paper's "embarrassingly parallel"
+    observation — with results identical to the sequential run. *)
+
+open Rf_util
+open Rf_runtime
+
+type program = unit -> unit
+
+(** {1 Phase 1} *)
+
+type phase1_result = {
+  potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
+  p1_outcomes : Outcome.t list;
+  p1_wall : float;
+}
+
+val phase1 : ?seeds:int list -> ?max_steps:int -> program -> phase1_result
+(** Default: one execution (seed 0), like the paper; more seeds widen the
+    candidate set. *)
+
+val potential_pairs : phase1_result -> Site.Pair.Set.t
+
+(** {1 Phase 2} *)
+
+type trial = { t_seed : int; t_outcome : Outcome.t; t_report : Algo.report }
+
+type pair_result = {
+  pr_pair : Site.Pair.t;
+  trials : trial list;
+  race_trials : int;  (** trials that created a real race *)
+  error_trials : int;  (** racing trials with an uncaught exception *)
+  deadlock_trials : int;
+  probability : float;  (** race_trials / trials — Table 1's last column *)
+  race_seed : int option;  (** a seed reproducing the race, for replay *)
+  error_seed : int option;
+  pr_wall : float;
+}
+
+val is_real : pair_result -> bool
+val is_harmful : pair_result -> bool
+
+val fuzz_pair :
+  ?seeds:int list ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  program:program ->
+  Site.Pair.t ->
+  pair_result
+(** Default 100 seeds, like the paper's probability estimates.  Engine
+    switch points are restricted to sync operations plus the pair (§4). *)
+
+val fuzz_pair_parallel :
+  ?domains:int ->
+  ?seeds:int list ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  program:program ->
+  Site.Pair.t ->
+  pair_result
+(** Same result as {!fuzz_pair} on the same seed list, computed on
+    [domains] cores. *)
+
+val replay :
+  ?postpone_timeout:int option ->
+  ?record_trace:bool ->
+  ?max_steps:int ->
+  seed:int ->
+  program:program ->
+  Site.Pair.t ->
+  Outcome.t * Algo.report
+(** One phase-2 execution from its seed: the paper's record-free replay. *)
+
+(** {1 Whole-program analysis} *)
+
+type analysis = {
+  a_phase1 : phase1_result;
+  results : pair_result list;
+  real_pairs : Site.Pair.Set.t;
+  error_pairs : Site.Pair.Set.t;
+  deadlock_pairs : Site.Pair.Set.t;
+}
+
+val analyze :
+  ?phase1_seeds:int list ->
+  ?seeds_per_pair:int list ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  program ->
+  analysis
+
+(** {1 Baselines} *)
+
+type baseline_result = {
+  b_trials : int;
+  b_error_trials : int;
+  b_exception_sites : Site.Set.t;
+  b_deadlock_trials : int;
+}
+
+val baseline :
+  ?seeds:int list ->
+  ?policy:Engine.switch_policy ->
+  ?max_steps:int ->
+  make_strategy:(unit -> Strategy.t) ->
+  program ->
+  baseline_result
+(** Exception behaviour under an undirected scheduler (simple random,
+    default, RAPOS): Table 1's comparison column. *)

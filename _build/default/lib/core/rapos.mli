@@ -1,0 +1,13 @@
+(** RAPOS-style partial-order sampling (Sen, ASE 2007 [45]), the author's
+    earlier undirected technique that the paper's §6 contrasts RaceFuzzer
+    against.  Each round executes a randomly sampled maximal set of
+    pairwise-independent pending operations, sampling partial orders
+    rather than interleavings. *)
+
+open Rf_runtime
+
+val conflict : Op.pend -> Op.pend -> bool
+(** Two pending operations are dependent: same location with a write, or
+    same lock. *)
+
+val strategy : unit -> Strategy.t

@@ -1,0 +1,1 @@
+lib/detect/access_detector.ml: Event Hbclock List Loc Lockset Race Rf_events Rf_util Rf_vclock Site Vclock

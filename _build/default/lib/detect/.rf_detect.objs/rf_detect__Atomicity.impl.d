@@ -1,0 +1,1 @@
+lib/detect/atomicity.ml: Event Fmt Hashtbl List Loc Lockset Rf_events Rf_util Site

@@ -1,0 +1,1 @@
+lib/detect/atomicity.mli: Format Loc Rf_events Rf_util Site

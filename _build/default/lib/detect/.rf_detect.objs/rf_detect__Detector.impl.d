@@ -1,0 +1,1 @@
+lib/detect/detector.ml: Eraser Event Fasttrack Hb_precise Hybrid Race Rf_events Rf_util Site Trace

@@ -1,0 +1,1 @@
+lib/detect/eraser.ml: Event List Loc Lockset Race Rf_events Rf_util Site

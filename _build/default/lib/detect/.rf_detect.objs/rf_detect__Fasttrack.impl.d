@@ -1,0 +1,1 @@
+lib/detect/fasttrack.ml: Event Hashtbl Hbclock List Loc Race Rf_events Rf_util Rf_vclock Site Vclock

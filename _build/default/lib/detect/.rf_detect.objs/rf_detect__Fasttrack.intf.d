@@ -1,0 +1,1 @@
+lib/detect/fasttrack.mli: Event Race Rf_events Rf_util Site

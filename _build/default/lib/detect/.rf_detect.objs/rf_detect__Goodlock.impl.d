@@ -1,0 +1,1 @@
+lib/detect/goodlock.ml: Event Fmt Hashtbl List Rf_events Rf_util Site

@@ -1,0 +1,1 @@
+lib/detect/goodlock.mli: Event Format Rf_events Rf_util Site

@@ -1,0 +1,1 @@
+lib/detect/hb_precise.ml: Access_detector

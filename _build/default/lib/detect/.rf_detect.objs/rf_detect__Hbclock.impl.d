@@ -1,0 +1,1 @@
+lib/detect/hbclock.ml: Event Hashtbl Rf_events Rf_vclock Vclock

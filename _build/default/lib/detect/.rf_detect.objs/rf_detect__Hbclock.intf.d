@@ -1,0 +1,1 @@
+lib/detect/hbclock.mli: Event Rf_events Rf_vclock Vclock

@@ -1,0 +1,1 @@
+lib/detect/hybrid.ml: Access_detector

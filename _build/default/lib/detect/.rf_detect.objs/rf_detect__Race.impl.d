@@ -1,0 +1,1 @@
+lib/detect/race.ml: Event Fmt List Loc Rf_events Rf_util Site

@@ -1,0 +1,1 @@
+lib/detect/race.mli: Event Format Loc Rf_events Rf_util Site

@@ -1,0 +1,121 @@
+(** Generic access-history race detector.
+
+    Both the hybrid detector [37] and the precise happens-before detector
+    [44] follow the same scheme: maintain, per dynamic memory location, a
+    bounded history of past access summaries (thread, site, access kind,
+    lockset, vector clock) and flag a race whenever a new access *conflicts*
+    with a stored one under the detector's predicate.  They differ only in
+    the happens-before edge policy and in whether disjoint locksets are
+    required — see {!Hybrid} and {!Hb_precise} for the two instantiations.
+
+    The per-location history is capped: locations in tight loops would
+    otherwise accumulate unbounded summaries.  An entry made by the same
+    thread at the same site with the same lockset as a new access is
+    superseded by it (the older clock is smaller, but any race it would
+    reveal involves the same statement pair, which we have either already
+    reported or will report through another witness).  [truncations]
+    counts cap evictions so experiments can report potential missed pairs. *)
+
+open Rf_util
+open Rf_events
+open Rf_vclock
+
+type entry = {
+  e_tid : int;
+  e_site : Site.t;
+  e_access : Event.access;
+  e_lockset : Lockset.t;
+  e_vc : Vclock.t;
+}
+
+type t = {
+  dname : string;
+  clocks : Hbclock.t;
+  require_disjoint_locksets : bool;
+  history : entry list ref Loc.Tbl.t;
+  cap : int;
+  mutable races : Race.t list;  (* newest first *)
+  mutable reported : Site.Pair.Set.t;
+  mutable truncations : int;
+  mutable mem_events : int;
+}
+
+let create ?(cap = 128) ~name ~lock_edges ~require_disjoint_locksets () =
+  {
+    dname = name;
+    clocks = Hbclock.create ~lock_edges ();
+    require_disjoint_locksets;
+    history = Loc.Tbl.create 256;
+    cap;
+    races = [];
+    reported = Site.Pair.Set.empty;
+    truncations = 0;
+    mem_events = 0;
+  }
+
+let name t = t.dname
+
+let conflicting t (old : entry) (fresh : entry) =
+  old.e_tid <> fresh.e_tid
+  && (Event.access_equal old.e_access Event.Write
+     || Event.access_equal fresh.e_access Event.Write)
+  && ((not t.require_disjoint_locksets)
+     || Lockset.disjoint old.e_lockset fresh.e_lockset)
+  && Vclock.concurrent old.e_vc fresh.e_vc
+
+let feed t ev =
+  let vc = Hbclock.feed t.clocks ev in
+  match ev with
+  | Event.Mem { tid; site; loc; access; lockset } ->
+      t.mem_events <- t.mem_events + 1;
+      let fresh = { e_tid = tid; e_site = site; e_access = access; e_lockset = lockset; e_vc = vc } in
+      let bucket =
+        match Loc.Tbl.find_opt t.history loc with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Loc.Tbl.add t.history loc b;
+            b
+      in
+      List.iter
+        (fun old ->
+          if conflicting t old fresh then begin
+            let pair = Site.Pair.make old.e_site fresh.e_site in
+            if not (Site.Pair.Set.mem pair t.reported) then begin
+              t.reported <- Site.Pair.Set.add pair t.reported;
+              t.races <-
+                Race.make ~pair ~loc
+                  ~tids:(old.e_tid, fresh.e_tid)
+                  ~accesses:(old.e_access, fresh.e_access)
+                :: t.races
+            end
+          end)
+        !bucket;
+      (* Supersede a same-thread/site/lockset summary, then cap. *)
+      let rest =
+        List.filter
+          (fun old ->
+            not
+              (old.e_tid = fresh.e_tid
+              && Site.equal old.e_site fresh.e_site
+              && Event.access_equal old.e_access fresh.e_access
+              && Lockset.equal old.e_lockset fresh.e_lockset))
+          !bucket
+      in
+      let updated = fresh :: rest in
+      let updated =
+        if List.length updated > t.cap then begin
+          t.truncations <- t.truncations + 1;
+          (* drop the oldest entry *)
+          List.filteri (fun i _ -> i < t.cap) updated
+        end
+        else updated
+      in
+      bucket := updated
+  | _ -> ()
+
+let races t = List.rev t.races
+let pairs t = t.reported
+let race_count t = Site.Pair.Set.cardinal t.reported
+let truncations t = t.truncations
+let mem_events t = t.mem_events

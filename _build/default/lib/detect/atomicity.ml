@@ -1,0 +1,131 @@
+(** Potential atomicity-violation detection — the third problem class the
+    paper's §1 says the random scheduler can be biased by ("potential
+    atomicity violations", in the spirit of Atomizer [22] and AtomFuzzer).
+
+    Target pattern: a thread reads a location inside one critical section
+    of lock [L] and later writes (or re-reads) it inside a *different*
+    critical section of the same lock — a split transaction — while some
+    other thread writes the same location under [L].  If the interferer's
+    write lands in the gap, the first thread acts on a stale value even
+    though every access is perfectly lock-protected, so no race detector
+    flags anything.
+
+    Phase 1 (this module) reports candidate triples from one observed
+    execution: the first section's access, the second section's re-entry
+    statement, and the interfering write.  Phase 2
+    ({!Racefuzzer.Atom_fuzzer}) schedules the gap. *)
+
+open Rf_util
+open Rf_events
+
+type candidate = {
+  av_lock : int;
+  av_loc : Loc.t;  (** witness location *)
+  first_site : Site.t;  (** access in the first critical section *)
+  second_acquire : Site.t;  (** acquire statement of the second section *)
+  interferer_site : Site.t;  (** conflicting write by another thread *)
+  av_tid : int;  (** the split-transaction thread *)
+  av_interferer : int;
+}
+
+let pp_candidate ppf c =
+  Fmt.pf ppf
+    "potential atomicity violation on %a under L%d: t%d splits %a / (reacquire %a), \
+     t%d writes at %a"
+    Loc.pp c.av_loc c.av_lock c.av_tid Site.pp c.first_site Site.pp c.second_acquire
+    c.av_interferer Site.pp c.interferer_site
+
+(* per (tid, lock): accesses made under that lock in the current critical
+   section, and sections completed so far *)
+type section = {
+  mutable current : (Loc.t * Site.t * Event.access) list;  (* this section *)
+  mutable past : (Loc.t * Site.t * Event.access) list;  (* earlier sections *)
+  mutable in_section : bool;
+}
+
+type t = {
+  sections : (int * int, section) Hashtbl.t;  (* (tid, lock) *)
+  (* (lock, loc) -> writers under that lock, with sites *)
+  writers : (int * Loc.t, (int * Site.t) list ref) Hashtbl.t;
+  (* split transactions observed: (tid, lock, loc, first site, 2nd acquire) *)
+  mutable splits : (int * int * Loc.t * Site.t * Site.t) list;
+}
+
+let create () = { sections = Hashtbl.create 32; writers = Hashtbl.create 64; splits = [] }
+
+let section t tid lock =
+  match Hashtbl.find_opt t.sections (tid, lock) with
+  | Some s -> s
+  | None ->
+      let s = { current = []; past = []; in_section = false } in
+      Hashtbl.add t.sections (tid, lock) s;
+      s
+
+let feed t ev =
+  match ev with
+  | Event.Acquire { tid; lock; site } ->
+      let s = section t tid lock in
+      s.in_section <- true;
+      (* a re-acquire after earlier sections touching a location splits a
+         transaction on that location *)
+      List.iter
+        (fun (loc, fsite, _) ->
+          let key = (tid, lock, loc, fsite, site) in
+          if not (List.mem key t.splits) then t.splits <- key :: t.splits)
+        s.past
+  | Event.Release { tid; lock; _ } ->
+      let s = section t tid lock in
+      s.in_section <- false;
+      s.past <- s.current @ s.past;
+      s.current <- []
+  | Event.Mem { tid; site; loc; access; lockset } ->
+      Lockset.to_list lockset
+      |> List.iter (fun lock ->
+             let s = section t tid lock in
+             if s.in_section then s.current <- (loc, site, access) :: s.current;
+             if Event.access_equal access Event.Write then begin
+               let key = (lock, loc) in
+               let ws =
+                 match Hashtbl.find_opt t.writers key with
+                 | Some r -> r
+                 | None ->
+                     let r = ref [] in
+                     Hashtbl.add t.writers key r;
+                     r
+               in
+               if not (List.mem (tid, site) !ws) then ws := (tid, site) :: !ws
+             end)
+  | _ -> ()
+
+let candidates t : candidate list =
+  let out = ref [] in
+  List.iter
+    (fun (tid, lock, loc, first_site, second_acquire) ->
+      match Hashtbl.find_opt t.writers (lock, loc) with
+      | None -> ()
+      | Some ws ->
+          List.iter
+            (fun (wtid, wsite) ->
+              if wtid <> tid then begin
+                let c =
+                  {
+                    av_lock = lock;
+                    av_loc = loc;
+                    first_site;
+                    second_acquire;
+                    interferer_site = wsite;
+                    av_tid = tid;
+                    av_interferer = wtid;
+                  }
+                in
+                let same a b =
+                  a.av_lock = b.av_lock
+                  && Site.equal a.first_site b.first_site
+                  && Site.equal a.second_acquire b.second_acquire
+                  && Site.equal a.interferer_site b.interferer_site
+                in
+                if not (List.exists (same c) !out) then out := c :: !out
+              end)
+            !ws)
+    t.splits;
+  List.rev !out

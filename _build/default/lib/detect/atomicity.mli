@@ -1,0 +1,32 @@
+(** Potential atomicity-violation detection (phase 1 for
+    {!Racefuzzer.Atom_fuzzer}) — the paper's §1 names atomicity violations
+    as another problem class the biased scheduler supports.
+
+    Reports split transactions: a thread touching a location in one
+    critical section of a lock and re-entering another section of the same
+    lock later, while some other thread writes the location under that
+    lock.  Lock-disciplined code like this is invisible to every race
+    detector; the violation is about serializability, not races. *)
+
+open Rf_util
+
+type candidate = {
+  av_lock : int;
+  av_loc : Loc.t;  (** witness location *)
+  first_site : Site.t;  (** access in the first critical section *)
+  second_acquire : Site.t;  (** acquire statement of the second section *)
+  interferer_site : Site.t;  (** conflicting write by another thread *)
+  av_tid : int;
+  av_interferer : int;
+}
+
+val pp_candidate : Format.formatter -> candidate -> unit
+
+type t
+
+val create : unit -> t
+(** State is per-execution: use one detector per run (thread and lock ids
+    restart each run). *)
+
+val feed : t -> Rf_events.Event.t -> unit
+val candidates : t -> candidate list

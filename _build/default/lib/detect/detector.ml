@@ -1,0 +1,62 @@
+(** Unified detector interface and drivers.
+
+    Wraps the concrete detectors behind one record type so callers (phase-1
+    drivers, the CLI, benches) can treat them uniformly, either as engine
+    listeners (online) or over a recorded trace (offline). *)
+
+open Rf_util
+open Rf_events
+
+type t = {
+  dname : string;
+  feed : Event.t -> unit;
+  races : unit -> Race.t list;
+  pairs : unit -> Site.Pair.Set.t;
+}
+
+let name t = t.dname
+let feed t ev = t.feed ev
+let races t = t.races ()
+let pairs t = t.pairs ()
+let race_count t = Site.Pair.Set.cardinal (t.pairs ())
+
+let hybrid ?cap () =
+  let d = Hybrid.create ?cap () in
+  {
+    dname = "hybrid";
+    feed = Hybrid.feed d;
+    races = (fun () -> Hybrid.races d);
+    pairs = (fun () -> Hybrid.pairs d);
+  }
+
+let hb_precise ?cap () =
+  let d = Hb_precise.create ?cap () in
+  {
+    dname = "happens-before";
+    feed = Hb_precise.feed d;
+    races = (fun () -> Hb_precise.races d);
+    pairs = (fun () -> Hb_precise.pairs d);
+  }
+
+let fasttrack () =
+  let d = Fasttrack.create () in
+  {
+    dname = "fasttrack";
+    feed = Fasttrack.feed d;
+    races = (fun () -> Fasttrack.races d);
+    pairs = (fun () -> Fasttrack.pairs d);
+  }
+
+let eraser ?site_cap () =
+  let d = Eraser.create ?site_cap () in
+  {
+    dname = "eraser";
+    feed = Eraser.feed d;
+    races = (fun () -> Eraser.races d);
+    pairs = (fun () -> Eraser.pairs d);
+  }
+
+(** Feed a recorded trace through a detector (offline analysis). *)
+let run_on_trace t trace =
+  Trace.iter (fun ev -> feed t ev) trace;
+  races t

@@ -1,0 +1,39 @@
+(** Uniform detector interface: each phase-1 analysis as a record of
+    closures usable online (as an {!Rf_runtime.Engine.run} listener) or
+    offline (over a recorded trace). *)
+
+open Rf_util
+open Rf_events
+
+type t = {
+  dname : string;
+  feed : Event.t -> unit;
+  races : unit -> Race.t list;
+  pairs : unit -> Site.Pair.Set.t;
+}
+
+val name : t -> string
+val feed : t -> Event.t -> unit
+val races : t -> Race.t list
+val pairs : t -> Site.Pair.Set.t
+val race_count : t -> int
+
+val hybrid : ?cap:int -> unit -> t
+(** O'Callahan–Choi hybrid detection [37] — the paper's phase 1: disjoint
+    locksets + weak happens-before.  Predictive, imprecise.  [cap] bounds
+    the per-location access history. *)
+
+val hb_precise : ?cap:int -> unit -> t
+(** Classical happens-before detection [44]: precise on the observed
+    execution, not predictive, tracks everything (the expensive baseline
+    the paper contrasts with). *)
+
+val fasttrack : unit -> t
+(** Epoch-optimized precise happens-before (FastTrack-style): same racy
+    locations as {!hb_precise} at a fraction of the bookkeeping. *)
+
+val eraser : ?site_cap:int -> unit -> t
+(** Eraser lockset discipline checking [43]: no happens-before at all, the
+    noisiest baseline. *)
+
+val run_on_trace : t -> Trace.t -> Race.t list

@@ -1,0 +1,105 @@
+(** Eraser-style lockset race detection (Savage et al. [43]).
+
+    The classical lockset discipline checker, included as the second
+    imprecise baseline the paper discusses.  Each location carries a state
+    machine:
+
+    {v
+      Virgin --first access--> Exclusive(t)
+      Exclusive(t) --access by t'<>t--> Shared (read) | SharedModified (write)
+      Shared --write--> SharedModified
+    v}
+
+    and a candidate lockset [C(v)], initialized to the full lockset of the
+    first shared access and refined by intersection on every subsequent
+    access.  A race is reported when [C(v)] becomes empty in the
+    [SharedModified] state.  No happens-before reasoning at all, so
+    fork/join and wait/notify ordering produce false positives that even
+    hybrid detection avoids.
+
+    Reported pairs combine the emptying access's site with the previously
+    recorded access sites of the location (bounded), approximating the
+    statement-pair granularity of the other detectors. *)
+
+open Rf_util
+open Rf_events
+
+type state =
+  | Virgin
+  | Exclusive of int * Lockset.t  (** owning thread, candidate lockset so far *)
+  | Shared of Lockset.t
+  | Shared_modified of Lockset.t
+
+type cell = {
+  mutable st : state;
+  mutable sites : (Site.t * Event.access * int) list;  (* bounded, newest first *)
+  mutable racy : bool;
+}
+
+type t = {
+  cells : cell Loc.Tbl.t;
+  site_cap : int;
+  mutable races : Race.t list;
+  mutable reported : Site.Pair.Set.t;
+}
+
+let create ?(site_cap = 16) () =
+  { cells = Loc.Tbl.create 256; site_cap; races = []; reported = Site.Pair.Set.empty }
+
+let cell t loc =
+  match Loc.Tbl.find_opt t.cells loc with
+  | Some c -> c
+  | None ->
+      let c = { st = Virgin; sites = []; racy = false } in
+      Loc.Tbl.add t.cells loc c;
+      c
+
+let report t ~loc ~site ~access ~tid (prior : (Site.t * Event.access * int) list) =
+  List.iter
+    (fun (psite, pacc, ptid) ->
+      if
+        ptid <> tid
+        && (Event.access_equal access Event.Write || Event.access_equal pacc Event.Write)
+      then begin
+        let pair = Site.Pair.make psite site in
+        if not (Site.Pair.Set.mem pair t.reported) then begin
+          t.reported <- Site.Pair.Set.add pair t.reported;
+          t.races <-
+            Race.make ~pair ~loc ~tids:(ptid, tid) ~accesses:(pacc, access) :: t.races
+        end
+      end)
+    prior
+
+let feed t ev =
+  match ev with
+  | Event.Mem { tid; site; loc; access; lockset } ->
+      let c = cell t loc in
+      let next_state =
+        match (c.st, access) with
+        | Virgin, _ -> Exclusive (tid, lockset)
+        | Exclusive (t0, ls), _ when t0 = tid ->
+            Exclusive (t0, Lockset.inter ls lockset)
+        | Exclusive (_, ls), Event.Read -> Shared (Lockset.inter ls lockset)
+        | Exclusive (_, ls), Event.Write -> Shared_modified (Lockset.inter ls lockset)
+        | Shared ls, Event.Read -> Shared (Lockset.inter ls lockset)
+        | Shared ls, Event.Write -> Shared_modified (Lockset.inter ls lockset)
+        | Shared_modified ls, _ -> Shared_modified (Lockset.inter ls lockset)
+      in
+      c.st <- next_state;
+      (match next_state with
+      | Shared_modified ls when Lockset.is_empty ls ->
+          if not c.racy then c.racy <- true;
+          report t ~loc ~site ~access ~tid c.sites
+      | _ -> ());
+      c.sites <-
+        (site, access, tid)
+        :: List.filteri (fun i _ -> i < t.site_cap - 1) c.sites
+  | _ -> ()
+
+let races t = List.rev t.races
+let pairs t = t.reported
+let race_count t = Site.Pair.Set.cardinal t.reported
+
+(** Locations whose discipline was violated, regardless of pair dedup. *)
+let racy_locations t =
+  Loc.Tbl.fold (fun loc c acc -> if c.racy then loc :: acc else acc) t.cells []

@@ -1,0 +1,22 @@
+(** Epoch-optimized precise happens-before race detection, after FastTrack
+    (Flanagan & Freund, PLDI 2009): last-write epochs with on-demand
+    inflation of read vector clocks.  Reports a subset of
+    {!Hb_precise}'s statement pairs but flags exactly the same racy
+    locations (property-tested), with O(1) fast-path checks. *)
+
+open Rf_util
+open Rf_events
+
+type t
+
+val create : unit -> t
+val feed : t -> Event.t -> unit
+val races : t -> Race.t list
+val pairs : t -> Site.Pair.Set.t
+val race_count : t -> int
+
+val epoch_hits : t -> int
+(** Accesses settled by the O(1) epoch comparison. *)
+
+val vc_ops : t -> int
+(** Accesses that needed full read-vector work. *)

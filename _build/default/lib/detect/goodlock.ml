@@ -1,0 +1,132 @@
+(** Lock-order-cycle detection (Goodlock-style), the deadlock analogue of
+    phase 1.
+
+    The paper notes (§1) that the RaceFuzzer scheduler can be biased by
+    any analysis that yields "a set of statements whose simultaneous
+    execution could lead to a concurrency problem", explicitly including
+    potential deadlocks.  This detector supplies those statements: it
+    builds the runtime lock-order graph — an edge [l1 → l2] labelled with
+    the acquiring statement whenever a thread acquires [l2] while holding
+    [l1] — and reports every two-lock cycle acquired by distinct threads,
+    as a pair of *inner* acquire statements for {!Racefuzzer.Deadlock_fuzzer}
+    to target. *)
+
+open Rf_util
+open Rf_events
+
+type edge = {
+  outer : int;  (** lock already held *)
+  inner : int;  (** lock being acquired *)
+  inner_site : Site.t;  (** statement of the inner acquire *)
+  e_tid : int;
+}
+
+type candidate = {
+  locks : int list;  (** the cycle's locks, in order *)
+  sites : Site.t list;  (** the inner-acquire statements to target *)
+  tids : int list;  (** one thread per edge *)
+}
+
+(** The first two sites as a pair, for two-lock cycles and display. *)
+let site_pair c =
+  match c.sites with
+  | a :: b :: _ -> Site.Pair.make a b
+  | [ a ] -> Site.Pair.make a a
+  | [] -> invalid_arg "Goodlock.site_pair: empty candidate"
+
+type t = {
+  (* per-thread stack of currently held locks *)
+  held : (int, int list ref) Hashtbl.t;
+  mutable edges : edge list;
+  mutable seen_edges : (int * int * int * int) list;  (* dedup key *)
+}
+
+let create () = { held = Hashtbl.create 16; edges = []; seen_edges = [] }
+
+let held_of t tid =
+  match Hashtbl.find_opt t.held tid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.held tid l;
+      l
+
+let feed t ev =
+  match ev with
+  | Event.Acquire { tid; lock; site } ->
+      let held = held_of t tid in
+      List.iter
+        (fun outer ->
+          let key = (outer, lock, Site.id site, tid) in
+          if not (List.mem key t.seen_edges) then begin
+            t.seen_edges <- key :: t.seen_edges;
+            t.edges <- { outer; inner = lock; inner_site = site; e_tid = tid } :: t.edges
+          end)
+        !held;
+      held := lock :: !held
+  | Event.Release { tid; lock; _ } ->
+      let held = held_of t tid in
+      held := List.filter (fun l -> l <> lock) !held
+  | _ -> ()
+
+(** Simple cycles in the lock-order graph, up to [max_len] locks, where
+    every edge comes from a different thread (a thread cannot deadlock
+    with itself).  Classic Goodlock; over-approximate as usual — gate-lock
+    protected cycles are still reported, phase 2 rejects them. *)
+let candidates ?(max_len = 4) t : candidate list =
+  let cands = ref [] in
+  let add (path : edge list) =
+    (* path e1..en with e1.outer = en.inner: a cycle *)
+    let locks = List.map (fun e -> e.outer) path in
+    let sites = List.map (fun e -> e.inner_site) path in
+    let tids = List.map (fun e -> e.e_tid) path in
+    (* canonical form: rotate so the smallest lock id is first *)
+    let rotate_to_min l s td =
+      let n = List.length l in
+      let min_idx =
+        let rec go i best besti = function
+          | [] -> besti
+          | x :: rest -> if x < best then go (i + 1) x i rest else go (i + 1) best besti rest
+        in
+        match l with [] -> 0 | x :: rest -> go 1 x 0 rest
+      in
+      let rot lst = List.init n (fun i -> List.nth lst ((i + min_idx) mod n)) in
+      (rot l, rot s, rot td)
+    in
+    let locks, sites, tids = rotate_to_min locks sites tids in
+    let key = (locks, List.map Site.id sites) in
+    if
+      not
+        (List.exists
+           (fun c' -> (c'.locks, List.map Site.id c'.sites) = key)
+           !cands)
+    then cands := { locks; sites; tids } :: !cands
+  in
+  let rec extend (path : edge list) =
+    let last = List.hd path in
+    let first = List.nth path (List.length path - 1) in
+    if last.inner = first.outer && List.length path >= 2 then add (List.rev path)
+    else if List.length path < max_len then
+      List.iter
+        (fun e ->
+          if
+            e.outer = last.inner
+            && (not (List.exists (fun p -> p.e_tid = e.e_tid) path))
+            && not
+                 (List.exists
+                    (fun p -> p.outer = e.inner && e.inner <> first.outer)
+                    path)
+          then extend (e :: path))
+        t.edges
+  in
+  List.iter (fun e -> extend [ e ]) t.edges;
+  List.rev !cands
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "potential deadlock: locks (%a) via %a (threads %a)"
+    (Fmt.list ~sep:Fmt.comma (fun ppf l -> Fmt.pf ppf "L%d" l))
+    c.locks
+    (Fmt.list ~sep:Fmt.comma Site.pp)
+    c.sites
+    (Fmt.list ~sep:Fmt.comma (fun ppf t -> Fmt.pf ppf "t%d" t))
+    c.tids

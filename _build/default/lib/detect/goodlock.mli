@@ -1,0 +1,29 @@
+(** Lock-order-cycle detection (Goodlock-style): phase 1 of the
+    deadlock-directed variant the paper's §1 sketches.  Builds the runtime
+    lock-order graph and reports simple cycles acquired by distinct
+    threads as sets of *inner* acquire statements for
+    {!Racefuzzer.Deadlock_fuzzer} to target.  Over-approximate: gate-lock
+    protected cycles are reported and left for phase 2 to reject. *)
+
+open Rf_util
+open Rf_events
+
+type candidate = {
+  locks : int list;  (** the cycle's locks, in canonical rotation *)
+  sites : Site.t list;  (** the inner-acquire statements *)
+  tids : int list;  (** witness thread per edge *)
+}
+
+type t
+
+val create : unit -> t
+val feed : t -> Event.t -> unit
+
+val candidates : ?max_len:int -> t -> candidate list
+(** Simple cycles up to [max_len] locks (default 4), each edge from a
+    distinct thread, deduplicated by canonical rotation. *)
+
+val site_pair : candidate -> Site.Pair.t
+(** First two sites as a pair (for two-lock cycles and display). *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

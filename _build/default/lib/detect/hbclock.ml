@@ -1,0 +1,67 @@
+(** Happens-before clock builder.
+
+    Consumes the event stream of a run and assigns every event a vector
+    clock such that [Vclock.leq (clock e1) (clock e2)] iff e1 happens-before
+    (or equals) e2 under the chosen edge policy.
+
+    Two policies are needed (paper §2.1 vs related work [44]):
+
+    - [lock_edges = false]: edges are program order plus the SND/RCV
+      messages generated at thread start, join, and notify→wait.  This is
+      the *weak* relation used by hybrid race detection — deliberately
+      ignoring lock release→acquire ordering so that accesses merely
+      serialized by a lock still count as concurrent (that is what makes
+      the technique predictive, and imprecise).
+
+    - [lock_edges = true]: additionally order each lock release before every
+      later acquire of the same lock.  This yields the classical precise
+      happens-before relation of Schonberg-style detectors. *)
+
+open Rf_events
+open Rf_vclock
+
+type t = {
+  lock_edges : bool;
+  threads : (int, Vclock.t) Hashtbl.t;
+  msgs : (int, Vclock.t) Hashtbl.t;
+  lock_release : (int, Vclock.t) Hashtbl.t;
+}
+
+let create ~lock_edges () =
+  {
+    lock_edges;
+    threads = Hashtbl.create 16;
+    msgs = Hashtbl.create 64;
+    lock_release = Hashtbl.create 16;
+  }
+
+let thread_clock t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some c -> c
+  | None -> Vclock.bottom
+
+(** Process one event; returns the event's vector clock. *)
+let feed t ev =
+  let tid = Event.tid ev in
+  let c = thread_clock t tid in
+  (* Incoming edges join into the thread clock before the event ticks. *)
+  let c =
+    match ev with
+    | Event.Rcv { msg; _ } -> (
+        match Hashtbl.find_opt t.msgs msg with
+        | Some m -> Vclock.join c m
+        | None -> c (* unmatched receive: no edge *))
+    | Event.Acquire { lock; _ } when t.lock_edges -> (
+        match Hashtbl.find_opt t.lock_release lock with
+        | Some r -> Vclock.join c r
+        | None -> c)
+    | _ -> c
+  in
+  let c = Vclock.tick c tid in
+  Hashtbl.replace t.threads tid c;
+  (* Outgoing edges snapshot the thread clock after the tick. *)
+  (match ev with
+  | Event.Snd { msg; _ } -> Hashtbl.replace t.msgs msg c
+  | Event.Release { lock; _ } when t.lock_edges -> Hashtbl.replace t.lock_release lock c
+  | _ -> ());
+  c

@@ -1,0 +1,23 @@
+(** Happens-before clock builder: assigns every event of a stream a vector
+    clock under a configurable edge policy.
+
+    [lock_edges = false] gives the *weak* relation of hybrid detection
+    (program order + fork/join/notify messages only — deliberately blind to
+    lock ordering, which is what makes hybrid predictive and imprecise);
+    [lock_edges = true] adds release→acquire edges, giving the classical
+    precise happens-before relation. *)
+
+open Rf_events
+open Rf_vclock
+
+type t
+
+val create : lock_edges:bool -> unit -> t
+
+val feed : t -> Event.t -> Vclock.t
+(** Process one event (in trace order) and return its clock: for events
+    [e1] fed before [e2], [Vclock.leq (feed e1) (feed e2)] iff [e1]
+    happens-before-or-equals [e2] under the policy. *)
+
+val thread_clock : t -> int -> Vclock.t
+(** Current clock of a thread (bottom if unseen). *)

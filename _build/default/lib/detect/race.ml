@@ -1,0 +1,31 @@
+(** Potential-race reports produced by phase-1 detectors.
+
+    A race is identified by its unordered pair of statement sites — the
+    paper counts "the number of distinct pairs of statements for which there
+    is a race" (§5.2) — plus a witness: the dynamic location and threads of
+    the first occurrence, kept for diagnostics. *)
+
+open Rf_util
+open Rf_events
+
+type t = {
+  pair : Site.Pair.t;
+  loc : Loc.t;  (** witness location of the first detection *)
+  tids : int * int;  (** witness threads *)
+  accesses : Event.access * Event.access;
+}
+
+let pair t = t.pair
+
+let make ~pair ~loc ~tids ~accesses = { pair; loc; tids; accesses }
+
+let pp ppf t =
+  Fmt.pf ppf "race %a on %a (t%d %a / t%d %a)" Site.Pair.pp t.pair Loc.pp t.loc
+    (fst t.tids) Event.pp_access (fst t.accesses) (snd t.tids) Event.pp_access
+    (snd t.accesses)
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Deduplicate a detection run down to distinct statement pairs. *)
+let distinct_pairs races =
+  List.fold_left (fun acc r -> Site.Pair.Set.add r.pair acc) Site.Pair.Set.empty races

@@ -1,0 +1,27 @@
+(** Potential-race reports from phase-1 detectors: an unordered statement
+    pair plus the dynamic witness (location, threads, access kinds) of its
+    first detection. *)
+
+open Rf_util
+open Rf_events
+
+type t = {
+  pair : Site.Pair.t;
+  loc : Loc.t;
+  tids : int * int;
+  accesses : Event.access * Event.access;
+}
+
+val make :
+  pair:Site.Pair.t ->
+  loc:Loc.t ->
+  tids:int * int ->
+  accesses:Event.access * Event.access ->
+  t
+
+val pair : t -> Site.Pair.t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val distinct_pairs : t list -> Site.Pair.Set.t
+(** Deduplicate to distinct statement pairs — the unit Table 1 counts. *)

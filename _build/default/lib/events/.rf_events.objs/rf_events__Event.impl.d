@@ -1,0 +1,1 @@
+lib/events/event.ml: Fmt Loc Lockset Rf_util Site String

@@ -1,0 +1,1 @@
+lib/events/event.mli: Format Loc Lockset Rf_util Site

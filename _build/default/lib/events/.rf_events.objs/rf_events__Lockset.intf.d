@@ -1,0 +1,1 @@
+lib/events/lockset.mli: Format

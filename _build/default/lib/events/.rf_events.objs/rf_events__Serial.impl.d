@@ -1,0 +1,1 @@
+lib/events/serial.ml: Buffer Event Fmt List Loc Lockset Printf Rf_util Site String Trace

@@ -1,0 +1,1 @@
+lib/events/serial.mli: Event Loc Rf_util Site Trace

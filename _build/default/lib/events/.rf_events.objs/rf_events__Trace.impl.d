@@ -1,0 +1,1 @@
+lib/events/trace.ml: Array Event Fmt Hashtbl List

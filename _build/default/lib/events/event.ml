@@ -1,0 +1,97 @@
+(** Execution events.
+
+    The paper (§2.1) models an execution as a sequence of events of three
+    forms: [MEM(s, m, a, t, L)] — thread [t] performed access [a] to memory
+    location [m] at statement [s] holding locks [L]; [SND(g, t)] and
+    [RCV(g, t)] — synchronization messages with unique id [g] used to define
+    happens-before (fork, join, notify→wait).
+
+    We additionally record lock acquire/release events (needed by the
+    precise happens-before detector, which unlike the hybrid detector treats
+    release→acquire of the same lock as an ordering edge) and thread
+    start/exit markers (useful for reporting).
+
+    Events do not embed vector clocks: each detector derives its own
+    happens-before relation from the event stream under its own edge policy
+    (see {!Rf_detect.Hbclock}). *)
+
+open Rf_util
+
+type access = Read | Write
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+let access_equal a b =
+  match (a, b) with Read, Read | Write, Write -> true | _ -> false
+
+(** Why a SND/RCV pair was generated (paper §2.2: thread start, join,
+    notify→wait). *)
+type sync_reason = Fork | Join | Notify
+
+let pp_sync_reason ppf = function
+  | Fork -> Fmt.string ppf "fork"
+  | Join -> Fmt.string ppf "join"
+  | Notify -> Fmt.string ppf "notify"
+
+type t =
+  | Mem of {
+      tid : int;
+      site : Site.t;
+      loc : Loc.t;
+      access : access;
+      lockset : Lockset.t;
+    }
+  | Acquire of { tid : int; lock : int; site : Site.t }
+  | Release of { tid : int; lock : int; site : Site.t }
+  | Snd of { tid : int; msg : int; reason : sync_reason }
+  | Rcv of { tid : int; msg : int; reason : sync_reason }
+  | Start of { tid : int; name : string }
+  | Exit of { tid : int }
+
+let tid = function
+  | Mem { tid; _ }
+  | Acquire { tid; _ }
+  | Release { tid; _ }
+  | Snd { tid; _ }
+  | Rcv { tid; _ }
+  | Start { tid; _ }
+  | Exit { tid } ->
+      tid
+
+let site = function
+  | Mem { site; _ } | Acquire { site; _ } | Release { site; _ } -> Some site
+  | Snd _ | Rcv _ | Start _ | Exit _ -> None
+
+let is_mem = function Mem _ -> true | _ -> false
+let is_sync = function Mem _ -> false | _ -> true
+
+let equal a b =
+  match (a, b) with
+  | Mem x, Mem y ->
+      x.tid = y.tid && Site.equal x.site y.site && Loc.equal x.loc y.loc
+      && access_equal x.access y.access
+      && Lockset.equal x.lockset y.lockset
+  | Acquire x, Acquire y ->
+      x.tid = y.tid && x.lock = y.lock && Site.equal x.site y.site
+  | Release x, Release y ->
+      x.tid = y.tid && x.lock = y.lock && Site.equal x.site y.site
+  | Snd x, Snd y -> x.tid = y.tid && x.msg = y.msg && x.reason = y.reason
+  | Rcv x, Rcv y -> x.tid = y.tid && x.msg = y.msg && x.reason = y.reason
+  | Start x, Start y -> x.tid = y.tid && String.equal x.name y.name
+  | Exit x, Exit y -> x.tid = y.tid
+  | _ -> false
+
+let pp ppf = function
+  | Mem { tid; site; loc; access; lockset } ->
+      Fmt.pf ppf "MEM(t%d %a %a @@ %a locks=%a)" tid pp_access access Loc.pp loc
+        Site.pp site Lockset.pp lockset
+  | Acquire { tid; lock; site } -> Fmt.pf ppf "ACQ(t%d L%d @@ %a)" tid lock Site.pp site
+  | Release { tid; lock; site } -> Fmt.pf ppf "REL(t%d L%d @@ %a)" tid lock Site.pp site
+  | Snd { tid; msg; reason } -> Fmt.pf ppf "SND(g%d t%d %a)" msg tid pp_sync_reason reason
+  | Rcv { tid; msg; reason } -> Fmt.pf ppf "RCV(g%d t%d %a)" msg tid pp_sync_reason reason
+  | Start { tid; name } -> Fmt.pf ppf "START(t%d %s)" tid name
+  | Exit { tid } -> Fmt.pf ppf "EXIT(t%d)" tid
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,42 @@
+(** Execution events, after the paper's model (§2.1): [MEM(s, m, a, t, L)]
+    memory accesses plus [SND]/[RCV] synchronization messages (thread
+    start, join, notify→wait), extended with lock acquire/release (used by
+    the precise happens-before detector's edge policy) and thread
+    start/exit markers. *)
+
+open Rf_util
+
+type access = Read | Write
+
+val pp_access : Format.formatter -> access -> unit
+val access_equal : access -> access -> bool
+
+(** Why a [SND]/[RCV] pair exists. *)
+type sync_reason = Fork | Join | Notify
+
+val pp_sync_reason : Format.formatter -> sync_reason -> unit
+
+type t =
+  | Mem of {
+      tid : int;
+      site : Site.t;
+      loc : Loc.t;
+      access : access;
+      lockset : Lockset.t;
+    }  (** a shared-memory access, with the thread's lockset at that moment *)
+  | Acquire of { tid : int; lock : int; site : Site.t }
+      (** lockset grew (outermost acquire only; reentrant ones are silent) *)
+  | Release of { tid : int; lock : int; site : Site.t }
+      (** lockset shrank (innermost release only) *)
+  | Snd of { tid : int; msg : int; reason : sync_reason }
+  | Rcv of { tid : int; msg : int; reason : sync_reason }
+  | Start of { tid : int; name : string }
+  | Exit of { tid : int }
+
+val tid : t -> int
+val site : t -> Site.t option
+val is_mem : t -> bool
+val is_sync : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,30 @@
+(** Locksets: the set of lock ids a thread holds at an event.
+
+    The hybrid race condition (paper §2.2, phase 1) requires
+    [Li ∩ Lj = ∅] for two accesses to race; Eraser-style detection
+    intersects candidate locksets per location. *)
+
+module Iset = Set.Make (Int)
+
+type t = Iset.t
+
+let empty : t = Iset.empty
+let add = Iset.add
+let remove = Iset.remove
+let mem = Iset.mem
+let is_empty = Iset.is_empty
+let inter = Iset.inter
+let union = Iset.union
+let disjoint = Iset.disjoint
+let of_list = Iset.of_list
+let to_list = Iset.elements
+let cardinal = Iset.cardinal
+let equal = Iset.equal
+let compare = Iset.compare
+let subset = Iset.subset
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") (fun ppf l -> Fmt.pf ppf "L%d" l))
+    (Iset.elements t)
+
+let to_string t = Fmt.str "%a" pp t

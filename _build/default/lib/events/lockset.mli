@@ -1,0 +1,25 @@
+(** Locksets: the set of lock ids a thread holds at an event.  The hybrid
+    race condition requires disjoint locksets ([Li ∩ Lj = ∅], paper §2.2);
+    Eraser refines a candidate lockset per location by intersection. *)
+
+type t
+
+val empty : t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val is_empty : t -> bool
+val inter : t -> t -> t
+val union : t -> t -> t
+
+val disjoint : t -> t -> bool
+(** No common lock: one clause of the hybrid race condition. *)
+
+val of_list : int list -> t
+val to_list : t -> int list
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,234 @@
+(** Textual serialization of events and traces.
+
+    A recorded schedule can be dumped to disk and reloaded later — useful
+    for archiving a failure-inducing execution alongside its seed, or for
+    feeding a trace to an offline detector in another process.  The format
+    is line-oriented, one event per line, with percent-escaping for the
+    free-form fields (file names, labels); [of_string . to_string] is the
+    identity on traces (property-tested).
+
+    Sites are re-interned on load, so a trace read back in a fresh process
+    compares equal site-wise as long as the producing program's statement
+    structure is unchanged. *)
+
+open Rf_util
+
+exception Parse_error of int * string
+(** line number, message *)
+
+let err line fmt = Fmt.kstr (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Escaping: fields may not contain ' ' , ':' or '%'                   *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' -> Buffer.add_string buf "%20"
+      | ':' -> Buffer.add_string buf "%3a"
+      | ',' -> Buffer.add_string buf "%2c"
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0a"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape ~line s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then begin
+        if i + 2 >= n then err line "truncated escape in %S" s;
+        (match String.sub s (i + 1) 2 with
+        | "20" -> Buffer.add_char buf ' '
+        | "3a" -> Buffer.add_char buf ':'
+        | "2c" -> Buffer.add_char buf ','
+        | "25" -> Buffer.add_char buf '%'
+        | "0a" -> Buffer.add_char buf '\n'
+        | e -> err line "bad escape %%%s" e);
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Pieces                                                              *)
+
+let site_to_string (s : Site.t) =
+  Printf.sprintf "%s:%d:%d:%s" (escape (Site.file s)) (Site.line s) (Site.col s)
+    (escape (Site.label s))
+
+let site_of_string ~line str =
+  match String.split_on_char ':' str with
+  | [ file; l; c; label ] -> (
+      match (int_of_string_opt l, int_of_string_opt c) with
+      | Some l, Some c ->
+          Site.make ~file:(unescape ~line file) ~line:l ~col:c (unescape ~line label)
+      | _ -> err line "bad site coordinates in %S" str)
+  | _ -> err line "bad site %S" str
+
+let loc_to_string = function
+  | Loc.Global g -> Printf.sprintf "G:%s" (escape g)
+  | Loc.Field (o, f) -> Printf.sprintf "F:%d:%s" o (escape f)
+  | Loc.Elem (a, i) -> Printf.sprintf "E:%d:%d" a i
+
+let loc_of_string ~line str =
+  match String.split_on_char ':' str with
+  | [ "G"; g ] -> Loc.global (unescape ~line g)
+  | [ "F"; o; f ] -> (
+      match int_of_string_opt o with
+      | Some o -> Loc.field o (unescape ~line f)
+      | None -> err line "bad field loc %S" str)
+  | [ "E"; a; i ] -> (
+      match (int_of_string_opt a, int_of_string_opt i) with
+      | Some a, Some i -> Loc.elem a i
+      | _ -> err line "bad elem loc %S" str)
+  | _ -> err line "bad loc %S" str
+
+let lockset_to_string ls =
+  String.concat "," (List.map string_of_int (Lockset.to_list ls))
+
+let lockset_of_string ~line str =
+  if str = "-" then Lockset.empty
+  else
+    Lockset.of_list
+      (List.map
+         (fun s ->
+           match int_of_string_opt s with
+           | Some n -> n
+           | None -> err line "bad lockset %S" str)
+         (String.split_on_char ',' str))
+
+let access_to_string = function Event.Read -> "R" | Event.Write -> "W"
+
+let access_of_string ~line = function
+  | "R" -> Event.Read
+  | "W" -> Event.Write
+  | s -> err line "bad access %S" s
+
+let reason_to_string = function
+  | Event.Fork -> "fork"
+  | Event.Join -> "join"
+  | Event.Notify -> "notify"
+
+let reason_of_string ~line = function
+  | "fork" -> Event.Fork
+  | "join" -> Event.Join
+  | "notify" -> Event.Notify
+  | s -> err line "bad sync reason %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+let event_to_string (ev : Event.t) =
+  match ev with
+  | Event.Mem { tid; site; loc; access; lockset } ->
+      Printf.sprintf "MEM %d %s %s %s %s" tid (access_to_string access)
+        (loc_to_string loc) (site_to_string site)
+        (if Lockset.is_empty lockset then "-" else lockset_to_string lockset)
+  | Event.Acquire { tid; lock; site } ->
+      Printf.sprintf "ACQ %d %d %s" tid lock (site_to_string site)
+  | Event.Release { tid; lock; site } ->
+      Printf.sprintf "REL %d %d %s" tid lock (site_to_string site)
+  | Event.Snd { tid; msg; reason } ->
+      Printf.sprintf "SND %d %d %s" tid msg (reason_to_string reason)
+  | Event.Rcv { tid; msg; reason } ->
+      Printf.sprintf "RCV %d %d %s" tid msg (reason_to_string reason)
+  | Event.Start { tid; name } -> Printf.sprintf "START %d %s" tid (escape name)
+  | Event.Exit { tid } -> Printf.sprintf "EXIT %d" tid
+
+let int_field ~line s =
+  match int_of_string_opt s with Some n -> n | None -> err line "bad integer %S" s
+
+let event_of_string ~line str : Event.t =
+  match String.split_on_char ' ' str with
+  | [ "MEM"; tid; access; loc; site; locks ] ->
+      Event.Mem
+        {
+          tid = int_field ~line tid;
+          access = access_of_string ~line access;
+          loc = loc_of_string ~line loc;
+          site = site_of_string ~line site;
+          lockset = lockset_of_string ~line locks;
+        }
+  | [ "ACQ"; tid; lock; site ] ->
+      Event.Acquire
+        {
+          tid = int_field ~line tid;
+          lock = int_field ~line lock;
+          site = site_of_string ~line site;
+        }
+  | [ "REL"; tid; lock; site ] ->
+      Event.Release
+        {
+          tid = int_field ~line tid;
+          lock = int_field ~line lock;
+          site = site_of_string ~line site;
+        }
+  | [ "SND"; tid; msg; reason ] ->
+      Event.Snd
+        {
+          tid = int_field ~line tid;
+          msg = int_field ~line msg;
+          reason = reason_of_string ~line reason;
+        }
+  | [ "RCV"; tid; msg; reason ] ->
+      Event.Rcv
+        {
+          tid = int_field ~line tid;
+          msg = int_field ~line msg;
+          reason = reason_of_string ~line reason;
+        }
+  | [ "START"; tid; name ] ->
+      Event.Start { tid = int_field ~line tid; name = unescape ~line name }
+  | [ "EXIT"; tid ] -> Event.Exit { tid = int_field ~line tid }
+  | _ -> err line "unrecognized event %S" str
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                              *)
+
+let header = "rf-trace v1"
+
+let trace_to_string (tr : Trace.t) =
+  let buf = Buffer.create (64 * Trace.length tr) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Trace.iter
+    (fun ev ->
+      Buffer.add_string buf (event_to_string ev);
+      Buffer.add_char buf '\n')
+    tr;
+  Buffer.contents buf
+
+let trace_of_string s : Trace.t =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | hd :: rest when String.trim hd = header ->
+      let tr = Trace.create () in
+      List.iteri
+        (fun i line ->
+          let line_no = i + 2 in
+          if String.trim line <> "" then Trace.add tr (event_of_string ~line:line_no line))
+        rest;
+      tr
+  | hd :: _ -> err 1 "bad header %S (expected %S)" hd header
+  | [] -> err 1 "empty trace"
+
+let save_trace path tr =
+  let oc = open_out_bin path in
+  output_string oc (trace_to_string tr);
+  close_out oc
+
+let load_trace path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  trace_of_string s

@@ -1,0 +1,21 @@
+(** Textual (de)serialization of events and traces: archive a
+    failure-inducing schedule next to its seed, or analyze a dumped trace
+    offline.  [trace_of_string (trace_to_string t)] equals [t]
+    (property-tested); sites are re-interned on load. *)
+
+open Rf_util
+
+exception Parse_error of int * string
+(** (line number, message). *)
+
+val event_to_string : Event.t -> string
+val event_of_string : line:int -> string -> Event.t
+
+val site_to_string : Site.t -> string
+val loc_to_string : Loc.t -> string
+
+val trace_to_string : Trace.t -> string
+val trace_of_string : string -> Trace.t
+
+val save_trace : string -> Trace.t -> unit
+val load_trace : string -> Trace.t

@@ -1,0 +1,61 @@
+(** Recorded execution traces.
+
+    A trace is the event sequence of one run.  Traces serve two purposes:
+    offline race detection (phase 1 feeds a trace to the hybrid detector)
+    and replay validation — the paper's replay feature re-runs with the same
+    seed and must reproduce the identical schedule, which we check by
+    comparing trace fingerprints. *)
+
+type t = { mutable events : Event.t array; mutable len : int }
+
+let create ?(capacity = 256) () = { events = Array.make (max 1 capacity) (Event.Exit { tid = -1 }); len = 0 }
+
+let length t = t.len
+
+let add t ev =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) ev in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.events.(i))
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec go i = i >= a.len || (Event.equal a.events.(i) b.events.(i) && go (i + 1)) in
+  go 0
+
+(* A cheap order-sensitive fingerprint; collisions are irrelevant for the
+   replay tests (we also offer full [equal]). *)
+let fingerprint t =
+  fold (fun acc ev -> (acc * 1000003) + Hashtbl.hash (Event.to_string ev)) 0 t
+
+let count_mem t = fold (fun n ev -> if Event.is_mem ev then n + 1 else n) 0 t
+let count_sync t = fold (fun n ev -> if Event.is_sync ev then n + 1 else n) 0 t
+
+let pp ppf t = iteri (fun i ev -> Fmt.pf ppf "%4d %a@." i Event.pp ev) t

@@ -1,0 +1,27 @@
+(** Recorded event traces: the input to offline detection and the witness
+    used to verify seed-based replay (two runs with one seed must produce
+    [equal] traces). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val add : t -> Event.t -> unit
+
+val get : t -> int -> Event.t
+(** Raises [Invalid_argument] out of bounds. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val iteri : (int -> Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Event.t list
+
+val equal : t -> t -> bool
+(** Event-by-event equality: the replay check. *)
+
+val fingerprint : t -> int
+(** Cheap order-sensitive digest for quick replay comparisons. *)
+
+val count_mem : t -> int
+val count_sync : t -> int
+val pp : Format.formatter -> t -> unit

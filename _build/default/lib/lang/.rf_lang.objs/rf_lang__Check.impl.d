@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Fmt Hashtbl List Option Token

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Api Ast Fmt Hashtbl List Lock Op Option Rf_runtime Rf_util Site Token

@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Ast Check Filename Fmt Interp Lexer Parser Printexc Printf Token

@@ -1,0 +1,116 @@
+(** Abstract syntax of RFL.
+
+    Every shared-memory access and synchronization statement carries its
+    source position, which becomes the statement {!Rf_util.Site.t} under
+    which races are detected and reported — the DSL analogue of the paper's
+    statement numbering in Figures 1 and 2. *)
+
+type pos = Token.pos
+
+type ty = Tint | Tbool | Tstring
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tstring -> Fmt.string ppf "string"
+
+let ty_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tstring, Tstring -> true
+  | _ -> false
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Mod -> "%"
+    | Eq -> "=="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | And -> "&&"
+    | Or -> "||")
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Eint of int
+  | Ebool of bool
+  | Estring of string
+  | Evar of string  (** local or shared: resolved by the checker *)
+  | Eindex of string * expr  (** shared array element *)
+  | Ebin of binop * expr * expr
+  | Eneg of expr
+  | Enot of expr
+  | Ecall of string * expr list
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Sassign of string * expr  (** x = e *)
+  | Sindex_assign of string * expr * expr  (** a[i] = e *)
+  | Slet of string * expr  (** let x = e *)
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sfor of stmt * expr * stmt * block  (** for (init; cond; step) *)
+  | Ssync of string * block  (** sync (L) { ... } *)
+  | Slock of string
+  | Sunlock of string
+  | Swait of string
+  | Snotify of string
+  | Snotify_all of string
+  | Ssleep
+  | Sassert of expr
+  | Serror of string
+  | Sprint of expr
+  | Sskip
+  | Sreturn of expr option
+  | Scall of string * expr list  (** expression statement: f(...) *)
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  fparams : (string * ty) list;
+  fret : ty option;
+  fbody : block;
+  fpos : pos;
+}
+
+type shared_decl = {
+  gname : string;
+  gty : ty;
+  ginit : expr;  (** checked to be a constant *)
+  garray : int option;  (** Some n for [shared int[n] a;] *)
+  gpos : pos;
+}
+
+type thread_decl = { tname : string; tbody : block; tpos : pos }
+
+type program = {
+  file : string;
+  shareds : shared_decl list;
+  locks : (string * pos) list;
+  funcs : func list;
+  threads : thread_decl list;
+}

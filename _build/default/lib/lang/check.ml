@@ -1,0 +1,244 @@
+(** Static checker for RFL: name resolution and monomorphic type checking.
+
+    Rejects the usual suspects before any execution: unknown identifiers,
+    arity/type mismatches, non-boolean conditions, assignment through the
+    wrong shape (scalar vs array), [return] outside functions, and
+    non-constant initializers for shared globals (globals are initialized
+    before the threads start, so their initializers must not read other
+    shared state). *)
+
+exception Check_error of Token.pos * string
+
+let err pos fmt = Fmt.kstr (fun m -> raise (Check_error (pos, m))) fmt
+
+type global_info = { g_ty : Ast.ty; g_array : bool }
+
+type env = {
+  globals : (string, global_info) Hashtbl.t;
+  locks : (string, unit) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable scopes : (string, Ast.ty) Hashtbl.t list;  (** innermost first *)
+  in_function : Ast.func option;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let find_local env name =
+  List.find_map (fun tbl -> Hashtbl.find_opt tbl name) env.scopes
+
+let declare_local env pos name ty =
+  match env.scopes with
+  | [] -> assert false
+  | tbl :: _ ->
+      if Hashtbl.mem tbl name then err pos "duplicate local variable %s" name;
+      Hashtbl.add tbl name ty
+
+let lock_exists env pos name =
+  if not (Hashtbl.mem env.locks name) then err pos "unknown lock %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec type_of_expr env (e : Ast.expr) : Ast.ty =
+  match e.Ast.e with
+  | Ast.Eint _ -> Ast.Tint
+  | Ast.Ebool _ -> Ast.Tbool
+  | Ast.Estring _ -> Ast.Tstring
+  | Ast.Evar name -> (
+      match find_local env name with
+      | Some ty -> ty
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some { g_array = true; _ } ->
+              err e.Ast.epos "array %s used without an index" name
+          | Some { g_ty; _ } -> g_ty
+          | None -> err e.Ast.epos "unknown variable %s" name))
+  | Ast.Eindex (name, idx) -> (
+      check_ty env idx Ast.Tint;
+      match Hashtbl.find_opt env.globals name with
+      | Some { g_array = true; g_ty } -> g_ty
+      | Some { g_array = false; _ } -> err e.Ast.epos "%s is not an array" name
+      | None -> err e.Ast.epos "unknown array %s" name)
+  | Ast.Ebin (op, a, b) -> (
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          check_ty env a Ast.Tint;
+          check_ty env b Ast.Tint;
+          Ast.Tint
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          check_ty env a Ast.Tint;
+          check_ty env b Ast.Tint;
+          Ast.Tbool
+      | Ast.Eq | Ast.Neq ->
+          let ta = type_of_expr env a and tb = type_of_expr env b in
+          if not (Ast.ty_equal ta tb) then
+            err e.Ast.epos "cannot compare %a with %a" Ast.pp_ty ta Ast.pp_ty tb;
+          Ast.Tbool
+      | Ast.And | Ast.Or ->
+          check_ty env a Ast.Tbool;
+          check_ty env b Ast.Tbool;
+          Ast.Tbool)
+  | Ast.Eneg a ->
+      check_ty env a Ast.Tint;
+      Ast.Tint
+  | Ast.Enot a ->
+      check_ty env a Ast.Tbool;
+      Ast.Tbool
+  | Ast.Ecall (name, args) -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> err e.Ast.epos "unknown function %s" name
+      | Some f ->
+          check_call env e.Ast.epos f args;
+          (match f.Ast.fret with
+          | Some ty -> ty
+          | None -> err e.Ast.epos "function %s returns no value" name))
+
+and check_call env pos (f : Ast.func) args =
+  let np = List.length f.Ast.fparams and na = List.length args in
+  if np <> na then err pos "%s expects %d argument(s) but got %d" f.Ast.fname np na;
+  List.iter2 (fun (_, ty) arg -> check_ty env arg ty) f.Ast.fparams args
+
+and check_ty env e ty =
+  let t = type_of_expr env e in
+  if not (Ast.ty_equal t ty) then
+    err e.Ast.epos "expected %a but this expression has type %a" Ast.pp_ty ty Ast.pp_ty
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec check_stmt env (st : Ast.stmt) =
+  let pos = st.Ast.spos in
+  match st.Ast.s with
+  | Ast.Sassign (name, e) -> (
+      match find_local env name with
+      | Some ty -> check_ty env e ty
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some { g_array = true; _ } -> err pos "cannot assign whole array %s" name
+          | Some { g_ty; _ } -> check_ty env e g_ty
+          | None -> err pos "unknown variable %s" name))
+  | Ast.Sindex_assign (name, idx, e) -> (
+      check_ty env idx Ast.Tint;
+      match Hashtbl.find_opt env.globals name with
+      | Some { g_array = true; g_ty } -> check_ty env e g_ty
+      | Some { g_array = false; _ } -> err pos "%s is not an array" name
+      | None -> err pos "unknown array %s" name)
+  | Ast.Slet (name, e) ->
+      let ty = type_of_expr env e in
+      declare_local env pos name ty
+  | Ast.Sif (cond, then_, else_) ->
+      check_ty env cond Ast.Tbool;
+      check_block env then_;
+      Option.iter (check_block env) else_
+  | Ast.Swhile (cond, body) ->
+      check_ty env cond Ast.Tbool;
+      check_block env body
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope env;
+      check_stmt env init;
+      check_ty env cond Ast.Tbool;
+      check_stmt env step;
+      check_block env body;
+      pop_scope env
+  | Ast.Ssync (l, body) ->
+      lock_exists env pos l;
+      check_block env body
+  | Ast.Slock l | Ast.Sunlock l | Ast.Swait l | Ast.Snotify l | Ast.Snotify_all l ->
+      lock_exists env pos l
+  | Ast.Ssleep | Ast.Sskip -> ()
+  | Ast.Sassert e -> check_ty env e Ast.Tbool
+  | Ast.Serror _ -> ()
+  | Ast.Sprint e -> ignore (type_of_expr env e)
+  | Ast.Sreturn eo -> (
+      match env.in_function with
+      | None -> err pos "return outside of a function"
+      | Some f -> (
+          match (f.Ast.fret, eo) with
+          | None, None -> ()
+          | None, Some _ -> err pos "function %s returns no value" f.Ast.fname
+          | Some _, None ->
+              err pos "function %s must return a value" f.Ast.fname
+          | Some ty, Some e -> check_ty env e ty))
+  | Ast.Scall (name, args) -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> err pos "unknown function %s" name
+      | Some f -> check_call env pos f args)
+
+and check_block env block =
+  push_scope env;
+  List.iter (check_stmt env) block;
+  pop_scope env
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+
+let constant_value (e : Ast.expr) : Ast.expr option =
+  (* shared initializers: literals, possibly negated *)
+  match e.Ast.e with
+  | Ast.Eint _ | Ast.Ebool _ -> Some e
+  | Ast.Eneg { Ast.e = Ast.Eint n; _ } -> Some { e with Ast.e = Ast.Eint (-n) }
+  | _ -> None
+
+let check (prog : Ast.program) : unit =
+  let globals = Hashtbl.create 16 in
+  let locks = Hashtbl.create 8 in
+  let funcs = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Ast.shared_decl) ->
+      if Hashtbl.mem globals g.Ast.gname then
+        err g.Ast.gpos "duplicate shared variable %s" g.Ast.gname;
+      (match g.Ast.garray with
+      | Some n when n <= 0 -> err g.Ast.gpos "array %s must have positive size" g.Ast.gname
+      | _ -> ());
+      (match constant_value g.Ast.ginit with
+      | None ->
+          err g.Ast.gpos "initializer of shared %s must be a constant literal"
+            g.Ast.gname
+      | Some c -> (
+          match (c.Ast.e, g.Ast.gty) with
+          | Ast.Eint _, Ast.Tint | Ast.Ebool _, Ast.Tbool -> ()
+          | _ ->
+              err g.Ast.gpos "initializer of %s does not match its type %a"
+                g.Ast.gname Ast.pp_ty g.Ast.gty));
+      Hashtbl.add globals g.Ast.gname
+        { g_ty = g.Ast.gty; g_array = g.Ast.garray <> None })
+    prog.Ast.shareds;
+  List.iter
+    (fun (name, pos) ->
+      if Hashtbl.mem locks name then err pos "duplicate lock %s" name;
+      Hashtbl.add locks name ())
+    prog.Ast.locks;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.Ast.fname then
+        err f.Ast.fpos "duplicate function %s" f.Ast.fname;
+      Hashtbl.add funcs f.Ast.fname f)
+    prog.Ast.funcs;
+  let thread_names = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Ast.thread_decl) ->
+      if Hashtbl.mem thread_names t.Ast.tname then
+        err t.Ast.tpos "duplicate thread %s" t.Ast.tname;
+      Hashtbl.add thread_names t.Ast.tname ())
+    prog.Ast.threads;
+  if prog.Ast.threads = [] then
+    err { Token.line = 1; col = 1 } "program declares no threads";
+  (* check function bodies *)
+  List.iter
+    (fun (f : Ast.func) ->
+      let env =
+        { globals; locks; funcs; scopes = []; in_function = Some f }
+      in
+      push_scope env;
+      List.iter (fun (p, ty) -> declare_local env f.Ast.fpos p ty) f.Ast.fparams;
+      check_block env f.Ast.fbody;
+      pop_scope env)
+    prog.Ast.funcs;
+  (* check thread bodies *)
+  List.iter
+    (fun (t : Ast.thread_decl) ->
+      let env = { globals; locks; funcs; scopes = []; in_function = None } in
+      check_block env t.Ast.tbody)
+    prog.Ast.threads

@@ -1,0 +1,10 @@
+(** Static checker for RFL: name resolution plus monomorphic type checking.
+    Rejects unknown identifiers, shape errors (scalar vs array), arity and
+    type mismatches, non-boolean conditions, [return] outside functions,
+    non-constant [shared] initializers, duplicates, and thread-less
+    programs. *)
+
+exception Check_error of Token.pos * string
+
+val check : Ast.program -> unit
+(** Raises {!Check_error} on the first violation. *)

@@ -1,0 +1,262 @@
+(** RFL interpreter: lowers a checked program onto the instrumented
+    runtime.
+
+    Every access to a [shared] variable or array element performs the
+    corresponding {!Rf_runtime.Api.Cell}/{!Rf_runtime.Api.Sarray} operation
+    with a {!Rf_util.Site.t} derived from the source position, so the
+    engine, detectors and RaceFuzzer see DSL statements exactly like
+    embedded model code — races are reported as [file:line:col].
+    Thread-local [let] variables are plain OCaml state: invisible to the
+    scheduler, like locals in the paper's 3-address-code model (§2.1,
+    "a statement in the program can access at most one shared object"). *)
+
+open Rf_util
+open Rf_runtime
+
+type value = Vint of int | Vbool of bool | Vstr of string
+
+let pp_value ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vbool b -> Fmt.bool ppf b
+  | Vstr s -> Fmt.string ppf s
+
+exception Return_exn of value option
+
+type global = Gcell of value Api.Cell.t | Garr of value Api.Sarray.t
+
+type ctx = {
+  prog : Ast.program;
+  globals : (string, global) Hashtbl.t;
+  locks : (string, Lock.t) Hashtbl.t;
+  print : string -> unit;
+  mutable frames : (string, value) Hashtbl.t list;  (** current thread's scopes *)
+}
+
+let site_of ctx pos label =
+  Site.make ~file:ctx.prog.Ast.file ~line:pos.Token.line ~col:pos.Token.col label
+
+let default_of_ty = function
+  | Ast.Tint -> Vint 0
+  | Ast.Tbool -> Vbool false
+  | Ast.Tstring -> Vstr ""
+
+let value_of_const (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Eint n -> Vint n
+  | Ast.Ebool b -> Vbool b
+  | Ast.Eneg { Ast.e = Ast.Eint n; _ } -> Vint (-n)
+  | _ -> assert false (* enforced by Check *)
+
+let find_local ctx name =
+  List.find_map
+    (fun tbl -> if Hashtbl.mem tbl name then Some tbl else None)
+    ctx.frames
+
+let as_int pos = function
+  | Vint n -> n
+  | v -> raise (Api.Model_error (Fmt.str "expected int at %a, got %a" Token.pp_pos pos pp_value v))
+
+let as_bool pos = function
+  | Vbool b -> b
+  | v ->
+      raise (Api.Model_error (Fmt.str "expected bool at %a, got %a" Token.pp_pos pos pp_value v))
+
+let lock_of ctx name = Hashtbl.find ctx.locks name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+
+let rec eval ctx (e : Ast.expr) : value =
+  let pos = e.Ast.epos in
+  match e.Ast.e with
+  | Ast.Eint n -> Vint n
+  | Ast.Ebool b -> Vbool b
+  | Ast.Estring s -> Vstr s
+  | Ast.Evar name -> (
+      match find_local ctx name with
+      | Some tbl -> Hashtbl.find tbl name
+      | None -> (
+          match Hashtbl.find ctx.globals name with
+          | Gcell c -> Api.Cell.read ~site:(site_of ctx pos (name ^ "(read)")) c
+          | Garr _ -> assert false))
+  | Ast.Eindex (name, idx) -> (
+      let i = as_int pos (eval ctx idx) in
+      match Hashtbl.find ctx.globals name with
+      | Garr a ->
+          Api.Sarray.get ~site:(site_of ctx pos (Fmt.str "%s[](read)" name)) a i
+      | Gcell _ -> assert false)
+  | Ast.Ebin (op, a, b) -> eval_binop ctx pos op a b
+  | Ast.Eneg a -> Vint (-as_int pos (eval ctx a))
+  | Ast.Enot a -> Vbool (not (as_bool pos (eval ctx a)))
+  | Ast.Ecall (name, args) -> (
+      match call ctx pos name args with
+      | Some v -> v
+      | None -> assert false (* checker guarantees a value *))
+
+and eval_binop ctx pos op a b =
+  match op with
+  | Ast.And ->
+      (* short-circuit, like Java && *)
+      if as_bool pos (eval ctx a) then Vbool (as_bool pos (eval ctx b)) else Vbool false
+  | Ast.Or ->
+      if as_bool pos (eval ctx a) then Vbool true else Vbool (as_bool pos (eval ctx b))
+  | _ -> (
+      let va = eval ctx a in
+      let vb = eval ctx b in
+      match op with
+      | Ast.Add -> Vint (as_int pos va + as_int pos vb)
+      | Ast.Sub -> Vint (as_int pos va - as_int pos vb)
+      | Ast.Mul -> Vint (as_int pos va * as_int pos vb)
+      | Ast.Div ->
+          let d = as_int pos vb in
+          if d = 0 then
+            raise (Api.Model_error (Fmt.str "division by zero at %a" Token.pp_pos pos));
+          Vint (as_int pos va / d)
+      | Ast.Mod ->
+          let d = as_int pos vb in
+          if d = 0 then
+            raise (Api.Model_error (Fmt.str "modulo by zero at %a" Token.pp_pos pos));
+          Vint (as_int pos va mod d)
+      | Ast.Lt -> Vbool (as_int pos va < as_int pos vb)
+      | Ast.Le -> Vbool (as_int pos va <= as_int pos vb)
+      | Ast.Gt -> Vbool (as_int pos va > as_int pos vb)
+      | Ast.Ge -> Vbool (as_int pos va >= as_int pos vb)
+      | Ast.Eq -> Vbool (va = vb)
+      | Ast.Neq -> Vbool (va <> vb)
+      | Ast.And | Ast.Or -> assert false)
+
+and call ctx pos name args : value option =
+  let f =
+    match List.find_opt (fun (f : Ast.func) -> f.Ast.fname = name) ctx.prog.Ast.funcs with
+    | Some f -> f
+    | None -> raise (Api.Model_error (Fmt.str "unknown function %s at %a" name Token.pp_pos pos))
+  in
+  let argv = List.map (eval ctx) args in
+  (* function-entry safepoint: unbounded local recursion must still yield *)
+  Op.perform Op.Pause;
+  let frame = Hashtbl.create 8 in
+  List.iter2 (fun (p, _) v -> Hashtbl.replace frame p v) f.Ast.fparams argv;
+  let saved = ctx.frames in
+  ctx.frames <- [ frame ];
+  let restore () = ctx.frames <- saved in
+  match exec_block ctx f.Ast.fbody with
+  | () ->
+      restore ();
+      (match f.Ast.fret with
+      | None -> None
+      | Some ty ->
+          (* fell off the end of a value-returning function *)
+          ignore ty;
+          raise
+            (Api.Model_error
+               (Fmt.str "function %s ended without returning a value" name)))
+  | exception Return_exn v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+
+and exec ctx (st : Ast.stmt) : unit =
+  let pos = st.Ast.spos in
+  match st.Ast.s with
+  | Ast.Sassign (name, e) -> (
+      let v = eval ctx e in
+      match find_local ctx name with
+      | Some tbl -> Hashtbl.replace tbl name v
+      | None -> (
+          match Hashtbl.find ctx.globals name with
+          | Gcell c -> Api.Cell.write ~site:(site_of ctx pos (name ^ "=")) c v
+          | Garr _ -> assert false))
+  | Ast.Sindex_assign (name, idx, e) -> (
+      let i = as_int pos (eval ctx idx) in
+      let v = eval ctx e in
+      match Hashtbl.find ctx.globals name with
+      | Garr a -> Api.Sarray.set ~site:(site_of ctx pos (Fmt.str "%s[]=" name)) a i v
+      | Gcell _ -> assert false)
+  | Ast.Slet (name, e) -> (
+      let v = eval ctx e in
+      match ctx.frames with
+      | tbl :: _ -> Hashtbl.replace tbl name v
+      | [] -> assert false)
+  | Ast.Sif (cond, then_, else_) ->
+      if as_bool pos (eval ctx cond) then exec_block ctx then_
+      else Option.iter (exec_block ctx) else_
+  | Ast.Swhile (cond, body) ->
+      while as_bool pos (eval ctx cond) do
+        exec_block ctx body;
+        (* loop back-edge safepoint: a pure-local loop must still yield *)
+        Op.perform Op.Pause
+      done
+  | Ast.Sfor (init, cond, step, body) ->
+      ctx.frames <- Hashtbl.create 4 :: ctx.frames;
+      exec ctx init;
+      while as_bool pos (eval ctx cond) do
+        exec_block ctx body;
+        exec ctx step;
+        Op.perform Op.Pause
+      done;
+      ctx.frames <- List.tl ctx.frames
+  | Ast.Ssync (l, body) ->
+      Api.sync ~site:(site_of ctx pos (Fmt.str "sync(%s)" l)) (lock_of ctx l) (fun () ->
+          exec_block ctx body)
+  | Ast.Slock l -> Api.lock ~site:(site_of ctx pos (Fmt.str "lock(%s)" l)) (lock_of ctx l)
+  | Ast.Sunlock l ->
+      Api.unlock ~site:(site_of ctx pos (Fmt.str "unlock(%s)" l)) (lock_of ctx l)
+  | Ast.Swait l -> Api.wait ~site:(site_of ctx pos (Fmt.str "wait(%s)" l)) (lock_of ctx l)
+  | Ast.Snotify l ->
+      Api.notify ~site:(site_of ctx pos (Fmt.str "notify(%s)" l)) (lock_of ctx l)
+  | Ast.Snotify_all l ->
+      Api.notify_all ~site:(site_of ctx pos (Fmt.str "notifyall(%s)" l)) (lock_of ctx l)
+  | Ast.Ssleep -> Api.sleep ~site:(site_of ctx pos "sleep") ()
+  | Ast.Sassert e ->
+      if not (as_bool pos (eval ctx e)) then
+        raise
+          (Api.Model_error (Fmt.str "assertion failed at %a" Token.pp_pos pos))
+  | Ast.Serror msg -> raise (Api.Model_error msg)
+  | Ast.Sprint e -> ctx.print (Fmt.str "%a" pp_value (eval ctx e))
+  | Ast.Sskip -> ()
+  | Ast.Sreturn eo -> raise (Return_exn (Option.map (eval ctx) eo))
+  | Ast.Scall (name, args) -> ignore (call ctx pos name args)
+
+and exec_block ctx block =
+  ctx.frames <- Hashtbl.create 8 :: ctx.frames;
+  List.iter (exec ctx) block;
+  ctx.frames <- List.tl ctx.frames
+
+(* ------------------------------------------------------------------ *)
+(* Program instantiation                                               *)
+
+(** Build the [unit -> unit] main for one run: allocates globals and locks,
+    forks every declared thread, and joins them all.  Each thread gets its
+    own [ctx] copy so frame stacks don't interfere. *)
+let main_of ?(print = print_endline) (prog : Ast.program) () : unit =
+  let globals = Hashtbl.create 16 in
+  let locks = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Ast.shared_decl) ->
+      let init = value_of_const g.Ast.ginit in
+      let slot =
+        match g.Ast.garray with
+        | None -> Gcell (Api.Cell.global g.Ast.gname init)
+        | Some n ->
+            ignore (default_of_ty g.Ast.gty);
+            Garr (Api.Sarray.make n init)
+      in
+      Hashtbl.replace globals g.Ast.gname slot)
+    prog.Ast.shareds;
+  List.iter
+    (fun (name, _) -> Hashtbl.replace locks name (Lock.create ~name ()))
+    prog.Ast.locks;
+  let handles =
+    List.map
+      (fun (t : Ast.thread_decl) ->
+        Api.fork ~name:t.Ast.tname (fun () ->
+            let ctx = { prog; globals; locks; print; frames = [] } in
+            exec_block ctx t.Ast.tbody))
+      prog.Ast.threads
+  in
+  List.iter Api.join handles

@@ -1,0 +1,15 @@
+(** RFL interpreter: lowers a checked program onto the instrumented
+    runtime.  Shared accesses become {!Rf_runtime.Api} operations whose
+    sites carry the source position; [let]-bound locals are plain OCaml
+    state, invisible to the scheduler (like locals in the paper's
+    3-address-code model).  Loop back-edges and function entries perform
+    event-free safepoints so local-only computation cannot starve the
+    cooperative scheduler. *)
+
+type value = Vint of int | Vbool of bool | Vstr of string
+
+val pp_value : Format.formatter -> value -> unit
+
+val main_of : ?print:(string -> unit) -> Ast.program -> unit -> unit
+(** Allocate globals/locks, fork every declared thread, join them all.
+    Must run inside {!Rf_runtime.Engine.run}. *)

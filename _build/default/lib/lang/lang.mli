@@ -1,0 +1,30 @@
+(** Front-end for RFL, the little concurrent language: parse, statically
+    check, and package programs as engine-runnable mains.
+
+    RFL exists so closed litmus programs — the paper's Figure 1 / Figure 2
+    style — can be written as source files with statement-level source
+    positions, which become the {!Rf_util.Site.t}s that races are reported
+    at. *)
+
+exception Error of string
+(** Lexical, syntax, and static errors, rendered as
+    ["file:line:col: message"]. *)
+
+val parse_string : ?file:string -> string -> Ast.program
+(** Parse only. *)
+
+val load_string : ?file:string -> string -> Ast.program
+(** Parse and statically check (names, types, arities, constant
+    initializers). *)
+
+val load_file : string -> Ast.program
+(** [load_string] on a file's contents; the basename becomes the site
+    file. *)
+
+val program : ?print:(string -> unit) -> Ast.program -> unit -> unit
+(** The runnable main for {!Rf_runtime.Engine.run} /
+    {!Racefuzzer.Fuzzer}: allocates globals and locks, forks every
+    declared thread, joins them all.  [print] receives the output of
+    [print] statements (default: stdout). *)
+
+val program_of_string : ?file:string -> ?print:(string -> unit) -> string -> unit -> unit

@@ -1,0 +1,177 @@
+(** Hand-written lexer for RFL (menhir/ocamllex are deliberately not used:
+    the toolchain in this environment ships neither, and the language is
+    small enough for a direct scanner with precise positions). *)
+
+exception Lex_error of Token.pos * string
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create src = { src; off = 0; line = 1; col = 1 }
+
+let pos lx = { Token.line = lx.line; col = lx.col }
+
+let error lx fmt = Fmt.kstr (fun m -> raise (Lex_error (pos lx, m))) fmt
+
+let peek lx = if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let peek2 lx =
+  if lx.off + 1 < String.length lx.src then Some lx.src.[lx.off + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.off <- lx.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match (peek lx, peek2 lx) with
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | Some _, _ ->
+            advance lx;
+            to_close ()
+        | None, _ -> error lx "unterminated block comment"
+      in
+      to_close ();
+      skip_ws lx
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.off in
+  while match peek lx with Some c when is_digit c -> true | _ -> false do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.off - start) in
+  match int_of_string_opt s with
+  | Some n -> Token.INT n
+  | None -> error lx "integer literal %s out of range" s
+
+let lex_ident lx =
+  let start = lx.off in
+  while match peek lx with Some c when is_alnum c -> true | _ -> false do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.off - start) in
+  match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+let lex_string lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | Some '"' ->
+        advance lx;
+        Token.STRING (Buffer.contents buf)
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance lx;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance lx;
+            go ()
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+        | Some c -> error lx "invalid escape \\%c" c
+        | None -> error lx "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+    | None -> error lx "unterminated string literal"
+  in
+  go ()
+
+(** Next token with its starting position. *)
+let next lx : Token.t * Token.pos =
+  skip_ws lx;
+  let p = pos lx in
+  let tok =
+    match peek lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_alpha c -> lex_ident lx
+    | Some '"' -> lex_string lx
+    | Some c -> (
+        let two tok =
+          advance lx;
+          advance lx;
+          tok
+        in
+        let one tok =
+          advance lx;
+          tok
+        in
+        match (c, peek2 lx) with
+        | '-', Some '>' -> two Token.ARROW
+        | '=', Some '=' -> two Token.EQ
+        | '!', Some '=' -> two Token.NEQ
+        | '<', Some '=' -> two Token.LE
+        | '>', Some '=' -> two Token.GE
+        | '&', Some '&' -> two Token.AND
+        | '|', Some '|' -> two Token.OR
+        | '(', _ -> one Token.LPAREN
+        | ')', _ -> one Token.RPAREN
+        | '{', _ -> one Token.LBRACE
+        | '}', _ -> one Token.RBRACE
+        | '[', _ -> one Token.LBRACKET
+        | ']', _ -> one Token.RBRACKET
+        | ';', _ -> one Token.SEMI
+        | ',', _ -> one Token.COMMA
+        | '=', _ -> one Token.ASSIGN
+        | '+', _ -> one Token.PLUS
+        | '-', _ -> one Token.MINUS
+        | '*', _ -> one Token.STAR
+        | '/', _ -> one Token.SLASH
+        | '%', _ -> one Token.PERCENT
+        | '<', _ -> one Token.LT
+        | '>', _ -> one Token.GT
+        | '!', _ -> one Token.NOT
+        | _ -> error lx "unexpected character %C" c)
+  in
+  (tok, p)
+
+(** Tokenize a whole source string. *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let tok, p = next lx in
+    if tok = Token.EOF then List.rev ((tok, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,14 @@
+(** Hand-written lexer for RFL (no ocamllex/menhir in this environment).
+    Tracks line/column positions; supports [//] and [/* */] comments and
+    escaped string literals. *)
+
+exception Lex_error of Token.pos * string
+
+type t
+
+val create : string -> t
+val next : t -> Token.t * Token.pos
+(** Next token and its starting position; returns [EOF] at end of input. *)
+
+val tokenize : string -> (Token.t * Token.pos) list
+(** Whole input, ending with [EOF].  Raises {!Lex_error}. *)

@@ -1,0 +1,426 @@
+(** Recursive-descent parser for RFL.
+
+    Grammar sketch (';'-terminated statements, C-like expressions):
+
+    {v
+      program   ::= decl*
+      decl      ::= 'shared' ty ('[' INT ']')? IDENT ('=' expr)? ';'
+                  | 'lock' IDENT ';'
+                  | 'def' IDENT '(' params ')' ('->' ty)? block
+                  | 'thread' IDENT block
+      stmt      ::= IDENT '=' expr ';'            | IDENT '[' expr ']' '=' expr ';'
+                  | 'let' IDENT '=' expr ';'      | 'if' '(' expr ')' block ('else' (block|if-stmt))?
+                  | 'while' '(' expr ')' block    | 'for' '(' simple ';' expr ';' simple ')' block
+                  | 'sync' '(' IDENT ')' block    | 'lock' '(' IDENT ')' ';'
+                  | 'unlock' '(' IDENT ')' ';'    | 'wait' '(' IDENT ')' ';'
+                  | 'notify' '(' IDENT ')' ';'    | 'notifyall' '(' IDENT ')' ';'
+                  | 'sleep' ';'                   | 'assert' expr ';'
+                  | 'error' STRING ';'            | 'print' expr ';'
+                  | 'skip' ';'                    | 'return' expr? ';'
+                  | IDENT '(' args ')' ';'
+      expr      ::= precedence-climbing over || && == != < <= > >= + - * / % ! unary-
+    v} *)
+
+exception Parse_error of Token.pos * string
+
+type t = {
+  toks : (Token.t * Token.pos) array;
+  mutable idx : int;
+  file : string;
+}
+
+let create ~file src = { toks = Array.of_list (Lexer.tokenize src); idx = 0; file }
+
+let peek p = fst p.toks.(p.idx)
+let peek_pos p = snd p.toks.(p.idx)
+
+let peek2 p =
+  if p.idx + 1 < Array.length p.toks then fst p.toks.(p.idx + 1) else Token.EOF
+
+let error p fmt =
+  Fmt.kstr (fun m -> raise (Parse_error (peek_pos p, m))) fmt
+
+let advance p = if p.idx + 1 < Array.length p.toks then p.idx <- p.idx + 1
+
+let expect p tok =
+  if peek p = tok then advance p
+  else error p "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek p))
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT s ->
+      advance p;
+      s
+  | t -> error p "expected identifier but found %s" (Token.to_string t)
+
+let expect_string p =
+  match peek p with
+  | Token.STRING s ->
+      advance p;
+      s
+  | t -> error p "expected string literal but found %s" (Token.to_string t)
+
+let expect_int p =
+  match peek p with
+  | Token.INT n ->
+      advance p;
+      n
+  | t -> error p "expected integer literal but found %s" (Token.to_string t)
+
+let parse_ty p =
+  match peek p with
+  | Token.INT_T ->
+      advance p;
+      Ast.Tint
+  | Token.BOOL_T ->
+      advance p;
+      Ast.Tbool
+  | t -> error p "expected a type but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+
+let binop_of_token = function
+  | Token.OR -> Some (Ast.Or, 1)
+  | Token.AND -> Some (Ast.And, 2)
+  | Token.EQ -> Some (Ast.Eq, 3)
+  | Token.NEQ -> Some (Ast.Neq, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PLUS -> Some (Ast.Add, 5)
+  | Token.MINUS -> Some (Ast.Sub, 5)
+  | Token.STAR -> Some (Ast.Mul, 6)
+  | Token.SLASH -> Some (Ast.Div, 6)
+  | Token.PERCENT -> Some (Ast.Mod, 6)
+  | _ -> None
+
+let rec parse_expr p = parse_binary p 1
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec go lhs =
+    match binop_of_token (peek p) with
+    | Some (op, prec) when prec >= min_prec ->
+        let pos = peek_pos p in
+        advance p;
+        let rhs = parse_binary p (prec + 1) in
+        go { Ast.e = Ast.Ebin (op, lhs, rhs); epos = pos }
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary p =
+  let pos = peek_pos p in
+  match peek p with
+  | Token.MINUS ->
+      advance p;
+      { Ast.e = Ast.Eneg (parse_unary p); epos = pos }
+  | Token.NOT ->
+      advance p;
+      { Ast.e = Ast.Enot (parse_unary p); epos = pos }
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let pos = peek_pos p in
+  match peek p with
+  | Token.INT n ->
+      advance p;
+      { Ast.e = Ast.Eint n; epos = pos }
+  | Token.TRUE ->
+      advance p;
+      { Ast.e = Ast.Ebool true; epos = pos }
+  | Token.FALSE ->
+      advance p;
+      { Ast.e = Ast.Ebool false; epos = pos }
+  | Token.STRING s ->
+      advance p;
+      { Ast.e = Ast.Estring s; epos = pos }
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | Token.IDENT name -> (
+      advance p;
+      match peek p with
+      | Token.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          { Ast.e = Ast.Ecall (name, args); epos = pos }
+      | Token.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          { Ast.e = Ast.Eindex (name, idx); epos = pos }
+      | _ -> { Ast.e = Ast.Evar name; epos = pos })
+  | t -> error p "expected an expression but found %s" (Token.to_string t)
+
+and parse_args p =
+  if peek p = Token.RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr p in
+      match peek p with
+      | Token.COMMA ->
+          advance p;
+          go (e :: acc)
+      | Token.RPAREN ->
+          advance p;
+          List.rev (e :: acc)
+      | t -> error p "expected ',' or ')' in arguments, found %s" (Token.to_string t)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec parse_block p =
+  expect p Token.LBRACE;
+  let rec go acc =
+    if peek p = Token.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else go (parse_stmt p :: acc)
+  in
+  go []
+
+and mono_paren_ident p kw =
+  (* kw '(' IDENT ')' ';' *)
+  advance p;
+  expect p Token.LPAREN;
+  let name = expect_ident p in
+  expect p Token.RPAREN;
+  expect p Token.SEMI;
+  ignore kw;
+  name
+
+and parse_simple_stmt p =
+  (* assignment / let / call, without the trailing ';' — used by 'for' *)
+  let pos = peek_pos p in
+  match peek p with
+  | Token.LET ->
+      advance p;
+      let name = expect_ident p in
+      expect p Token.ASSIGN;
+      let e = parse_expr p in
+      { Ast.s = Ast.Slet (name, e); spos = pos }
+  | Token.IDENT name -> (
+      advance p;
+      match peek p with
+      | Token.ASSIGN ->
+          advance p;
+          let e = parse_expr p in
+          { Ast.s = Ast.Sassign (name, e); spos = pos }
+      | Token.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          expect p Token.ASSIGN;
+          let e = parse_expr p in
+          { Ast.s = Ast.Sindex_assign (name, idx, e); spos = pos }
+      | Token.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          { Ast.s = Ast.Scall (name, args); spos = pos }
+      | t ->
+          error p "expected '=', '[' or '(' after identifier, found %s"
+            (Token.to_string t))
+  | t -> error p "expected a simple statement, found %s" (Token.to_string t)
+
+and parse_stmt p : Ast.stmt =
+  let pos = peek_pos p in
+  match peek p with
+  | Token.LET | Token.IDENT _ ->
+      let s = parse_simple_stmt p in
+      expect p Token.SEMI;
+      s
+  | Token.IF ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let then_ = parse_block p in
+      let else_ =
+        if peek p = Token.ELSE then begin
+          advance p;
+          if peek p = Token.IF then Some [ parse_stmt p ] else Some (parse_block p)
+        end
+        else None
+      in
+      { Ast.s = Ast.Sif (cond, then_, else_); spos = pos }
+  | Token.WHILE ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let body = parse_block p in
+      { Ast.s = Ast.Swhile (cond, body); spos = pos }
+  | Token.FOR ->
+      advance p;
+      expect p Token.LPAREN;
+      let init = parse_simple_stmt p in
+      expect p Token.SEMI;
+      let cond = parse_expr p in
+      expect p Token.SEMI;
+      let step = parse_simple_stmt p in
+      expect p Token.RPAREN;
+      let body = parse_block p in
+      { Ast.s = Ast.Sfor (init, cond, step, body); spos = pos }
+  | Token.SYNC ->
+      advance p;
+      expect p Token.LPAREN;
+      let name = expect_ident p in
+      expect p Token.RPAREN;
+      let body = parse_block p in
+      { Ast.s = Ast.Ssync (name, body); spos = pos }
+  | Token.LOCK -> { Ast.s = Ast.Slock (mono_paren_ident p "lock"); spos = pos }
+  | Token.UNLOCK -> { Ast.s = Ast.Sunlock (mono_paren_ident p "unlock"); spos = pos }
+  | Token.WAIT -> { Ast.s = Ast.Swait (mono_paren_ident p "wait"); spos = pos }
+  | Token.NOTIFY -> { Ast.s = Ast.Snotify (mono_paren_ident p "notify"); spos = pos }
+  | Token.NOTIFYALL ->
+      { Ast.s = Ast.Snotify_all (mono_paren_ident p "notifyall"); spos = pos }
+  | Token.SLEEP ->
+      advance p;
+      expect p Token.SEMI;
+      { Ast.s = Ast.Ssleep; spos = pos }
+  | Token.ASSERT ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      { Ast.s = Ast.Sassert e; spos = pos }
+  | Token.ERROR_KW ->
+      advance p;
+      let msg = expect_string p in
+      expect p Token.SEMI;
+      { Ast.s = Ast.Serror msg; spos = pos }
+  | Token.PRINT ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      { Ast.s = Ast.Sprint e; spos = pos }
+  | Token.SKIP ->
+      advance p;
+      expect p Token.SEMI;
+      { Ast.s = Ast.Sskip; spos = pos }
+  | Token.RETURN ->
+      advance p;
+      if peek p = Token.SEMI then begin
+        advance p;
+        { Ast.s = Ast.Sreturn None; spos = pos }
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        { Ast.s = Ast.Sreturn (Some e); spos = pos }
+      end
+  | t -> error p "expected a statement but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+let parse_shared p =
+  let pos = peek_pos p in
+  expect p Token.SHARED;
+  let ty = parse_ty p in
+  let garray =
+    if peek p = Token.LBRACKET then begin
+      advance p;
+      let n = expect_int p in
+      expect p Token.RBRACKET;
+      Some n
+    end
+    else None
+  in
+  let name = expect_ident p in
+  let init =
+    if peek p = Token.ASSIGN then begin
+      advance p;
+      parse_expr p
+    end
+    else
+      {
+        Ast.e = (match ty with Ast.Tbool -> Ast.Ebool false | _ -> Ast.Eint 0);
+        epos = pos;
+      }
+  in
+  expect p Token.SEMI;
+  { Ast.gname = name; gty = ty; ginit = init; garray; gpos = pos }
+
+let parse_func p =
+  let pos = peek_pos p in
+  expect p Token.DEF;
+  let name = expect_ident p in
+  expect p Token.LPAREN;
+  let params =
+    if peek p = Token.RPAREN then begin
+      advance p;
+      []
+    end
+    else
+      let rec go acc =
+        let ty = parse_ty p in
+        let pname = expect_ident p in
+        match peek p with
+        | Token.COMMA ->
+            advance p;
+            go ((pname, ty) :: acc)
+        | Token.RPAREN ->
+            advance p;
+            List.rev ((pname, ty) :: acc)
+        | t -> error p "expected ',' or ')' in parameters, found %s" (Token.to_string t)
+      in
+      go []
+  in
+  let ret =
+    if peek p = Token.ARROW then begin
+      advance p;
+      Some (parse_ty p)
+    end
+    else None
+  in
+  let body = parse_block p in
+  { Ast.fname = name; fparams = params; fret = ret; fbody = body; fpos = pos }
+
+let parse_program ~file src : Ast.program =
+  let p = create ~file src in
+  let shareds = ref [] and locks = ref [] and funcs = ref [] and threads = ref [] in
+  let rec go () =
+    match peek p with
+    | Token.EOF -> ()
+    | Token.SHARED ->
+        shareds := parse_shared p :: !shareds;
+        go ()
+    | Token.LOCK when peek2 p <> Token.LPAREN ->
+        (* top-level 'lock L;' is a declaration *)
+        let pos = peek_pos p in
+        advance p;
+        let name = expect_ident p in
+        expect p Token.SEMI;
+        locks := (name, pos) :: !locks;
+        go ()
+    | Token.DEF ->
+        funcs := parse_func p :: !funcs;
+        go ()
+    | Token.THREAD ->
+        let pos = peek_pos p in
+        advance p;
+        let name = expect_ident p in
+        let body = parse_block p in
+        threads := { Ast.tname = name; tbody = body; tpos = pos } :: !threads;
+        go ()
+    | t -> error p "expected a declaration but found %s" (Token.to_string t)
+  in
+  go ();
+  {
+    Ast.file;
+    shareds = List.rev !shareds;
+    locks = List.rev !locks;
+    funcs = List.rev !funcs;
+    threads = List.rev !threads;
+  }

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for RFL: C-like statements and
+    precedence-climbing expressions.  See the grammar sketch in the
+    implementation header. *)
+
+exception Parse_error of Token.pos * string
+
+val parse_program : file:string -> string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

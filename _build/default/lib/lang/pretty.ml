@@ -1,0 +1,203 @@
+(** Pretty-printer for RFL programs.
+
+    Produces valid RFL concrete syntax: [parse (print p)] yields a program
+    structurally equal to [p] up to source positions (checked by the
+    round-trip property tests).  Used by tooling and by the random-program
+    fuzzer to shrink and display counterexamples. *)
+
+let prec_of_binop = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Neq -> 3
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+
+let rec pp_expr_prec min_prec ppf (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Eint n -> if n < 0 then Fmt.pf ppf "(-%d)" (-n) else Fmt.int ppf n
+  | Ast.Ebool b -> Fmt.bool ppf b
+  | Ast.Estring s -> Fmt.pf ppf "%S" s
+  | Ast.Evar x -> Fmt.string ppf x
+  | Ast.Eindex (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_expr_prec 0) i
+  | Ast.Ebin (op, l, r) ->
+      let p = prec_of_binop op in
+      let body ppf () =
+        Fmt.pf ppf "%a %a %a" (pp_expr_prec p) l Ast.pp_binop op (pp_expr_prec (p + 1)) r
+      in
+      if p < min_prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Ast.Eneg a -> Fmt.pf ppf "-%a" (pp_expr_prec 7) a
+  | Ast.Enot a -> Fmt.pf ppf "!%a" (pp_expr_prec 7) a
+  | Ast.Ecall (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") (pp_expr_prec 0)) args
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_stmt ind ppf (st : Ast.stmt) =
+  let pad = String.make ind ' ' in
+  match st.Ast.s with
+  | Ast.Sassign (x, e) -> Fmt.pf ppf "%s%s = %a;" pad x pp_expr e
+  | Ast.Sindex_assign (a, i, e) ->
+      Fmt.pf ppf "%s%s[%a] = %a;" pad a pp_expr i pp_expr e
+  | Ast.Slet (x, e) -> Fmt.pf ppf "%slet %s = %a;" pad x pp_expr e
+  | Ast.Sif (c, t, eo) -> (
+      Fmt.pf ppf "%sif (%a) %a" pad pp_expr c (pp_block ind) t;
+      match eo with
+      | None -> ()
+      | Some e -> Fmt.pf ppf " else %a" (pp_block ind) e)
+  | Ast.Swhile (c, b) -> Fmt.pf ppf "%swhile (%a) %a" pad pp_expr c (pp_block ind) b
+  | Ast.Sfor (init, c, step, b) ->
+      Fmt.pf ppf "%sfor (%a %a; %a) %a" pad (pp_simple_no_pad) init pp_expr c
+        pp_simple_bare step (pp_block ind) b
+  | Ast.Ssync (l, b) -> Fmt.pf ppf "%ssync (%s) %a" pad l (pp_block ind) b
+  | Ast.Slock l -> Fmt.pf ppf "%slock(%s);" pad l
+  | Ast.Sunlock l -> Fmt.pf ppf "%sunlock(%s);" pad l
+  | Ast.Swait l -> Fmt.pf ppf "%swait(%s);" pad l
+  | Ast.Snotify l -> Fmt.pf ppf "%snotify(%s);" pad l
+  | Ast.Snotify_all l -> Fmt.pf ppf "%snotifyall(%s);" pad l
+  | Ast.Ssleep -> Fmt.pf ppf "%ssleep;" pad
+  | Ast.Sassert e -> Fmt.pf ppf "%sassert %a;" pad pp_expr e
+  | Ast.Serror m -> Fmt.pf ppf "%serror %S;" pad m
+  | Ast.Sprint e -> Fmt.pf ppf "%sprint %a;" pad pp_expr e
+  | Ast.Sskip -> Fmt.pf ppf "%sskip;" pad
+  | Ast.Sreturn None -> Fmt.pf ppf "%sreturn;" pad
+  | Ast.Sreturn (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Ast.Scall (f, args) ->
+      Fmt.pf ppf "%s%s(%a);" pad f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+
+(* 'for' header components: a simple statement with trailing ';' (init) or
+   bare (step) and no indentation *)
+and pp_simple_no_pad ppf st =
+  match st.Ast.s with
+  | Ast.Slet (x, e) -> Fmt.pf ppf "let %s = %a;" x pp_expr e
+  | Ast.Sassign (x, e) -> Fmt.pf ppf "%s = %a;" x pp_expr e
+  | Ast.Sindex_assign (a, i, e) -> Fmt.pf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | Ast.Scall (f, args) ->
+      Fmt.pf ppf "%s(%a);" f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | _ -> invalid_arg "Pretty: non-simple statement in for header"
+
+and pp_simple_bare ppf st =
+  match st.Ast.s with
+  | Ast.Slet (x, e) -> Fmt.pf ppf "let %s = %a" x pp_expr e
+  | Ast.Sassign (x, e) -> Fmt.pf ppf "%s = %a" x pp_expr e
+  | Ast.Sindex_assign (a, i, e) -> Fmt.pf ppf "%s[%a] = %a" a pp_expr i pp_expr e
+  | Ast.Scall (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | _ -> invalid_arg "Pretty: non-simple statement in for header"
+
+and pp_block ind ppf (b : Ast.block) =
+  if b = [] then Fmt.pf ppf "{ }"
+  else begin
+    Fmt.pf ppf "{@.";
+    List.iter (fun st -> Fmt.pf ppf "%a@." (pp_stmt (ind + 2)) st) b;
+    Fmt.pf ppf "%s}" (String.make ind ' ')
+  end
+
+let pp_ty = Ast.pp_ty
+
+let pp_program ppf (p : Ast.program) =
+  List.iter
+    (fun (g : Ast.shared_decl) ->
+      match g.Ast.garray with
+      | Some n ->
+          Fmt.pf ppf "shared %a[%d] %s = %a;@." pp_ty g.Ast.gty n g.Ast.gname pp_expr
+            g.Ast.ginit
+      | None -> Fmt.pf ppf "shared %a %s = %a;@." pp_ty g.Ast.gty g.Ast.gname pp_expr g.Ast.ginit)
+    p.Ast.shareds;
+  List.iter (fun (l, _) -> Fmt.pf ppf "lock %s;@." l) p.Ast.locks;
+  List.iter
+    (fun (f : Ast.func) ->
+      Fmt.pf ppf "def %s(%a)%a %a@." f.Ast.fname
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (x, ty) -> Fmt.pf ppf "%a %s" pp_ty ty x))
+        f.Ast.fparams
+        (fun ppf -> function
+          | None -> ()
+          | Some ty -> Fmt.pf ppf " -> %a" pp_ty ty)
+        f.Ast.fret (pp_block 0) f.Ast.fbody)
+    p.Ast.funcs;
+  List.iter
+    (fun (t : Ast.thread_decl) ->
+      Fmt.pf ppf "thread %s %a@." t.Ast.tname (pp_block 0) t.Ast.tbody)
+    p.Ast.threads
+
+let program_to_string p = Fmt.str "%a" pp_program p
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality modulo positions (for round-trip tests)         *)
+
+let rec expr_equal (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.e, b.Ast.e) with
+  | Ast.Eint x, Ast.Eint y -> x = y
+  | Ast.Ebool x, Ast.Ebool y -> x = y
+  | Ast.Estring x, Ast.Estring y -> String.equal x y
+  | Ast.Evar x, Ast.Evar y -> String.equal x y
+  | Ast.Eindex (x, i), Ast.Eindex (y, j) -> String.equal x y && expr_equal i j
+  | Ast.Ebin (o1, l1, r1), Ast.Ebin (o2, l2, r2) ->
+      o1 = o2 && expr_equal l1 l2 && expr_equal r1 r2
+  | Ast.Eneg x, Ast.Eneg y | Ast.Enot x, Ast.Enot y -> expr_equal x y
+  (* printing folds negative literals: -1 prints as (-1) which re-parses as
+     Eneg(Eint 1) or Eint(-1) depending on path; normalize *)
+  | Ast.Eint x, Ast.Eneg { Ast.e = Ast.Eint y; _ } -> x = -y
+  | Ast.Eneg { Ast.e = Ast.Eint x; _ }, Ast.Eint y -> -x = y
+  | Ast.Ecall (f, xs), Ast.Ecall (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 expr_equal xs ys
+  | _ -> false
+
+let rec stmt_equal (a : Ast.stmt) (b : Ast.stmt) =
+  match (a.Ast.s, b.Ast.s) with
+  | Ast.Sassign (x, e), Ast.Sassign (y, f) -> String.equal x y && expr_equal e f
+  | Ast.Sindex_assign (x, i, e), Ast.Sindex_assign (y, j, f) ->
+      String.equal x y && expr_equal i j && expr_equal e f
+  | Ast.Slet (x, e), Ast.Slet (y, f) -> String.equal x y && expr_equal e f
+  | Ast.Sif (c1, t1, e1), Ast.Sif (c2, t2, e2) ->
+      expr_equal c1 c2 && block_equal t1 t2
+      && (match (e1, e2) with
+         | None, None -> true
+         | Some b1, Some b2 -> block_equal b1 b2
+         | _ -> false)
+  | Ast.Swhile (c1, b1), Ast.Swhile (c2, b2) -> expr_equal c1 c2 && block_equal b1 b2
+  | Ast.Sfor (i1, c1, s1, b1), Ast.Sfor (i2, c2, s2, b2) ->
+      stmt_equal i1 i2 && expr_equal c1 c2 && stmt_equal s1 s2 && block_equal b1 b2
+  | Ast.Ssync (l1, b1), Ast.Ssync (l2, b2) -> String.equal l1 l2 && block_equal b1 b2
+  | Ast.Slock a, Ast.Slock b
+  | Ast.Sunlock a, Ast.Sunlock b
+  | Ast.Swait a, Ast.Swait b
+  | Ast.Snotify a, Ast.Snotify b
+  | Ast.Snotify_all a, Ast.Snotify_all b ->
+      String.equal a b
+  | Ast.Ssleep, Ast.Ssleep | Ast.Sskip, Ast.Sskip -> true
+  | Ast.Sassert e, Ast.Sassert f | Ast.Sprint e, Ast.Sprint f -> expr_equal e f
+  | Ast.Serror m, Ast.Serror n -> String.equal m n
+  | Ast.Sreturn None, Ast.Sreturn None -> true
+  | Ast.Sreturn (Some e), Ast.Sreturn (Some f) -> expr_equal e f
+  | Ast.Scall (f, xs), Ast.Scall (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 expr_equal xs ys
+  | _ -> false
+
+and block_equal a b = List.length a = List.length b && List.for_all2 stmt_equal a b
+
+let program_equal (a : Ast.program) (b : Ast.program) =
+  List.length a.Ast.shareds = List.length b.Ast.shareds
+  && List.for_all2
+       (fun (g : Ast.shared_decl) (h : Ast.shared_decl) ->
+         String.equal g.Ast.gname h.Ast.gname
+         && g.Ast.gty = h.Ast.gty && g.Ast.garray = h.Ast.garray
+         && expr_equal g.Ast.ginit h.Ast.ginit)
+       a.Ast.shareds b.Ast.shareds
+  && List.map fst a.Ast.locks = List.map fst b.Ast.locks
+  && List.length a.Ast.funcs = List.length b.Ast.funcs
+  && List.for_all2
+       (fun (f : Ast.func) (g : Ast.func) ->
+         String.equal f.Ast.fname g.Ast.fname
+         && f.Ast.fparams = g.Ast.fparams && f.Ast.fret = g.Ast.fret
+         && block_equal f.Ast.fbody g.Ast.fbody)
+       a.Ast.funcs b.Ast.funcs
+  && List.length a.Ast.threads = List.length b.Ast.threads
+  && List.for_all2
+       (fun (t : Ast.thread_decl) (u : Ast.thread_decl) ->
+         String.equal t.Ast.tname u.Ast.tname && block_equal t.Ast.tbody u.Ast.tbody)
+       a.Ast.threads b.Ast.threads

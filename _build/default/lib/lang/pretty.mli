@@ -1,0 +1,18 @@
+(** Pretty-printer for RFL: emits valid concrete syntax such that
+    [parse (print p)] is structurally equal to [p] up to source positions
+    (property-tested), plus the position-insensitive structural equality
+    used to state that property. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+(** [pp_stmt indent]. *)
+
+val pp_block : int -> Format.formatter -> Ast.block -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+
+val expr_equal : Ast.expr -> Ast.expr -> bool
+val stmt_equal : Ast.stmt -> Ast.stmt -> bool
+val block_equal : Ast.block -> Ast.block -> bool
+val program_equal : Ast.program -> Ast.program -> bool
+(** Equality modulo positions (and negative-literal normalization). *)

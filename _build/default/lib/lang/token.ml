@@ -1,0 +1,148 @@
+(** Tokens of RFL, the little concurrent language used to write closed
+    litmus programs (the paper's Figure 1 / Figure 2 style) against the
+    instrumented runtime. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+type t =
+  (* literals and identifiers *)
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | SHARED
+  | THREAD
+  | DEF
+  | LET
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | SYNC
+  | LOCK
+  | UNLOCK
+  | WAIT
+  | NOTIFY
+  | NOTIFYALL
+  | SLEEP
+  | ASSERT
+  | ERROR_KW
+  | PRINT
+  | SKIP
+  | TRUE
+  | FALSE
+  | INT_T
+  | BOOL_T
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ARROW
+  | ASSIGN
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | EOF
+
+let keyword_of_string = function
+  | "shared" -> Some SHARED
+  | "thread" -> Some THREAD
+  | "def" -> Some DEF
+  | "let" -> Some LET
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "sync" -> Some SYNC
+  | "lock" -> Some LOCK
+  | "unlock" -> Some UNLOCK
+  | "wait" -> Some WAIT
+  | "notify" -> Some NOTIFY
+  | "notifyall" -> Some NOTIFYALL
+  | "sleep" -> Some SLEEP
+  | "assert" -> Some ASSERT
+  | "error" -> Some ERROR_KW
+  | "print" -> Some PRINT
+  | "skip" -> Some SKIP
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "int" -> Some INT_T
+  | "bool" -> Some BOOL_T
+  | _ -> None
+
+let pp ppf = function
+  | INT n -> Fmt.pf ppf "INT(%d)" n
+  | STRING s -> Fmt.pf ppf "STRING(%S)" s
+  | IDENT s -> Fmt.pf ppf "IDENT(%s)" s
+  | SHARED -> Fmt.string ppf "shared"
+  | THREAD -> Fmt.string ppf "thread"
+  | DEF -> Fmt.string ppf "def"
+  | LET -> Fmt.string ppf "let"
+  | IF -> Fmt.string ppf "if"
+  | ELSE -> Fmt.string ppf "else"
+  | WHILE -> Fmt.string ppf "while"
+  | FOR -> Fmt.string ppf "for"
+  | RETURN -> Fmt.string ppf "return"
+  | SYNC -> Fmt.string ppf "sync"
+  | LOCK -> Fmt.string ppf "lock"
+  | UNLOCK -> Fmt.string ppf "unlock"
+  | WAIT -> Fmt.string ppf "wait"
+  | NOTIFY -> Fmt.string ppf "notify"
+  | NOTIFYALL -> Fmt.string ppf "notifyall"
+  | SLEEP -> Fmt.string ppf "sleep"
+  | ASSERT -> Fmt.string ppf "assert"
+  | ERROR_KW -> Fmt.string ppf "error"
+  | PRINT -> Fmt.string ppf "print"
+  | SKIP -> Fmt.string ppf "skip"
+  | TRUE -> Fmt.string ppf "true"
+  | FALSE -> Fmt.string ppf "false"
+  | INT_T -> Fmt.string ppf "int"
+  | BOOL_T -> Fmt.string ppf "bool"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | SEMI -> Fmt.string ppf ";"
+  | COMMA -> Fmt.string ppf ","
+  | ARROW -> Fmt.string ppf "->"
+  | ASSIGN -> Fmt.string ppf "="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | PERCENT -> Fmt.string ppf "%"
+  | EQ -> Fmt.string ppf "=="
+  | NEQ -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | AND -> Fmt.string ppf "&&"
+  | OR -> Fmt.string ppf "||"
+  | NOT -> Fmt.string ppf "!"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let to_string t = Fmt.str "%a" pp t

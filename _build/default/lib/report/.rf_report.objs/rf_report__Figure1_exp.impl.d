@@ -1,0 +1,1 @@
+lib/report/figure1_exp.ml: Fmt Fun Fuzzer List Racefuzzer Rf_util Rf_workloads Site

@@ -1,0 +1,1 @@
+lib/report/figure2_exp.ml: Float Fmt Fun Fuzzer List Printf Racefuzzer Rapos Rf_runtime Rf_workloads Strategy String

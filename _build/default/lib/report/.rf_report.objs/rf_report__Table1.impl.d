@@ -1,0 +1,1 @@
+lib/report/table1.ml: Engine Float Fmt Fun Fuzzer List Outcome Racefuzzer Rf_detect Rf_runtime Rf_util Rf_workloads Site Stats Strategy String

@@ -1,0 +1,1 @@
+lib/report/table1.mli: Format Rf_workloads

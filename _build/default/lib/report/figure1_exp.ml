@@ -1,0 +1,38 @@
+(** Regeneration of the paper's Figure 1 walkthrough (§3.1): phase 1 must
+    predict exactly the pairs {(5,7), (1,10)}; phase 2 must confirm (5,7)
+    as a real, ERROR1-producing race and reject (1,10) as a false alarm. *)
+
+open Rf_util
+open Racefuzzer
+module W = Rf_workloads
+
+type result = {
+  potential : Site.Pair.Set.t;
+  real : Fuzzer.pair_result;  (** the (5,7) candidate *)
+  false_alarm : Fuzzer.pair_result;  (** the (1,10) candidate *)
+}
+
+let generate ?(phase1_seeds = List.init 10 Fun.id) ?(trials = 100) () =
+  let seeds = List.init trials Fun.id in
+  let p1 = Fuzzer.phase1 ~seeds:phase1_seeds W.Figure1.program in
+  {
+    potential = Fuzzer.potential_pairs p1;
+    real = Fuzzer.fuzz_pair ~seeds ~program:W.Figure1.program W.Figure1.real_pair;
+    false_alarm =
+      Fuzzer.fuzz_pair ~seeds ~program:W.Figure1.program W.Figure1.false_pair;
+  }
+
+let render ppf r =
+  Fmt.pf ppf "phase 1 (hybrid) potential pairs:@.";
+  Site.Pair.Set.iter (fun p -> Fmt.pf ppf "  %a@." Site.Pair.pp p) r.potential;
+  let line tag (pr : Fuzzer.pair_result) =
+    let n = List.length pr.Fuzzer.trials in
+    Fmt.pf ppf "%s %a: race %d/%d (p=%.2f), ERROR %d/%d -> %s@." tag Site.Pair.pp
+      pr.Fuzzer.pr_pair pr.Fuzzer.race_trials n pr.Fuzzer.probability
+      pr.Fuzzer.error_trials n
+      (if Fuzzer.is_real pr then
+         if Fuzzer.is_harmful pr then "REAL RACE, HARMFUL" else "REAL RACE (benign)"
+       else "false alarm rejected")
+  in
+  line "phase 2" r.real;
+  line "phase 2" r.false_alarm

@@ -1,0 +1,81 @@
+(** Regeneration of the paper's Figure 2 experiment (§3.2).
+
+    The paper argues that RaceFuzzer creates the Figure 2 race with
+    probability 1 and reaches ERROR with probability 0.5 *independent of*
+    the number of statements before the racy read, whereas a default or
+    simple random scheduler degrades as the program grows.  This harness
+    sweeps the padding size [k] and, for each scheduler, estimates:
+
+    - [p_race]: probability that statements 8 and 10 are executed
+      temporally next to each other on the same location (for RaceFuzzer,
+      that a real race is created; for undirected schedulers we use the
+      observable proxy: reaching ERROR, which requires the adjacency);
+    - [p_error]: probability that ERROR is reached. *)
+
+open Rf_runtime
+open Racefuzzer
+module W = Rf_workloads
+
+type point = {
+  k : int;
+  strategy_name : string;
+  p_race : float;  (** NaN when not observable for this scheduler *)
+  p_error : float;
+  trials : int;
+}
+
+type series = point list
+
+let racefuzzer_point ~seeds k =
+  let r =
+    Fuzzer.fuzz_pair ~seeds
+      ~program:(fun () -> W.Figure2.program ~k ())
+      W.Figure2.race_pair
+  in
+  let n = List.length r.Fuzzer.trials in
+  {
+    k;
+    strategy_name = "racefuzzer";
+    p_race = r.Fuzzer.probability;
+    p_error = float_of_int r.Fuzzer.error_trials /. float_of_int (max 1 n);
+    trials = n;
+  }
+
+let baseline_point ~seeds ~name ~make_strategy k =
+  let b =
+    Fuzzer.baseline ~seeds ~make_strategy (fun () -> W.Figure2.program ~k ())
+  in
+  {
+    k;
+    strategy_name = name;
+    p_race = Float.nan;
+    p_error = float_of_int b.Fuzzer.b_error_trials /. float_of_int (max 1 b.Fuzzer.b_trials);
+    trials = b.Fuzzer.b_trials;
+  }
+
+let default_ks = [ 1; 2; 5; 10; 25; 50; 100; 200 ]
+
+let generate ?(ks = default_ks) ?(trials = 200) () : series =
+  let seeds = List.init trials Fun.id in
+  List.concat_map
+    (fun k ->
+      [
+        racefuzzer_point ~seeds k;
+        baseline_point ~seeds ~name:"simple-random" ~make_strategy:Strategy.random k;
+        baseline_point ~seeds ~name:"default"
+          ~make_strategy:(fun () -> Strategy.timesliced ~quantum:5 ())
+          k;
+        baseline_point ~seeds ~name:"rapos" ~make_strategy:Rapos.strategy k;
+      ])
+    ks
+
+let render ppf (series : series) =
+  Fmt.pf ppf "%-6s  %-14s  %8s  %8s  %7s@." "k" "scheduler" "P(race)" "P(error)"
+    "trials";
+  Fmt.pf ppf "%s@." (String.make 52 '-');
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%-6d  %-14s  %8s  %8.3f  %7d@." p.k p.strategy_name
+        (if Float.is_nan p.p_race then "-" else Printf.sprintf "%.3f" p.p_race)
+        p.p_error p.trials)
+    series

@@ -1,0 +1,24 @@
+(** Small numeric helpers for experiment reporting. *)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let minimum = function [] -> 0.0 | x :: rest -> List.fold_left min x rest
+let maximum = function [] -> 0.0 | x :: rest -> List.fold_left max x rest
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
+
+let mean_int l = mean (List.map float_of_int l)
+
+(** Wilson-style display of an empirical probability. *)
+let pp_prob ppf p =
+  if Float.is_nan p then Fmt.string ppf "-" else Fmt.pf ppf "%.2f" p
+
+let pp_time_ms ppf t =
+  if t < 0.0 then Fmt.string ppf "-" else Fmt.pf ppf "%.2f" (t *. 1000.0)

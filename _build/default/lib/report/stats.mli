@@ -1,0 +1,14 @@
+(** Small numeric helpers for experiment reporting. *)
+
+val mean : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val stddev : float list -> float
+val mean_int : int list -> float
+
+val pp_prob : Format.formatter -> float -> unit
+(** Renders NaN (no real race) as ['-'], like the paper's table. *)
+
+val pp_time_ms : Format.formatter -> float -> unit
+(** Seconds rendered as milliseconds; negative means "not measured"
+    (rendered ['-'], like the paper's jigsaw row). *)

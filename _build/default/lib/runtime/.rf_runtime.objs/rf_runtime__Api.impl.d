@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Array Fmt Fun Loc Op Rf_events Rf_util Site

@@ -1,0 +1,1 @@
+lib/runtime/api.mli: Handle Loc Lock Rf_util Site

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Effect Event Fmt Handle Hashtbl List Loc Lock Lockset Op Outcome Prng Rf_events Rf_util Site Strategy Trace Unix

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Event Outcome Rf_events Rf_util Site Strategy

@@ -1,0 +1,1 @@
+lib/runtime/lock.ml: Domain Fmt Int Printf

@@ -1,0 +1,1 @@
+lib/runtime/op.ml: Effect Event Fmt Handle Loc Lock Rf_events Rf_util Site

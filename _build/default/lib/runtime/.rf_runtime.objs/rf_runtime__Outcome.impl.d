@@ -1,0 +1,1 @@
+lib/runtime/outcome.ml: Fmt List Printexc Rf_events Rf_util Site Trace

@@ -1,0 +1,1 @@
+lib/runtime/outcome.mli: Format Rf_events Rf_util Site Trace

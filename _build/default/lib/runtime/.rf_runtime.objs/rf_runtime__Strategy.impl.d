@@ -1,0 +1,1 @@
+lib/runtime/strategy.ml: List Op Prng Rf_util

@@ -1,0 +1,1 @@
+lib/runtime/strategy.mli: Op Prng Rf_util

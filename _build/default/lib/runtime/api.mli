@@ -1,0 +1,111 @@
+(** User-facing API for embedded model programs.
+
+    Every shared access and synchronization operation performed through
+    this module is a scheduler-visible yield point (an effect handled by
+    {!Engine}); thread-local OCaml computation in between is free, like
+    uninstrumented bytecode in the paper's tool.  All functions must run
+    inside {!Engine.run} — performing them outside raises
+    [Effect.Unhandled]. *)
+
+open Rf_util
+
+exception Interrupted
+(** Java's [InterruptedException]. *)
+
+exception Illegal_monitor_state of string
+exception Model_error of string
+(** Generic model failure: the paper's ERROR statements, assertion
+    violations, NPE analogues. *)
+
+exception Concurrent_modification of string
+exception No_such_element of string
+
+val site : ?file:string -> ?line:int -> ?col:int -> string -> Site.t
+(** Shorthand for {!Rf_util.Site.make}: name the statement a shared
+    operation belongs to. *)
+
+(** {1 Threads} *)
+
+val fork : ?name:string -> (unit -> unit) -> Handle.t
+(** Start a thread (emits the start [SND]/[RCV] ordering edge).  An
+    uncaught exception kills the thread and is recorded in the run's
+    {!Outcome.t}. *)
+
+val join : ?site:Site.t -> Handle.t -> unit
+(** Block until the target dies (join edge); interruptible. *)
+
+val interrupt : ?site:Site.t -> Handle.t -> unit
+(** Java [Thread.interrupt]: sets the target's interrupt flag; a target
+    blocked in [wait]/[sleep]/[join] receives {!Interrupted}. *)
+
+val sleep : ?site:Site.t -> unit -> unit
+(** Abstract-time sleep: one interruptible yield point. *)
+
+(** {1 Monitors} *)
+
+val lock : ?site:Site.t -> Lock.t -> unit
+val unlock : ?site:Site.t -> Lock.t -> unit
+
+val sync : ?site:Site.t -> Lock.t -> (unit -> 'a) -> 'a
+(** [sync l f] — Java [synchronized (l) { f () }]; releases however [f]
+    exits. *)
+
+val wait : ?site:Site.t -> Lock.t -> unit
+(** Java [l.wait()]: release the monitor, park in the wait set, reacquire
+    after [notify]/[notify_all]/[interrupt].  Raises
+    {!Illegal_monitor_state} if the monitor is not held. *)
+
+val notify : ?site:Site.t -> Lock.t -> unit
+(** Wake one (randomly chosen, seed-deterministic) waiter. *)
+
+val notify_all : ?site:Site.t -> Lock.t -> unit
+
+(** {1 Shared memory} *)
+
+module Cell : sig
+  type 'a t
+  (** One instrumented shared memory location holding an ['a]. *)
+
+  val make : ?name:string -> 'a -> 'a t
+  (** Fresh heap cell, addressed as a one-field object. *)
+
+  val global : string -> 'a -> 'a t
+  (** Named global, addressed by name (DSL [shared] variables). *)
+
+  val loc : 'a t -> Loc.t
+
+  val read : site:Site.t -> 'a t -> 'a
+  val write : site:Site.t -> 'a t -> 'a -> unit
+
+  val update : rsite:Site.t -> wsite:Site.t -> 'a t -> ('a -> 'a) -> unit
+  (** Unsynchronized read-modify-write: two separate accesses, like the
+      3-address compilation of [x = f(x)] — deliberately racy. *)
+
+  val unsafe_peek : 'a t -> 'a
+  (** Uninstrumented read, for assertions and reporting only. *)
+
+  val unsafe_poke : 'a t -> 'a -> unit
+  (** Uninstrumented write, for test setup only. *)
+end
+
+module Sarray : sig
+  type 'a t
+  (** Instrumented shared array: each element is its own location. *)
+
+  val make : int -> 'a -> 'a t
+  val init : int -> (int -> 'a) -> 'a t
+  val length : 'a t -> int
+  val loc : 'a t -> int -> Loc.t
+
+  val get : site:Site.t -> 'a t -> int -> 'a
+  (** Raises {!Model_error} out of bounds. *)
+
+  val set : site:Site.t -> 'a t -> int -> 'a -> unit
+  val unsafe_peek : 'a t -> int -> 'a
+end
+
+val error : string -> 'a
+(** Raise {!Model_error}: the paper's ERROR statement. *)
+
+val check : msg:string -> bool -> unit
+(** Model assertion. *)

@@ -1,0 +1,533 @@
+(** The cooperative scheduling engine.
+
+    Executes a model program (a [unit -> unit] main that may fork further
+    threads) under full scheduler control.  Threads are OCaml fibers; every
+    shared access / synchronization operation is performed as an effect
+    (see {!Op}) which suspends the fiber *at* the pending operation.  The
+    engine then:
+
+    - computes the enabled set exactly as the paper defines it (§2.1: a
+      thread is disabled while it waits for a lock held by another thread,
+      for a [join] of a live thread, or in a wait set);
+    - asks the scheduling strategy which enabled thread to execute;
+    - executes that thread's single pending operation — the paper's
+      [Execute(s, t)] — emitting the corresponding {!Rf_events.Event} to
+      listeners and to the optional trace;
+    - repeats until no thread is enabled, reporting a real deadlock if some
+      thread is still alive (Algorithm 1, lines 30–32), or until the step
+      bound (livelock guard, cf. the paper's monitor thread, §4).
+
+    All nondeterminism (strategy choices, notify target selection) draws
+    from a single PRNG seeded by [Config.seed], so a run is replayed exactly
+    by re-running with the same seed — the paper's lightweight record-free
+    replay (§2.2).
+
+    Switch policy: under [`Sync_and sites] the strategy is consulted only at
+    synchronization operations and at memory accesses whose static site is
+    in [sites]; other memory accesses execute immediately under the current
+    thread.  This implements the paper's optimization (§4, citing [31]) that
+    makes RaceFuzzer's overhead far smaller than hybrid race detection's:
+    RaceFuzzer passes the racing pair as [sites], while detectors that need
+    every access use [`Every_op]. *)
+
+open Rf_util
+open Rf_events
+
+type switch_policy = Every_op | Sync_and of Site.Set.t
+
+type config = {
+  seed : int;
+  policy : switch_policy;
+  record_trace : bool;
+  max_steps : int;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    seed = 0;
+    policy = Every_op;
+    record_trace = false;
+    max_steps = 2_000_000;
+    verbose = false;
+  }
+
+type fiber =
+  | Not_started of (unit -> unit)
+  | Running
+  | Pending : 'a Op.t * ('a, unit) Effect.Deep.continuation -> fiber
+  | In_waitset of {
+      wlock : Lock.t;
+      wdepth : int;
+      wsite : Site.t;
+      wk : (unit, unit) Effect.Deep.continuation;
+    }
+  | Finished
+  | Killed of exn
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable fiber : fiber;
+  mutable held : (int * int) list;  (* lock id -> reentrancy depth *)
+  mutable interrupt_pending : bool;
+  mutable pending_rcv : (int * Event.sync_reason) option;
+  mutable death_msg : int option;
+  mutable last_site : Site.t option;
+}
+
+type lock_state = {
+  lname : string;
+  mutable holder : int option;
+  mutable depth : int;
+  mutable waiters : int list;  (* FIFO arrival order; notify picks randomly *)
+}
+
+type t = {
+  cfg : config;
+  prng : Prng.t;
+  strategy : Strategy.t;
+  listeners : (Event.t -> unit) list;
+  mutable threads : thread list;  (* insertion (tid) order, ascending *)
+  mutable threads_rev : thread list;
+  locks : (int, lock_state) Hashtbl.t;
+  mutable steps : int;
+  mutable switches : int;
+  mutable next_tid : int;
+  mutable next_msg : int;
+  mutable exceptions : Outcome.exn_report list;  (* newest first *)
+  mutable timed_out : bool;
+  trace : Trace.t option;
+}
+
+exception Engine_invariant of string
+
+let invariant_fail fmt = Fmt.kstr (fun s -> raise (Engine_invariant s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let emit eng ev =
+  (match eng.trace with Some tr -> Trace.add tr ev | None -> ());
+  List.iter (fun f -> f ev) eng.listeners;
+  if eng.cfg.verbose then Fmt.epr "[engine] %a@." Event.pp ev
+
+let fresh_msg eng =
+  let g = eng.next_msg in
+  eng.next_msg <- g + 1;
+  g
+
+let thread_by_tid eng tid =
+  match List.find_opt (fun th -> th.tid = tid) eng.threads with
+  | Some th -> th
+  | None -> invariant_fail "unknown tid %d" tid
+
+let lock_state eng (l : Lock.t) =
+  match Hashtbl.find_opt eng.locks (Lock.id l) with
+  | Some ls -> ls
+  | None ->
+      let ls = { lname = Lock.name l; holder = None; depth = 0; waiters = [] } in
+      Hashtbl.add eng.locks (Lock.id l) ls;
+      ls
+
+let lockset_of th = Lockset.of_list (List.map fst th.held)
+
+let is_dead th =
+  match th.fiber with Finished | Killed _ -> true | _ -> false
+
+let alive th = not (is_dead th)
+
+let new_thread eng ~name body =
+  let tid = eng.next_tid in
+  eng.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      tname = name;
+      fiber = Not_started body;
+      held = [];
+      interrupt_pending = false;
+      pending_rcv = None;
+      death_msg = None;
+      last_site = None;
+    }
+  in
+  eng.threads_rev <- th :: eng.threads_rev;
+  eng.threads <- List.rev eng.threads_rev;
+  th
+
+(* ------------------------------------------------------------------ *)
+(* Enabledness (paper §2.1)                                            *)
+
+let enabled eng th =
+  match th.fiber with
+  | Not_started _ -> true
+  | Running -> invariant_fail "enabled: thread t%d marked Running" th.tid
+  | Pending (op, _) -> (
+      match op with
+      | Op.Acquire (l, _) ->
+          let ls = lock_state eng l in
+          ls.holder = None || ls.holder = Some th.tid
+      | Op.Reacquire (l, _, _, _) -> (lock_state eng l).holder = None
+      | Op.Join (h, _) ->
+          is_dead (thread_by_tid eng (Handle.tid h)) || th.interrupt_pending
+      | _ -> true)
+  | In_waitset _ | Finished | Killed _ -> false
+
+let enabled_threads eng = List.filter (enabled eng) eng.threads
+let alive_threads eng = List.filter alive eng.threads
+
+(* ------------------------------------------------------------------ *)
+(* Thread completion                                                   *)
+
+let on_thread_done eng th (failure : exn option) =
+  (* A dying thread force-releases any monitors it still holds (Java's
+     synchronized always unwinds; explicit lock/unlock model code could
+     otherwise wedge the whole system). *)
+  List.iter
+    (fun (lid, _) ->
+      match Hashtbl.find_opt eng.locks lid with
+      | Some ls when ls.holder = Some th.tid ->
+          ls.holder <- None;
+          ls.depth <- 0;
+          emit eng
+            (Event.Release
+               { tid = th.tid; lock = lid; site = Site.make "thread-exit" })
+      | _ -> ())
+    th.held;
+  th.held <- [];
+  (* Death message: join edges receive from it (paper §2.2: thread t1 calls
+     t2.join() and t2 terminates => SND(g, t2), RCV(g, t1)). *)
+  let g = fresh_msg eng in
+  th.death_msg <- Some g;
+  emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Join });
+  emit eng (Event.Exit { tid = th.tid });
+  (match failure with
+  | None -> th.fiber <- Finished
+  | Some e ->
+      th.fiber <- Killed e;
+      eng.exceptions <-
+        { Outcome.xtid = th.tid; xthread = th.tname; exn_ = e; raised_at = th.last_site }
+        :: eng.exceptions)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber plumbing                                                      *)
+
+(* The effect handler merely parks the continuation on the thread record
+   and returns; control then falls back to the engine loop (trampoline
+   style — no stack growth across context switches). *)
+let handler eng th =
+  {
+    Effect.Deep.retc = (fun () -> on_thread_done eng th None);
+    exnc = (fun e -> on_thread_done eng th (Some e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Op.Eff op ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                th.fiber <- Pending (op, k))
+        | _ -> None);
+  }
+
+let start_fiber eng th body =
+  th.fiber <- Running;
+  Effect.Deep.match_with body () (handler eng th)
+
+let resume : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a -> unit =
+ fun _eng th k v ->
+  th.fiber <- Running;
+  Effect.Deep.continue k v
+
+let resume_exn eng th k e =
+  ignore eng;
+  th.fiber <- Running;
+  Effect.Deep.discontinue k e
+
+(* Deliver the RCV event a thread owes from the sync action that unblocked
+   or created it, just before its next own event. *)
+let flush_rcv eng th =
+  match th.pending_rcv with
+  | None -> ()
+  | Some (msg, reason) ->
+      th.pending_rcv <- None;
+      emit eng (Event.Rcv { tid = th.tid; msg; reason })
+
+(* ------------------------------------------------------------------ *)
+(* Executing one pending operation: the paper's Execute(s, t).         *)
+
+let record_site th (op_site : Site.t option) =
+  match op_site with Some s -> th.last_site <- Some s | None -> ()
+
+let exec_op (eng : t) (th : thread) : unit =
+  eng.steps <- eng.steps + 1;
+  match th.fiber with
+  | Not_started body ->
+      flush_rcv eng th;
+      emit eng (Event.Start { tid = th.tid; name = th.tname });
+      start_fiber eng th body
+  | Pending (op, k) -> (
+      record_site th (Op.pend_site (Op.pend_of op));
+      flush_rcv eng th;
+      match op with
+      | Op.Mem { site; loc; access } ->
+          emit eng
+            (Event.Mem { tid = th.tid; site; loc; access; lockset = lockset_of th });
+          resume eng th k ()
+      | Op.Acquire (l, site) ->
+          let ls = lock_state eng l in
+          (match ls.holder with
+          | Some tid when tid = th.tid ->
+              (* reentrant: no lockset change, no event *)
+              ls.depth <- ls.depth + 1;
+              th.held <-
+                List.map
+                  (fun (lid, d) -> if lid = Lock.id l then (lid, d + 1) else (lid, d))
+                  th.held
+          | Some other ->
+              invariant_fail "acquire of L%d held by t%d scheduled for t%d"
+                (Lock.id l) other th.tid
+          | None ->
+              ls.holder <- Some th.tid;
+              ls.depth <- 1;
+              th.held <- (Lock.id l, 1) :: th.held;
+              emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site }));
+          resume eng th k ()
+      | Op.Release (l, site) ->
+          let ls = lock_state eng l in
+          if ls.holder <> Some th.tid then
+            resume_exn eng th k
+              (Op.Illegal_monitor_state
+                 (Fmt.str "t%d releases %a it does not hold" th.tid Lock.pp l))
+          else begin
+            ls.depth <- ls.depth - 1;
+            if ls.depth = 0 then begin
+              ls.holder <- None;
+              th.held <- List.remove_assoc (Lock.id l) th.held;
+              emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site })
+            end
+            else
+              th.held <-
+                List.map
+                  (fun (lid, d) -> if lid = Lock.id l then (lid, d - 1) else (lid, d))
+                  th.held;
+            resume eng th k ()
+          end
+      | Op.Wait (l, site) ->
+          let ls = lock_state eng l in
+          if ls.holder <> Some th.tid then
+            resume_exn eng th k
+              (Op.Illegal_monitor_state
+                 (Fmt.str "t%d waits on %a it does not hold" th.tid Lock.pp l))
+          else if th.interrupt_pending then begin
+            (* wait() on an already-interrupted thread throws immediately,
+               keeping the monitor. *)
+            th.interrupt_pending <- false;
+            resume_exn eng th k Op.Interrupted
+          end
+          else begin
+            let d = ls.depth in
+            ls.holder <- None;
+            ls.depth <- 0;
+            th.held <- List.remove_assoc (Lock.id l) th.held;
+            emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
+            ls.waiters <- ls.waiters @ [ th.tid ];
+            th.fiber <- In_waitset { wlock = l; wdepth = d; wsite = site; wk = k }
+            (* no resume: the thread parks until notify/interrupt *)
+          end
+      | Op.Reacquire (l, d, interrupted, site) ->
+          let ls = lock_state eng l in
+          if ls.holder <> None then
+            invariant_fail "reacquire of held lock L%d scheduled" (Lock.id l);
+          ls.holder <- Some th.tid;
+          ls.depth <- d;
+          th.held <- (Lock.id l, d) :: th.held;
+          emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+          if interrupted then begin
+            th.interrupt_pending <- false;
+            resume_exn eng th k Op.Interrupted
+          end
+          else resume eng th k ()
+      | Op.Notify (l, all, _site) ->
+          let ls = lock_state eng l in
+          if ls.holder <> Some th.tid then
+            resume_exn eng th k
+              (Op.Illegal_monitor_state
+                 (Fmt.str "t%d notifies %a it does not hold" th.tid Lock.pp l))
+          else begin
+            (match ls.waiters with
+            | [] -> ()
+            | waiters ->
+                let chosen =
+                  if all then waiters
+                  else [ List.nth waiters (Prng.int eng.prng (List.length waiters)) ]
+                in
+                let g = fresh_msg eng in
+                emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Notify });
+                List.iter
+                  (fun wtid ->
+                    let wth = thread_by_tid eng wtid in
+                    match wth.fiber with
+                    | In_waitset { wlock; wdepth; wsite; wk } ->
+                        wth.pending_rcv <- Some (g, Event.Notify);
+                        wth.fiber <-
+                          Pending (Op.Reacquire (wlock, wdepth, false, wsite), wk)
+                    | _ ->
+                        invariant_fail "waiter t%d of L%d not in wait set" wtid
+                          (Lock.id l))
+                  chosen;
+                ls.waiters <-
+                  List.filter (fun tid -> not (List.mem tid chosen)) ls.waiters);
+            resume eng th k ()
+          end
+      | Op.Fork (name, body) ->
+          let child = new_thread eng ~name body in
+          let g = fresh_msg eng in
+          emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Fork });
+          child.pending_rcv <- Some (g, Event.Fork);
+          resume eng th k (Handle.make ~tid:child.tid ~name)
+      | Op.Join (h, _site) ->
+          if th.interrupt_pending then begin
+            th.interrupt_pending <- false;
+            resume_exn eng th k Op.Interrupted
+          end
+          else begin
+            let target = thread_by_tid eng (Handle.tid h) in
+            if not (is_dead target) then
+              invariant_fail "join of live t%d scheduled for t%d" target.tid th.tid;
+            (match target.death_msg with
+            | Some g -> emit eng (Event.Rcv { tid = th.tid; msg = g; reason = Event.Join })
+            | None -> ());
+            resume eng th k ()
+          end
+      | Op.Interrupt (h, _site) ->
+          (let target = thread_by_tid eng (Handle.tid h) in
+           if not (is_dead target) then begin
+             target.interrupt_pending <- true;
+             match target.fiber with
+             | In_waitset { wlock; wdepth; wsite; wk } ->
+                 (* An interrupted waiter leaves the wait set, re-contends for
+                    the monitor, and then receives InterruptedException. *)
+                 let ls = lock_state eng wlock in
+                 ls.waiters <- List.filter (fun tid -> tid <> target.tid) ls.waiters;
+                 target.fiber <-
+                   Pending (Op.Reacquire (wlock, wdepth, true, wsite), wk)
+             | _ -> ()
+           end);
+          resume eng th k ()
+      | Op.Sleep _site ->
+          if th.interrupt_pending then begin
+            th.interrupt_pending <- false;
+            resume_exn eng th k Op.Interrupted
+          end
+          else resume eng th k ()
+      | Op.Pause -> resume eng th k ())
+  | Running | In_waitset _ | Finished | Killed _ ->
+      invariant_fail "exec_op: thread t%d not executable" th.tid
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let fast_path eng th =
+  (* Under [Sync_and sites], a pending memory access whose site is not
+     watched executes immediately, with no strategy consultation. *)
+  match eng.cfg.policy with
+  | Every_op -> false
+  | Sync_and sites -> (
+      match th.fiber with
+      | Pending (Op.Mem { site; _ }, _) -> not (Site.Set.mem site sites)
+      | _ -> false)
+
+let rec drain_fast eng th =
+  if eng.steps < eng.cfg.max_steps && fast_path eng th then begin
+    exec_op eng th;
+    drain_fast eng th
+  end
+
+let view_of eng en =
+  {
+    Strategy.step = eng.steps;
+    enabled =
+      List.map
+        (fun th ->
+          let pend =
+            match th.fiber with
+            | Not_started _ -> Op.P_start
+            | Pending (op, _) -> Op.pend_of op
+            | _ -> invariant_fail "view: t%d not pending" th.tid
+          in
+          { Strategy.tid = th.tid; tname = th.tname; pend })
+        en;
+    prng = eng.prng;
+  }
+
+let rec loop eng =
+  if eng.steps >= eng.cfg.max_steps then eng.timed_out <- true
+  else
+    match enabled_threads eng with
+    | [] -> () (* termination or deadlock; classified by [run] *)
+    | en ->
+        let view = view_of eng en in
+        eng.switches <- eng.switches + 1;
+        let tid = eng.strategy.Strategy.choose view in
+        let th =
+          match List.find_opt (fun th -> th.tid = tid) en with
+          | Some th -> th
+          | None -> invariant_fail "strategy %s chose non-enabled tid %d"
+                      eng.strategy.Strategy.sname tid
+        in
+        exec_op eng th;
+        drain_fast eng th;
+        loop eng
+
+let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> unit) :
+    Outcome.t =
+  Loc.reset_counter ();
+  Lock.reset_counter ();
+  let eng =
+    {
+      cfg = config;
+      prng = Prng.create config.seed;
+      strategy;
+      listeners;
+      threads = [];
+      threads_rev = [];
+      locks = Hashtbl.create 64;
+      steps = 0;
+      switches = 0;
+      next_tid = 0;
+      next_msg = 0;
+      exceptions = [];
+      timed_out = false;
+      trace = (if config.record_trace then Some (Trace.create ()) else None);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let (_ : thread) = new_thread eng ~name:"main" main in
+  loop eng;
+  let wall = Unix.gettimeofday () -. t0 in
+  let blocked = if eng.timed_out then [] else alive_threads eng in
+  let deadlocked = List.map (fun th -> th.tid) blocked in
+  let blocked_at =
+    List.map
+      (fun th ->
+        let site =
+          match th.fiber with
+          | Pending (op, _) -> Op.pend_site (Op.pend_of op)
+          | In_waitset { wsite; _ } -> Some wsite
+          | _ -> None
+        in
+        (th.tid, site))
+      blocked
+  in
+  {
+    Outcome.steps = eng.steps;
+    switches = eng.switches;
+    threads_spawned = eng.next_tid;
+    exceptions = List.rev eng.exceptions;
+    deadlocked;
+    blocked_at;
+    timed_out = eng.timed_out;
+    trace = eng.trace;
+    wall_time = wall;
+  }

@@ -1,0 +1,49 @@
+(** The cooperative scheduling engine.
+
+    Runs a model program (a [unit -> unit] main that may {!Api.fork}
+    further threads) with every shared access and synchronization operation
+    under scheduler control, serialized exactly like the paper's execution
+    model: one thread executes between yield points at a time, the
+    scheduler picks among *enabled* threads (§2.1), and termination with
+    live-but-blocked threads is reported as a real deadlock (Algorithm 1,
+    lines 30–32).
+
+    Replay: all nondeterminism draws from one PRNG seeded by
+    [config.seed], so re-running with a seed reproduces the execution
+    bit-for-bit (checked against recorded traces in the test suite). *)
+
+open Rf_util
+open Rf_events
+
+(** Where the strategy is consulted.  [Sync_and sites] restricts switch
+    points to synchronization operations plus memory accesses whose static
+    site is in [sites] — the paper's low-overhead configuration (§4):
+    RaceFuzzer passes its racing pair, detectors needing every access use
+    [Every_op]. *)
+type switch_policy = Every_op | Sync_and of Site.Set.t
+
+type config = {
+  seed : int;
+  policy : switch_policy;
+  record_trace : bool;
+  max_steps : int;  (** livelock guard; exceeding it sets [timed_out] *)
+  verbose : bool;  (** echo every event to stderr *)
+}
+
+val default_config : config
+(** seed 0, [Every_op], no trace, 2M steps, quiet. *)
+
+exception Engine_invariant of string
+(** Internal-consistency violation (e.g. a strategy returning a
+    non-enabled tid); never raised by correct strategies. *)
+
+val run :
+  ?config:config ->
+  ?listeners:(Event.t -> unit) list ->
+  strategy:Strategy.t ->
+  (unit -> unit) ->
+  Outcome.t
+(** [run ~config ~listeners ~strategy main] executes one schedule.
+    [listeners] observe every event online (detectors attach here).
+    Resets the domain-local {!Rf_util.Loc} and {!Lock} counters, so
+    allocation order is deterministic per run. *)

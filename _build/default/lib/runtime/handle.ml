@@ -1,0 +1,10 @@
+(** Thread handles, as returned by [Api.fork] and consumed by
+    [Api.join]/[Api.interrupt]. *)
+
+type t = { tid : int; name : string }
+
+let make ~tid ~name = { tid; name }
+let tid t = t.tid
+let name t = t.name
+let equal a b = a.tid = b.tid
+let pp ppf t = Fmt.pf ppf "%s<t%d>" t.name t.tid

@@ -1,0 +1,10 @@
+(** Thread handles, returned by {!Api.fork} and consumed by {!Api.join} and
+    {!Api.interrupt}. *)
+
+type t
+
+val make : tid:int -> name:string -> t
+val tid : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

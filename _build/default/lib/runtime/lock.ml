@@ -1,0 +1,28 @@
+(** Lock (monitor) handles.
+
+    A [Lock.t] models a Java object monitor: reentrant mutual exclusion plus
+    a wait set usable with [wait]/[notify]/[notify_all].  The handle only
+    carries identity; the engine owns the mutable monitor state.
+
+    Ids come from a counter reset at the start of every engine run, so
+    monitor identity is deterministic per run (model code executes
+    single-threaded under the cooperative scheduler). *)
+
+type t = { id : int; name : string }
+
+(* Domain-local for the same reason as {!Rf_util.Loc}: parallel fuzzing
+   runs one engine per domain and ids must be deterministic per run. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+let reset_counter () = Domain.DLS.get counter := 0
+
+let create ?(name = "lock") () =
+  let c = Domain.DLS.get counter in
+  let id = !c in
+  incr c;
+  { id; name = (if name = "lock" then Printf.sprintf "lock%d" id else name) }
+
+let id t = t.id
+let name t = t.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Fmt.pf ppf "%s#%d" t.name t.id

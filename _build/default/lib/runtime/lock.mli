@@ -1,0 +1,16 @@
+(** Lock (monitor) handles: reentrant Java-style object monitors with wait
+    sets.  The handle is pure identity; the engine owns the mutable state.
+    Ids come from a domain-local counter reset per run, keeping monitor
+    identity deterministic per seed. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val reset_counter : unit -> unit
+(** Called by {!Engine.run}; not for user code. *)
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+(** Result of one engine run. *)
+
+open Rf_util
+open Rf_events
+
+type exn_report = {
+  xtid : int;
+  xthread : string;
+  exn_ : exn;
+  raised_at : Site.t option;
+}
+
+type t = {
+  steps : int;  (** operations executed *)
+  switches : int;  (** strategy consultations *)
+  threads_spawned : int;
+  exceptions : exn_report list;  (** uncaught per-thread exceptions, oldest first *)
+  deadlocked : int list;  (** tids alive but permanently blocked at the end *)
+  blocked_at : (int * Site.t option) list;
+      (** for each deadlocked tid, the statement site of its pending
+          operation — lets deadlock-directed analyses attribute a deadlock
+          to a specific lock-order cycle *)
+  timed_out : bool;  (** hit the step bound (livelock guard) *)
+  trace : Trace.t option;
+  wall_time : float;  (** seconds *)
+}
+
+let ok t =
+  t.exceptions = [] && t.deadlocked = [] && not t.timed_out
+
+let has_exception t = t.exceptions <> []
+let deadlocked t = t.deadlocked <> []
+
+let exn_sites t =
+  List.filter_map (fun r -> r.raised_at) t.exceptions
+
+let pp_exn_report ppf r =
+  Fmt.pf ppf "t%d(%s): %s%a" r.xtid r.xthread
+    (Printexc.to_string r.exn_)
+    (Fmt.option (fun ppf s -> Fmt.pf ppf " at %a" Site.pp s))
+    r.raised_at
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>steps: %d; switches: %d; threads: %d; wall: %.4fs%a%a%a@]" t.steps
+    t.switches t.threads_spawned t.wall_time
+    (fun ppf -> function
+      | [] -> ()
+      | exns ->
+          Fmt.pf ppf "@,exceptions:@,  %a"
+            (Fmt.list ~sep:(Fmt.any "@,  ") pp_exn_report)
+            exns)
+    t.exceptions
+    (fun ppf -> function
+      | [] -> ()
+      | tids ->
+          Fmt.pf ppf "@,DEADLOCK: threads %a blocked forever"
+            (Fmt.list ~sep:Fmt.comma Fmt.int) tids)
+    t.deadlocked
+    (fun ppf timed_out -> if timed_out then Fmt.pf ppf "@,TIMED OUT (step bound)")
+    t.timed_out

@@ -1,0 +1,35 @@
+(** Result of one engine run. *)
+
+open Rf_util
+open Rf_events
+
+type exn_report = {
+  xtid : int;
+  xthread : string;  (** thread name *)
+  exn_ : exn;
+  raised_at : Site.t option;  (** site of the thread's last executed op *)
+}
+
+type t = {
+  steps : int;  (** operations executed *)
+  switches : int;  (** strategy consultations *)
+  threads_spawned : int;
+  exceptions : exn_report list;  (** uncaught per-thread exceptions, oldest first *)
+  deadlocked : int list;  (** tids alive but permanently blocked at the end *)
+  blocked_at : (int * Site.t option) list;
+      (** for each deadlocked tid, the statement of its pending operation —
+          lets deadlock-directed analyses attribute a deadlock to a
+          specific lock-order cycle *)
+  timed_out : bool;  (** hit the step bound (livelock guard) *)
+  trace : Trace.t option;
+  wall_time : float;  (** seconds *)
+}
+
+val ok : t -> bool
+(** No exceptions, no deadlock, no timeout. *)
+
+val has_exception : t -> bool
+val deadlocked : t -> bool
+val exn_sites : t -> Site.t list
+val pp_exn_report : Format.formatter -> exn_report -> unit
+val pp : Format.formatter -> t -> unit

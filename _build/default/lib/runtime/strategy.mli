@@ -1,0 +1,42 @@
+(** Scheduling strategies.
+
+    At every switch point the engine shows the strategy the *enabled*
+    threads with their pending operations and the run's PRNG; the strategy
+    answers with the tid to execute.  Implementations carry state in their
+    closures (RaceFuzzer keeps its postponed set this way).  All randomness
+    must come from the view's PRNG to preserve seed-replayability. *)
+
+open Rf_util
+
+type entry = { tid : int; tname : string; pend : Op.pend }
+
+type view = {
+  step : int;  (** operations executed so far *)
+  enabled : entry list;  (** never empty; ascending tid order *)
+  prng : Prng.t;
+}
+
+type t = { sname : string; choose : view -> int }
+
+val name : t -> string
+
+val make : name:string -> (view -> int) -> t
+(** [choose] must return the tid of some entry in [view.enabled]. *)
+
+val tids : view -> int list
+
+val random : unit -> t
+(** Uniform choice among enabled threads — the paper's "simple random
+    scheduler" baseline (Table 1, column "Simple"). *)
+
+val round_robin : unit -> t
+(** Fair deterministic rotation. *)
+
+val run_until_block : unit -> t
+(** Keep the current thread running until it blocks: a fully
+    non-preemptive scheduler. *)
+
+val timesliced : ?quantum:int -> unit -> t
+(** Preemptive fair scheduling with a fixed quantum — our model of a JVM's
+    default scheduler on a lightly loaded machine, under which the paper's
+    Figure 2 window virtually never lines up. *)

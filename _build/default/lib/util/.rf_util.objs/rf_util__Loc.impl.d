@@ -1,0 +1,1 @@
+lib/util/loc.ml: Domain Fmt Hashtbl Int Map Set String

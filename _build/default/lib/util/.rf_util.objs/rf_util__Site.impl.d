@@ -1,0 +1,1 @@
+lib/util/site.ml: Fmt Hashtbl Int List Map Mutex Set String

@@ -1,0 +1,1 @@
+lib/util/site.mli: Format Map Set

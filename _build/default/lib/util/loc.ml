@@ -1,0 +1,81 @@
+(** Dynamic shared-memory locations.
+
+    A [Loc.t] is the runtime address of one shared cell — the "dynamic shared
+    memory location" the paper's [Racing] function compares (Algorithm 2).
+    Two threads race only if their pending accesses touch the *same* dynamic
+    location, so locations must distinguish distinct objects, fields and
+    array elements.
+
+    Object ids are drawn from a counter that the engine resets at the start
+    of each run; since model code executes single-threaded under the
+    cooperative scheduler, allocation order — and hence location identity —
+    is deterministic for a given seed. *)
+
+type t =
+  | Global of string         (** a named shared global (DSL [shared] vars) *)
+  | Field of int * string    (** field of a heap object: (object id, field) *)
+  | Elem of int * int        (** array element: (array id, index) *)
+
+(* Domain-local: each domain runs its own engine (parallel fuzzing spawns
+   one engine per domain), and allocation order must stay deterministic
+   within a run regardless of what sibling domains do. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_counter () = Domain.DLS.get counter := 0
+
+let fresh_obj () =
+  let c = Domain.DLS.get counter in
+  let id = !c in
+  incr c;
+  id
+
+let global name = Global name
+let field obj name = Field (obj, name)
+let elem arr idx = Elem (arr, idx)
+
+let equal a b =
+  match (a, b) with
+  | Global x, Global y -> String.equal x y
+  | Field (o1, f1), Field (o2, f2) -> o1 = o2 && String.equal f1 f2
+  | Elem (a1, i1), Elem (a2, i2) -> a1 = a2 && i1 = i2
+  | _ -> false
+
+let compare a b =
+  let tag = function Global _ -> 0 | Field _ -> 1 | Elem _ -> 2 in
+  match (a, b) with
+  | Global x, Global y -> String.compare x y
+  | Field (o1, f1), Field (o2, f2) ->
+      let c = Int.compare o1 o2 in
+      if c <> 0 then c else String.compare f1 f2
+  | Elem (a1, i1), Elem (a2, i2) ->
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else Int.compare i1 i2
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function
+  | Global s -> Hashtbl.hash s
+  | Field (o, f) -> (o * 65599) + Hashtbl.hash f
+  | Elem (a, i) -> (a * 65599) + i + 17
+
+let pp ppf = function
+  | Global s -> Fmt.pf ppf "@%s" s
+  | Field (o, f) -> Fmt.pf ppf "obj%d.%s" o f
+  | Elem (a, i) -> Fmt.pf ppf "arr%d[%d]" a i
+
+let to_string t = Fmt.str "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,30 @@
+(** Dynamic shared-memory locations: the addresses compared by the paper's
+    [Racing] function (Algorithm 2) — two postponed statements race only
+    when they touch the same {e dynamic} location. *)
+
+type t =
+  | Global of string  (** a named shared global (DSL [shared] variables) *)
+  | Field of int * string  (** heap-object field: (object id, field name) *)
+  | Elem of int * int  (** array element: (array id, index) *)
+
+val reset_counter : unit -> unit
+(** Reset the (domain-local) object-id counter; called by the engine at the
+    start of every run so allocation order — hence location identity — is
+    deterministic per seed. *)
+
+val fresh_obj : unit -> int
+(** Allocate a fresh object id from the domain-local counter. *)
+
+val global : string -> t
+val field : int -> string -> t
+val elem : int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/vclock/vclock.ml: Fmt Int List Map

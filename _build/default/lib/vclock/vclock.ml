@@ -1,0 +1,52 @@
+(** Vector clocks.
+
+    The happens-before relation of the paper (§2.1) is computed "by
+    maintaining a vector clock with every thread".  A clock maps thread ids
+    to logical timestamps; missing entries are implicitly 0.
+
+    The usual lattice laws hold: [join] is the least upper bound under
+    [leq], [bottom] is the unit, and [leq] is a partial order.  Events [e1]
+    and [e2] with clocks [c1], [c2] are concurrent iff neither [leq c1 c2]
+    nor [leq c2 c1]. *)
+
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let bottom : t = Imap.empty
+
+let get t tid = match Imap.find_opt tid t with Some n -> n | None -> 0
+
+let set t tid n = if n = 0 then Imap.remove tid t else Imap.add tid n t
+
+let tick t tid = Imap.add tid (get t tid + 1) t
+
+let of_list l = List.fold_left (fun acc (tid, n) -> set acc tid n) bottom l
+
+let to_list t = Imap.bindings t
+
+let join a b =
+  Imap.union (fun _tid x y -> Some (max x y)) a b
+
+let leq a b =
+  (* a <= b iff every component of a is <= the corresponding one in b. *)
+  Imap.for_all (fun tid n -> n <= get b tid) a
+
+let equal a b = Imap.equal Int.equal a b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare = Imap.compare Int.compare
+
+let is_bottom t = Imap.is_empty t
+
+let cardinal = Imap.cardinal
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (tid, n) -> Fmt.pf ppf "t%d:%d" tid n))
+    (Imap.bindings t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,45 @@
+(** Vector clocks for happens-before reasoning (paper §2.1: the relation
+    "is done by maintaining a vector clock with every thread").
+
+    A clock maps thread ids to logical timestamps; absent entries read 0.
+    [join] is the least upper bound of the [leq] partial order and [bottom]
+    its unit (laws are property-tested). *)
+
+type t
+
+val bottom : t
+(** The all-zero clock. *)
+
+val get : t -> int -> int
+(** [get c tid] — [tid]'s component (0 when absent). *)
+
+val set : t -> int -> int -> t
+(** Functional update; setting 0 removes the entry. *)
+
+val tick : t -> int -> t
+(** Increment one component: a thread takes a local step. *)
+
+val of_list : (int * int) list -> t
+val to_list : t -> (int * int) list
+
+val join : t -> t -> t
+(** Componentwise maximum — receiving knowledge of another clock. *)
+
+val leq : t -> t -> bool
+(** [leq a b] — [a] happens-before-or-equals [b]. *)
+
+val lt : t -> t -> bool
+(** Strict happens-before. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+(** Neither clock precedes the other: the racing condition. *)
+
+val compare : t -> t -> int
+(** Arbitrary total order for containers (not the causal order). *)
+
+val is_bottom : t -> bool
+val cardinal : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/cache4j.ml: Api Common List Lock Op Rf_runtime Rf_util Site Workload

@@ -1,0 +1,1 @@
+lib/workloads/coll_drivers.ml: Api Array Array_list Collections Hash_set Jcoll Linked_list List Rf_collections Rf_runtime Tree_set Vector Workload

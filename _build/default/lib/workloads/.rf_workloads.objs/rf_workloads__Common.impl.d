@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Api Array List Lock Op Printf Rf_runtime Rf_util Site

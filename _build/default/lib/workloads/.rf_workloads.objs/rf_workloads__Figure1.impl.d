@@ -1,0 +1,1 @@
+lib/workloads/figure1.ml: Api Lock Rf_runtime Rf_util Site Workload

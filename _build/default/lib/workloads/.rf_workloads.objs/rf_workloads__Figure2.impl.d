@@ -1,0 +1,1 @@
+lib/workloads/figure2.ml: Api Lock Printf Rf_runtime Rf_util Site Workload

@@ -1,0 +1,1 @@
+lib/workloads/hedc.ml: Api Common List Printf Rf_runtime Rf_util Site Workload

@@ -1,0 +1,1 @@
+lib/workloads/jigsaw.ml: Api Array Common List Lock Printf Rf_runtime Rf_util Site Workload

@@ -1,0 +1,1 @@
+lib/workloads/moldyn.ml: Api Common List Lock Printf Rf_runtime Rf_util Site Workload

@@ -1,0 +1,1 @@
+lib/workloads/raytracer.ml: Api List Printf Rf_runtime Rf_util Site Workload

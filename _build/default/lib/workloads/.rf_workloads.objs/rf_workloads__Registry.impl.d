@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cache4j Coll_drivers Extras Figure1 Figure2 Hedc Jigsaw Jspider List Moldyn Montecarlo Raytracer Sor String Weblech Workload

@@ -1,0 +1,1 @@
+lib/workloads/sor.ml: Api Common Lock Rf_runtime Rf_util Site Workload

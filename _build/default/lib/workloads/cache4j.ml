@@ -1,0 +1,121 @@
+(** Analogue of [cache4j] (paper Table 1: 18 potential, 2 real races, 1
+    exception pair — previously unknown; §5.3 describes the bug).
+
+    The cache itself is a properly synchronized map.  The bug lives in the
+    cleaner thread (cache4j's [CacheCleaner]):
+
+    {v
+      Cleaner (Thread2):                 User (Thread1):
+        _sleep = true;                     synchronized (cleaner) {
+        <unprotected window>                 if (_sleep) { cleaner.interrupt(); }
+        try { sleep(interval); }           }
+        catch (Throwable t) {}
+        finally { _sleep = false; }
+    v}
+
+    [_sleep] is written by the cleaner with no lock and read by the user
+    thread under the cleaner's monitor: two real racing statement pairs
+    ((write-true, read) and (write-false, read)).  When the interrupt lands
+    while the cleaner sits in the window between setting [_sleep] and
+    entering the protected sleep — the adjacency RaceFuzzer creates — the
+    InterruptedException is delivered outside the try and kills the
+    cleaner: the paper's previously unknown uncaught exception.
+
+    The window is modelled as an explicit interruptible [Api.sleep] before
+    the protected one; in cache4j it is the code between the assignment and
+    the JVM's actual parking of the thread.  A farm of handshakes supplies
+    the remaining (false) potential races of the 18 the paper reports. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "cache4j"
+let s line label = Site.make ~file ~line label
+
+let site_sleep_w_true = s 1 "_sleep=true"
+let site_sleep_w_false = s 2 "_sleep=false"
+let site_sleep_r = s 3 "if(_sleep)"
+let site_window = s 4 "pre-try window"
+let site_sleep_protected = s 5 "sleep(_cleanInterval)"
+let site_map_sync = s 6 "cache.sync"
+let site_map_r = s 7 "cache.buckets(read)"
+let site_map_w = s 8 "cache.buckets(write)"
+
+let real_pairs () =
+  [
+    Site.Pair.make site_sleep_w_true site_sleep_r;
+    Site.Pair.make site_sleep_w_false site_sleep_r;
+  ]
+
+(* The harmful adjacency is (read, write-false): bringing [if (_sleep)]
+   temporally next to [_sleep = false] lets the user observe [true] at the
+   last possible moment and interrupt a cleaner that is about to leave the
+   protected region — the InterruptedException then fires in the next
+   cycle's unprotected window. Fuzzing the (write-true, read) pair instead
+   always lines the read up *before* the flag goes up, so it reads false
+   and never interrupts: a real but harmless adjacency. *)
+let harmful_pair = Site.Pair.make site_sleep_w_false site_sleep_r
+
+let program ?(ncycles = 3) ?(nops = 10) () =
+  let farm = Common.Farm.create ~file ~base_line:100 8 in
+  (* synchronized cache: int -> int, 8 buckets *)
+  let cache_lock = Lock.create ~name:"cache" () in
+  let buckets = Api.Sarray.make 8 [] in
+  let put k v =
+    Api.sync ~site:site_map_sync cache_lock (fun () ->
+        let i = k mod 8 in
+        let b = Api.Sarray.get ~site:site_map_r buckets i in
+        Api.Sarray.set ~site:site_map_w buckets i ((k, v) :: List.remove_assoc k b))
+  in
+  let get k =
+    Api.sync ~site:site_map_sync cache_lock (fun () ->
+        let b = Api.Sarray.get ~site:site_map_r buckets (k mod 8) in
+        List.assoc_opt k b)
+  in
+  let sleep_flag = Api.Cell.make ~name:"_sleep" false in
+  let cleaner_monitor = Lock.create ~name:"cleaner" () in
+  let cleaner () =
+    Common.Farm.publish farm 1000;
+    for _cycle = 1 to ncycles do
+      Api.Cell.write ~site:site_sleep_w_true sleep_flag true;
+      (* the unprotected window: an interrupt landing here is uncaught *)
+      Api.sleep ~site:site_window ();
+      (* the long protected sleep: in cache4j the cleaner parks here for
+         _cleanInterval, so an interrupt almost always lands here (caught)
+         unless a scheduler deliberately squeezes it into the window *)
+      (try
+         for _ = 1 to 30 do
+           Api.sleep ~site:site_sleep_protected ()
+         done
+       with Op.Interrupted -> ());
+      Api.Cell.write ~site:site_sleep_w_false sleep_flag false;
+      (* sweep: drop half the entries *)
+      Api.sync ~site:site_map_sync cache_lock (fun () ->
+          for i = 0 to 7 do
+            let b = Api.Sarray.get ~site:site_map_r buckets i in
+            Api.Sarray.set ~site:site_map_w buckets i
+              (List.filter (fun (k, _) -> k mod 2 = 0) b)
+          done)
+    done
+  in
+  let h = Api.fork ~name:"CacheCleaner" cleaner in
+  (* user thread: cache traffic + the racy interrupt idiom (the interrupt
+     is a one-shot wake-up request, as in cache4j's shutdown path) *)
+  let interrupted = ref false in
+  for i = 1 to nops do
+    put i (i * i);
+    ignore (get (i / 2));
+    if (i mod 3 = 0) && not !interrupted then
+      Api.sync ~site:(s 9 "synchronized(cleaner)") cleaner_monitor (fun () ->
+          if Api.Cell.read ~site:site_sleep_r sleep_flag then begin
+            Api.interrupt ~site:(s 10 "cleaner.interrupt()") h;
+            interrupted := true
+          end)
+  done;
+  Common.Farm.consume_rounds farm 20;
+  Api.join h
+
+let workload =
+  Workload.make ~name:"cache4j"
+    ~descr:"cache4j analogue: _sleep/interrupt race crashes the cleaner (paper §5.3)"
+    ~sloc:96 ~expected_real:(Some 2) (fun () -> program ())

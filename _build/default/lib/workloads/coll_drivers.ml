@@ -1,0 +1,132 @@
+(** Test drivers for the open (library) benchmarks — paper §5.1: "A test
+    driver starts by creating two empty objects of the class.  The test
+    driver also creates and starts a set of threads, where each thread
+    executes different methods of either of the two objects concurrently.
+    We created two objects because some of the methods, such as
+    containsAll, take as an argument an object of the same type."
+
+    Drivers for Vector (JDK 1.1) and for synchronized wrappers over
+    ArrayList, LinkedList, HashSet, TreeSet (JDK 1.4.2).  The wrapper
+    drivers exercise exactly the buggy combination of §5.3 —
+    [l1.containsAll(l2)] against mutations of [l2] — whose races RaceFuzzer
+    confirms and whose resolutions throw ConcurrentModificationException /
+    NoSuchElementException. *)
+
+open Rf_runtime
+open Rf_collections
+
+(* ------------------------------------------------------------------ *)
+(* Vector 1.1: internally synchronized, but Enumeration and copyInto    *)
+(* read fields with no lock — every reported pair is real; the driver   *)
+(* only grows the vectors, so the races stay benign (paper: 9/9, 0 exc) *)
+
+let vector_program () =
+  let v1 = Vector.create () and v2 = Vector.create () in
+  for i = 1 to 3 do
+    ignore (Vector.add v1 i)
+  done;
+  let t1 =
+    Api.fork ~name:"vec-writer" (fun () ->
+        for i = 4 to 8 do
+          ignore (Vector.add v1 (i * 10));
+          (* in-place overwrites: the element writes that race with the
+             enumeration/copyInto element reads *)
+          Vector.set_element_at v1 (i mod 3) (i * 100);
+          ignore (Vector.add v2 i)
+        done)
+  in
+  let t2 =
+    Api.fork ~name:"vec-enum" (fun () ->
+        (* grow-only driver: the enumeration races but cannot throw *)
+        let it = Vector.elements v1 in
+        let sum = ref 0 in
+        while it.Jcoll.has_next () do
+          sum := !sum + it.Jcoll.next ()
+        done;
+        ignore !sum)
+  in
+  let t3 =
+    Api.fork ~name:"vec-copy" (fun () ->
+        let dst = Array.make 64 0 in
+        ignore (Vector.copy_into v1 dst))
+  in
+  let t4 =
+    Api.fork ~name:"vec-reader" (fun () ->
+        ignore (Vector.contains v1 2);
+        ignore (Vector.get v1 0);
+        ignore (Vector.size v2))
+  in
+  List.iter Api.join [ t1; t2; t3; t4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Synchronized-wrapper drivers (JDK 1.4.2)                             *)
+
+(* Build the paper's §5.3 scenario around any two synchronized
+   collections: bulk reads of (c1, c2) racing with mutations of c2. *)
+let wrapper_driver ~mk () =
+  let c1 = Collections.synchronized (mk ()) and c2 = Collections.synchronized (mk ()) in
+  (* seed before forking (ordered by fork edges) *)
+  for i = 1 to 3 do
+    ignore (c1.Jcoll.add i);
+    ignore (c2.Jcoll.add (i + 1))
+  done;
+  let t1 =
+    Api.fork ~name:"bulk-reader" (fun () ->
+        (* l1.containsAll(l2): holds l1, iterates l2 unlocked; the CME /
+           NoSuchElementException escapes and kills the thread, as in the
+           paper's JDK experiments *)
+        ignore (Collections.contains_all c1 c2))
+  in
+  let t2 =
+    Api.fork ~name:"mutator" (fun () ->
+        (* mutations of l2 under its own lock: modCount bumps that the
+           unlocked iterator of t1/t4 may or may not observe *)
+        ignore (c2.Jcoll.add 99);
+        ignore (c2.Jcoll.remove 2);
+        ignore (c2.Jcoll.add 77))
+  in
+  let t3 =
+    Api.fork ~name:"adder" (fun () ->
+        ignore (c1.Jcoll.add 42);
+        ignore (c1.Jcoll.contains 1))
+  in
+  let t4 =
+    Api.fork ~name:"equals-caller" (fun () ->
+        (* equals iterates both receivers lock-free *)
+        ignore (Jcoll.equals c1 c2))
+  in
+  List.iter Api.join [ t1; t2; t3; t4 ]
+
+let arraylist_program () = wrapper_driver ~mk:(fun () -> Array_list.as_coll (Array_list.create ())) ()
+let linkedlist_program () = wrapper_driver ~mk:(fun () -> Linked_list.as_coll (Linked_list.create ())) ()
+let hashset_program () = wrapper_driver ~mk:(fun () -> Hash_set.as_coll (Hash_set.create ())) ()
+let treeset_program () = wrapper_driver ~mk:(fun () -> Tree_set.as_coll (Tree_set.create ())) ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload records                                                    *)
+
+let vector =
+  Workload.make ~name:"vector1.1"
+    ~descr:"JDK 1.1 Vector driver: unsynchronized Enumeration/copyInto reads"
+    ~sloc:45 ~known_real_races:(Some 9) ~expected_real:(Some 3)
+    vector_program
+
+let arraylist =
+  Workload.make ~name:"ArrayList"
+    ~descr:"synchronizedList(ArrayList) driver: containsAll/equals vs mutators"
+    ~sloc:40 ~expected_real:(Some 2) arraylist_program
+
+let linkedlist =
+  Workload.make ~name:"LinkedList"
+    ~descr:"synchronizedList(LinkedList) driver: containsAll/equals vs mutators"
+    ~sloc:40 ~known_real_races:(Some 12) ~expected_real:(Some 2) linkedlist_program
+
+let hashset =
+  Workload.make ~name:"HashSet"
+    ~descr:"synchronizedSet(HashSet) driver: containsAll/addAll vs mutators"
+    ~sloc:40 ~expected_real:(Some 2) hashset_program
+
+let treeset =
+  Workload.make ~name:"TreeSet"
+    ~descr:"synchronizedSet(TreeSet) driver: containsAll/addAll vs mutators"
+    ~sloc:40 ~expected_real:(Some 2) treeset_program

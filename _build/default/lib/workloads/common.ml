@@ -1,0 +1,213 @@
+(** Shared concurrency utilities for the workload analogues: a cyclic
+    barrier and a bounded blocking queue, both built on the runtime's
+    monitors, plus the lock-guarded flag handshake that generates hybrid
+    false positives.
+
+    The handshake deserves explanation, since most workloads use it to
+    plant *apparent* races.  Pattern (paper Figure 1, variable [x]):
+
+    {v
+      publisher:  data = v;              consumer:  sync(L) { f = flag; }
+                  sync(L) { flag = 1; }             if (f == 1) read data;
+    v}
+
+    The data accesses carry disjoint locksets and no SND/RCV edge connects
+    the threads, so hybrid detection reports (write data, read data) as a
+    potential race — yet no schedule can make them adjacent: the consumer
+    only touches [data] after observing [flag = 1], which the publisher set
+    *after* writing [data].  RaceFuzzer must classify all of these as false
+    alarms. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "wl_common"
+let s line label = Site.make ~file ~line label
+
+(* ------------------------------------------------------------------ *)
+(* Cyclic barrier                                                      *)
+
+module Barrier = struct
+  type t = {
+    monitor : Lock.t;
+    parties : int;
+    count : int Api.Cell.t;
+    generation : int Api.Cell.t;
+  }
+
+  let site_count_r = s 1 "barrier.count(read)"
+  let site_count_w = s 2 "barrier.count(write)"
+  let site_gen_r = s 3 "barrier.generation(read)"
+  let site_gen_w = s 4 "barrier.generation(write)"
+  let site_sync = s 5 "barrier.sync"
+  let site_wait = s 6 "barrier.wait"
+  let site_notify = s 7 "barrier.notifyAll"
+
+  let create parties =
+    {
+      monitor = Lock.create ~name:"barrier" ();
+      parties;
+      count = Api.Cell.make ~name:"barrier.count" 0;
+      generation = Api.Cell.make ~name:"barrier.generation" 0;
+    }
+
+  let await t =
+    Api.sync ~site:site_sync t.monitor (fun () ->
+        let gen = Api.Cell.read ~site:site_gen_r t.generation in
+        let arrived = Api.Cell.read ~site:site_count_r t.count + 1 in
+        Api.Cell.write ~site:site_count_w t.count arrived;
+        if arrived = t.parties then begin
+          Api.Cell.write ~site:site_count_w t.count 0;
+          Api.Cell.write ~site:site_gen_w t.generation (gen + 1);
+          Api.notify_all ~site:site_notify t.monitor
+        end
+        else
+          while Api.Cell.read ~site:site_gen_r t.generation = gen do
+            Api.wait ~site:site_wait t.monitor
+          done)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Bounded blocking queue                                              *)
+
+module Queue_ = struct
+  type t = {
+    monitor : Lock.t;
+    items : int list Api.Cell.t;  (* FIFO: append at tail *)
+    capacity : int;
+  }
+
+  let site_sync = s 10 "queue.sync"
+  let site_items_r = s 11 "queue.items(read)"
+  let site_items_w = s 12 "queue.items(write)"
+  let site_wait = s 13 "queue.wait"
+  let site_notify = s 14 "queue.notifyAll"
+
+  let create ?(capacity = max_int) () =
+    {
+      monitor = Lock.create ~name:"queue" ();
+      items = Api.Cell.make ~name:"queue.items" [];
+      capacity;
+    }
+
+  let put t v =
+    Api.sync ~site:site_sync t.monitor (fun () ->
+        while List.length (Api.Cell.read ~site:site_items_r t.items) >= t.capacity do
+          Api.wait ~site:site_wait t.monitor
+        done;
+        Api.Cell.write ~site:site_items_w t.items
+          (Api.Cell.read ~site:site_items_r t.items @ [ v ]);
+        Api.notify_all ~site:site_notify t.monitor)
+
+  let take t =
+    Api.sync ~site:site_sync t.monitor (fun () ->
+        let rec loop () =
+          match Api.Cell.read ~site:site_items_r t.items with
+          | [] ->
+              Api.wait ~site:site_wait t.monitor;
+              loop ()
+          | v :: rest ->
+              Api.Cell.write ~site:site_items_w t.items rest;
+              Api.notify_all ~site:site_notify t.monitor;
+              v
+        in
+        loop ())
+
+  (** Nonblocking poll: None when empty. *)
+  let poll t =
+    Api.sync ~site:site_sync t.monitor (fun () ->
+        match Api.Cell.read ~site:site_items_r t.items with
+        | [] -> None
+        | v :: rest ->
+            Api.Cell.write ~site:site_items_w t.items rest;
+            Api.notify_all ~site:site_notify t.monitor;
+            Some v)
+
+  (** Unsynchronized size probe — a deliberate real race used by the
+      weblech analogue's check-then-act bug. *)
+  let size_unsync ~site t = List.length (Api.Cell.read ~site t.items)
+
+  (** Unsynchronized pop — pairs with [size_unsync] for check-then-act. *)
+  let pop_unsync ~rsite ~wsite t =
+    match Api.Cell.read ~site:rsite t.items with
+    | [] -> raise (Op.No_such_element "queue.pop on empty queue")
+    | v :: rest ->
+        Api.Cell.write ~site:wsite t.items rest;
+        v
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lock-guarded flag handshake (hybrid false-positive generator)       *)
+
+module Handshake = struct
+  type t = {
+    lock : Lock.t;
+    flag : bool Api.Cell.t;
+    data : int Api.Cell.t;
+    write_site : Site.t;  (** the data write: one side of the false pair *)
+    read_site : Site.t;  (** the data read: the other side *)
+  }
+
+  (** Each handshake needs its own sites so distinct instances contribute
+      distinct potential pairs, like distinct statements in a big program. *)
+  let create ~name ~write_site ~read_site () =
+    {
+      lock = Lock.create ~name:(name ^ ".lock") ();
+      flag = Api.Cell.make ~name:(name ^ ".flag") false;
+      data = Api.Cell.make ~name:(name ^ ".data") 0;
+      write_site;
+      read_site;
+    }
+
+  let publish t v =
+    Api.Cell.write ~site:t.write_site t.data v;
+    Api.sync t.lock (fun () -> Api.Cell.write ~site:(s 20 "hs.flag=1") t.flag true)
+
+  (** Returns [Some data] if the flag was observed; the data read happens
+      only under the observed flag, so it can never actually race with
+      [publish]'s write. *)
+  let consume t =
+    let f = Api.sync t.lock (fun () -> Api.Cell.read ~site:(s 21 "hs.flag?") t.flag) in
+    if f then Some (Api.Cell.read ~site:t.read_site t.data) else None
+
+  let false_pair t = Site.Pair.make t.write_site t.read_site
+end
+
+(** A farm of [n] independent handshakes with distinct sites: contributes
+    exactly [n] false-alarm pairs to a workload's potential-race count,
+    standing in for the big programs' many implicitly-synchronized
+    statement pairs. *)
+module Farm = struct
+  type t = Handshake.t list
+
+  let create ~file ~base_line n : t =
+    List.init n (fun i ->
+        Handshake.create
+          ~name:(Printf.sprintf "%s.hs%d" file i)
+          ~write_site:
+            (Site.make ~file ~line:(base_line + (2 * i)) (Printf.sprintf "hs%d.data(write)" i))
+          ~read_site:
+            (Site.make ~file
+               ~line:(base_line + (2 * i) + 1)
+               (Printf.sprintf "hs%d.data(read)" i))
+          ())
+
+  let publish (farm : t) base =
+    List.iteri (fun i hs -> Handshake.publish hs (base + i)) farm
+
+  (** Poll every handshake [rounds] times; consuming while producers are
+      alive is what makes hybrid report the pairs. *)
+  let consume_rounds (farm : t) rounds =
+    let consumed = Array.make (List.length farm) false in
+    for _ = 1 to rounds do
+      List.iteri
+        (fun i hs ->
+          if not consumed.(i) then
+            match Handshake.consume hs with
+            | Some _ -> consumed.(i) <- true
+            | None -> ())
+        farm
+    done
+
+  let false_pairs (farm : t) = List.map Handshake.false_pair farm
+end

@@ -1,0 +1,166 @@
+(** Extra classic concurrency benchmarks beyond Table 1 — programs that
+    recur throughout the literature the paper builds on (Eraser [43],
+    RaceTrack [54], object race detection [53]) and exercise topologies the
+    Table 1 set does not:
+
+    - {!tsp}: branch-and-bound travelling salesman with the canonical
+      *benign* race — the global bound is read without a lock for pruning
+      (a stale bound only costs extra work), updated under a lock;
+    - {!elevator}: a lift controller with a harmful check-then-act on the
+      door state next to properly synchronized job dispatch;
+    - {!philosophers}: the deadlock benchmark, for the deadlock-directed
+      fuzzer. *)
+
+open Rf_util
+open Rf_runtime
+
+(* ------------------------------------------------------------------ *)
+(* TSP                                                                 *)
+
+let tsp_file = "tsp"
+let ts line label = Site.make ~file:tsp_file ~line label
+
+let site_bound_prune = ts 1 "if(len>=minTour) prune"  (* unsync read *)
+let site_bound_check = ts 2 "if(len<minTour)"  (* sync read *)
+let site_bound_write = ts 3 "minTour=len"  (* sync write *)
+
+(* The benign real race: the pruning read vs the locked update. *)
+let tsp_real_pairs () = [ Site.Pair.make site_bound_prune site_bound_write ]
+
+let tsp_program ?(ncities = 6) ?(nworkers = 3) () =
+  (* symmetric distance matrix, deterministic *)
+  let dist i j = 1 + ((i * 7) + (j * 13)) mod 17 in
+  let min_tour = Api.Cell.make ~name:"minTour" max_int in
+  let bound_lock = Lock.create ~name:"minTour" () in
+  let work = Common.Queue_.create () in
+  (* one unit of work per starting second city *)
+  Api.Cell.unsafe_poke work.Common.Queue_.items (List.init (ncities - 1) (fun i -> i + 1));
+  let rec search path len visited =
+    (* the classic unsynchronized pruning read: stale values are safe *)
+    if len < Api.Cell.read ~site:site_bound_prune min_tour then begin
+      match path with
+      | last :: _ when List.length path = ncities ->
+          let total = len + dist last 0 in
+          Api.sync bound_lock (fun () ->
+              if total < Api.Cell.read ~site:site_bound_check min_tour then
+                Api.Cell.write ~site:site_bound_write min_tour total)
+      | last :: _ ->
+          for next = 1 to ncities - 1 do
+            if not (List.mem next visited) then
+              search (next :: path) (len + dist last next) (next :: visited)
+          done
+      | [] -> assert false
+    end
+  in
+  let worker () =
+    let rec loop () =
+      match Common.Queue_.poll work with
+      | Some city ->
+          search [ city; 0 ] (dist 0 city) [ city; 0 ];
+          loop ()
+      | None -> ()
+    in
+    loop ()
+  in
+  let hs = List.init nworkers (fun i -> Api.fork ~name:(Printf.sprintf "tsp%d" i) worker) in
+  List.iter Api.join hs;
+  (* sanity: a tour was found *)
+  if Api.Cell.unsafe_peek min_tour = max_int then Api.error "tsp: no tour found"
+
+let tsp =
+  Workload.make ~name:"tsp"
+    ~descr:"branch-and-bound TSP: the canonical benign race on the global bound"
+    ~sloc:70 ~expected_real:(Some 1) (fun () -> tsp_program ())
+
+(* ------------------------------------------------------------------ *)
+(* Elevator                                                            *)
+
+let el_file = "elevator"
+let es line label = Site.make ~file:el_file ~line label
+
+let site_doors_check = es 1 "if(!doorsOpen)"  (* unsync read *)
+let site_doors_write = es 2 "doorsOpen=..."  (* unsync write *)
+let site_floor_w = es 3 "currentFloor=..."
+let site_floor_r = es 4 "display(currentFloor)"
+let site_doors_recheck = es 6 "doors recheck"
+
+(* As with cache4j, the exception fires at the *second* read of the
+   check-then-act: bringing the recheck adjacent to the doorman's write
+   lets the lift observe the doors opening mid-move. *)
+let elevator_harmful_pair = Site.Pair.make site_doors_recheck site_doors_write
+
+let elevator_program ?(njobs = 6) () =
+  let jobs = Common.Queue_.create () in
+  let doors_open = Api.Cell.make ~name:"doorsOpen" false in
+  let floor = Api.Cell.make ~name:"currentFloor" 0 in
+  let lift () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Common.Queue_.poll jobs with
+      | None -> continue_ := false
+      | Some target ->
+          (* the harmful check-then-act: the doors can open between the
+             check and the move *)
+          if not (Api.Cell.read ~site:site_doors_check doors_open) then begin
+            if Api.Cell.read ~site:(es 5 "floor(read)") floor <> target then
+              Api.Cell.write ~site:site_floor_w floor target;
+            if Api.Cell.read ~site:site_doors_recheck doors_open then
+              Api.error "elevator moved with doors open"
+          end
+    done
+  in
+  let doorman () =
+    for _ = 1 to 4 do
+      Api.Cell.write ~site:site_doors_write doors_open true;
+      Api.sleep ~site:(es 7 "hold doors") ();
+      Api.Cell.write ~site:site_doors_write doors_open false
+    done
+  in
+  let display () =
+    for _ = 1 to 5 do
+      ignore (Api.Cell.read ~site:site_floor_r floor)
+    done
+  in
+  List.iter (fun j -> Common.Queue_.put jobs j) (List.init njobs (fun i -> (i * 3) mod 7));
+  let l1 = Api.fork ~name:"lift1" lift in
+  let l2 = Api.fork ~name:"lift2" lift in
+  let d = Api.fork ~name:"doorman" doorman in
+  let disp = Api.fork ~name:"display" display in
+  List.iter Api.join [ l1; l2; d; disp ]
+
+let elevator =
+  Workload.make ~name:"elevator"
+    ~descr:"lift controller: harmful doors check-then-act + benign display races"
+    ~sloc:66 ~expected_real:(Some 2) (fun () -> elevator_program ())
+
+(* ------------------------------------------------------------------ *)
+(* Dining philosophers (deadlock workload)                             *)
+
+let ph_file = "philosophers"
+let ps line label = Site.make ~file:ph_file ~line label
+
+let philosophers_program ?(n = 3) ?(rounds = 2) () =
+  let forks = Array.init n (fun i -> Lock.create ~name:(Printf.sprintf "fork%d" i) ()) in
+  let meals = Api.Cell.make ~name:"meals" 0 in
+  let meals_lock = Lock.create ~name:"meals" () in
+  let philosopher i () =
+    for _ = 1 to rounds do
+      let first = forks.(i) and second = forks.((i + 1) mod n) in
+      Api.sync ~site:(ps (10 + i) (Printf.sprintf "phil%d: first fork" i)) first
+        (fun () ->
+          Api.sync ~site:(ps (20 + i) (Printf.sprintf "phil%d: second fork" i)) second
+            (fun () ->
+              Api.sync meals_lock (fun () ->
+                  Api.Cell.update ~rsite:(ps 1 "meals(read)") ~wsite:(ps 2 "meals(write)")
+                    meals (fun v -> v + 1))))
+    done
+  in
+  let hs =
+    List.init n (fun i -> Api.fork ~name:(Printf.sprintf "phil%d" i) (philosopher i))
+  in
+  List.iter Api.join hs
+
+let philosophers =
+  Workload.make ~name:"philosophers"
+    ~descr:"dining philosophers, all right-handed: the deadlock benchmark"
+    ~sloc:40 ~expected_real:(Some 0) (fun () -> philosophers_program ())

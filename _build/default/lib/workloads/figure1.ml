@@ -1,0 +1,69 @@
+(** The paper's Figure 1: "A program with a real race".
+
+    {v
+      Initially: x = y = z = 0
+      thread1 {                thread2 {
+        1: x = 1;                7:  z = 1;
+        2: lock(L);              8:  lock(L);
+        3: y = 1;                9:  if (y == 1) {
+        4: unlock(L);            10:   if (x != 1) {
+        5: if (z == 1)           11:     ERROR2;
+        6:   ERROR1;             12:   }
+      }                          13: }
+                                 14: unlock(L);
+                               }
+    v}
+
+    Ground truth (paper §3.1):
+    - the accesses to [z] at statements 5 and 7 are a *real* race, and
+      resolving it write-first reaches ERROR1;
+    - the accesses to [x] at statements 1 and 10 look racy to hybrid
+      detection (inconsistent locking) but are implicitly synchronized via
+      [y]: statement 10 executes only after statement 3, which follows
+      statement 1 in program order — a *false alarm* RaceFuzzer must reject;
+    - [y] is consistently protected by [L]: never reported at all;
+    - ERROR2 is unreachable in any schedule. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "figure1"
+
+let s n label = Site.make ~file ~line:n label
+
+(* The racing statement sites, exported so tests and examples can build
+   RaceSets without re-running phase 1. *)
+let s1_write_x = s 1 "x=1"
+let s3_write_y = s 3 "y=1"
+let s5_read_z = s 5 "if(z==1)"
+let s7_write_z = s 7 "z=1"
+let s9_read_y = s 9 "if(y==1)"
+let s10_read_x = s 10 "if(x!=1)"
+
+let real_pair = Site.Pair.make s5_read_z s7_write_z
+let false_pair = Site.Pair.make s1_write_x s10_read_x
+
+let program () =
+  let x = Api.Cell.global "x" 0 in
+  let y = Api.Cell.global "y" 0 in
+  let z = Api.Cell.global "z" 0 in
+  let l = Lock.create ~name:"L" () in
+  let thread1 () =
+    Api.Cell.write ~site:s1_write_x x 1;
+    Api.sync ~site:(s 2 "lock(L)") l (fun () -> Api.Cell.write ~site:s3_write_y y 1);
+    if Api.Cell.read ~site:s5_read_z z = 1 then Api.error "ERROR1"
+  in
+  let thread2 () =
+    Api.Cell.write ~site:s7_write_z z 1;
+    Api.sync ~site:(s 8 "lock(L)") l (fun () ->
+        if Api.Cell.read ~site:s9_read_y y = 1 then
+          if Api.Cell.read ~site:s10_read_x x <> 1 then Api.error "ERROR2")
+  in
+  let h1 = Api.fork ~name:"thread1" thread1 in
+  let h2 = Api.fork ~name:"thread2" thread2 in
+  Api.join h1;
+  Api.join h2
+
+let workload =
+  Workload.make ~name:"figure1" ~descr:"paper Figure 1: one real race on z, one false alarm on x"
+    ~sloc:14 ~expected_real:(Some 1) program

@@ -1,0 +1,66 @@
+(** The paper's Figure 2: "A program with a hard to reproduce real race".
+
+    {v
+      Initially: x = 0
+      thread1 {                 thread2 {
+        1.  lock(L);              10. x = 1;
+        2..6. f1() .. f5();       11. lock(L);
+        7.  unlock(L);            12. f6();
+        8.  if (x == 0)           13. unlock(L);
+        9.    ERROR;            }
+      }
+    v}
+
+    The body statements f1()..f5() are modelled as [k] shared writes to
+    thread-local cells performed while holding [L] — work that makes
+    statement 8 execute late.  The paper argues (§3.2):
+
+    - under a default or simple random scheduler, the probability of
+      executing statements 8 and 10 adjacently — and of reaching ERROR —
+      decays as [k] grows;
+    - RaceFuzzer creates the race with probability 1 and reaches ERROR with
+      probability 0.5, independent of [k].
+
+    This module is parametric in [k] to regenerate that series. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "figure2"
+
+let s8_read_x = Site.make ~file ~line:8 "if(x==0)"
+let s10_write_x = Site.make ~file ~line:10 "x=1"
+
+let race_pair = Site.Pair.make s8_read_x s10_write_x
+
+let program ?(k = 50) () =
+  let x = Api.Cell.global "x" 0 in
+  let l = Lock.create ~name:"L" () in
+  let thread1 () =
+    Api.sync ~site:(Site.make ~file ~line:1 "lock(L)") l (fun () ->
+        (* f1() .. f5(): k statements of local-object work under the lock *)
+        let scratch = Api.Cell.make ~name:"scratch" 0 in
+        for i = 1 to k do
+          Api.Cell.write ~site:(Site.make ~file ~line:2 "f_i()") scratch i
+        done);
+    if Api.Cell.read ~site:s8_read_x x = 0 then Api.error "ERROR"
+  in
+  let thread2 () =
+    Api.Cell.write ~site:s10_write_x x 1;
+    Api.sync ~site:(Site.make ~file ~line:11 "lock(L)") l (fun () ->
+        let scratch2 = Api.Cell.make ~name:"scratch2" 0 in
+        Api.Cell.write ~site:(Site.make ~file ~line:12 "f6()") scratch2 1)
+  in
+  let h1 = Api.fork ~name:"thread1" thread1 in
+  let h2 = Api.fork ~name:"thread2" thread2 in
+  Api.join h1;
+  Api.join h2
+
+let workload_of_k k =
+  Workload.make ~name:(Printf.sprintf "figure2[k=%d]" k)
+    ~descr:"paper Figure 2: hard-to-reproduce real race on x"
+    ~sloc:14
+    ~expected_real:(Some 1)
+    (fun () -> program ~k ())
+
+let workload = workload_of_k 50

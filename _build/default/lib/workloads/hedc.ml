@@ -1,0 +1,84 @@
+(** Analogue of [hedc] (ETH web-crawler application kernel, paper Table 1:
+    9 potential races, 1 real and previously known, 1 exception pair).
+
+    A coordinator feeds download tasks into a monitor-guarded queue
+    consumed by worker threads.  The real race is in the shutdown path: the
+    coordinator clears the shared connection handle *without
+    synchronization* shortly after enqueueing the poison task, while a
+    worker dereferences the handle when it processes that task.  Under
+    normal schedules the worker wins comfortably (the coordinator has
+    housekeeping to do first); RaceFuzzer postpones the worker's read until
+    the coordinator's write arrives, and resolving the race write-first
+    dereferences a cleared handle — the model's NullPointerException, an
+    uncaught exception crashing the worker.
+
+    A farm of lock-guarded handshakes (metadata published by the
+    coordinator, polled by a monitor thread) supplies the 8 false-positive
+    pairs. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "hedc"
+let s line label = Site.make ~file ~line label
+
+let site_handle_w = s 1 "connection=null"
+let site_handle_r = s 2 "connection.fetch()"
+let site_hk_w = s 3 "stats[i]=..."
+
+let real_pairs () = [ Site.Pair.make site_handle_w site_handle_r ]
+let harmful_pair = Site.Pair.make site_handle_w site_handle_r
+
+let program ?(nworkers = 2) ?(ntasks = 6) () =
+  let farm = Common.Farm.create ~file ~base_line:60 8 in
+  let queue = Common.Queue_.create () in
+  let connection = Api.Cell.make ~name:"connection" (Some 0xC0) in
+  let stats = Api.Sarray.make 8 0 in
+  let results = Common.Queue_.create () in
+  let worker w () =
+    let stop = ref false in
+    while not !stop do
+      let task = Common.Queue_.take queue in
+      if task < 0 then begin
+        (* poison task: flush through the shared connection handle *)
+        (match Api.Cell.read ~site:site_handle_r connection with
+        | Some c -> Common.Queue_.put results (c + w)
+        | None -> Api.error "NullPointerException: connection is null");
+        stop := true
+      end
+      else
+        (* ordinary fetch: hash the url id and record the result *)
+        Common.Queue_.put results ((task * 31) mod 97)
+    done
+  in
+  let mon =
+    Api.fork ~name:"hedc-monitor" (fun () -> Common.Farm.consume_rounds farm 40)
+  in
+  let hs =
+    List.init nworkers (fun w -> Api.fork ~name:(Printf.sprintf "hedc%d" w) (worker w))
+  in
+  Common.Farm.publish farm 42;
+  for t = 1 to ntasks do
+    Common.Queue_.put queue t
+  done;
+  (* shutdown: poison every worker, then tear the connection down after
+     some housekeeping — the racy window *)
+  for _ = 1 to nworkers do
+    Common.Queue_.put queue (-1)
+  done;
+  for i = 0 to 7 do
+    Api.Sarray.set ~site:site_hk_w stats i i
+  done;
+  Api.Cell.write ~site:site_handle_w connection None;
+  List.iter Api.join hs;
+  Api.join mon;
+  (* drain results *)
+  let rec drain () =
+    match Common.Queue_.poll results with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let workload =
+  Workload.make ~name:"hedc"
+    ~descr:"ETH web-crawler kernel analogue: shutdown handle race crashes a worker"
+    ~sloc:92 ~known_real_races:(Some 1) ~expected_real:(Some 1) (fun () -> program ())

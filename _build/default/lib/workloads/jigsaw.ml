@@ -1,0 +1,81 @@
+(** Analogue of [jigsaw] (W3C's Jigsaw web server, paper Table 1: by far
+    the most potential races — 547 — of which 36 were confirmed real, no
+    exceptions, race-creation probability 0.90).
+
+    Scaled to our model server: four handler threads serve statically
+    assigned requests against a shared resource store.  Each handler has
+    its own copy of the access-logging code (Jigsaw's handlers are distinct
+    classes, so races land on distinct statement pairs), and the access
+    counter is incremented with no lock — every cross-handler (read, write)
+    and (write, write) statement pair on the counter is a *real* benign
+    race, giving a large real set like Jigsaw's 36.  Some handlers serve
+    only one request, so a directed scheduler occasionally finds its
+    partner already past the racing statement: race-creation probability
+    lands below 1.0, matching the paper's 0.90.  A configuration handshake
+    farm supplies the false-positive bulk.  The resource store itself is
+    properly synchronized. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "jigsaw"
+let s line label = Site.make ~file ~line label
+
+let nhandlers = 4
+
+(* per-handler logging sites: handler h executes only its own pair *)
+let site_hits_r = Array.init nhandlers (fun h -> s (10 + (2 * h)) (Printf.sprintf "handler%d:hits(read)" h))
+let site_hits_w = Array.init nhandlers (fun h -> s (11 + (2 * h)) (Printf.sprintf "handler%d:hits(write)" h))
+
+let site_store_sync = s 1 "store.sync"
+let site_store_r = s 2 "store[i](read)"
+let site_store_w = s 3 "store[i](write)"
+
+(* All cross-handler pairs on the hit counter are real. *)
+let real_pairs () =
+  let pairs = ref [] in
+  for i = 0 to nhandlers - 1 do
+    for j = 0 to nhandlers - 1 do
+      if i <> j then
+        pairs := Site.Pair.make site_hits_r.(i) site_hits_w.(j) :: !pairs;
+      if i < j then pairs := Site.Pair.make site_hits_w.(i) site_hits_w.(j) :: !pairs
+    done
+  done;
+  List.sort_uniq Site.Pair.compare !pairs
+
+let program ?(nresources = 6) () =
+  let farm = Common.Farm.create ~file ~base_line:100 20 in
+  let store = Api.Sarray.init nresources (fun i -> 100 + i) in
+  let store_lock = Lock.create ~name:"store" () in
+  let hits = Api.Cell.make ~name:"hits" 0 in
+  let serve h resource =
+    (* properly synchronized resource access *)
+    let body =
+      Api.sync ~site:site_store_sync store_lock (fun () ->
+          let v = Api.Sarray.get ~site:site_store_r store (resource mod nresources) in
+          Api.Sarray.set ~site:site_store_w store (resource mod nresources) (v + 1);
+          v)
+    in
+    (* Jigsaw's unsynchronized access counting, one code copy per handler *)
+    Api.Cell.write ~site:site_hits_w.(h) hits
+      (Api.Cell.read ~site:site_hits_r.(h) hits + 1);
+    body
+  in
+  (* static request assignment: handlers 0-1 are busy, 2-3 serve once *)
+  let requests h = match h with 0 -> [ 0; 2; 4 ] | 1 -> [ 1; 3; 5 ] | 2 -> [ 0 ] | _ -> [ 3 ] in
+  let mon =
+    Api.fork ~name:"config-monitor" (fun () -> Common.Farm.consume_rounds farm 35)
+  in
+  let hs =
+    List.init nhandlers (fun h ->
+        Api.fork ~name:(Printf.sprintf "handler%d" h) (fun () ->
+            List.iter (fun r -> ignore (serve h r)) (requests h)))
+  in
+  Common.Farm.publish farm 8000;
+  List.iter Api.join hs;
+  Api.join mon
+
+let workload =
+  Workload.make ~name:"jigsaw"
+    ~descr:"Jigsaw web-server analogue: per-handler counter races, config handshakes"
+    ~sloc:96 ~expected_real:(Some 10) ~interactive:true (fun () -> program ())

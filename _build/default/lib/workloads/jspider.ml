@@ -1,0 +1,56 @@
+(** Analogue of [jspider] (configurable web spider engine, paper Table 1:
+    29 potential races, 0 real, runtime ≈ normal execution).
+
+    jspider's reported races come from its plugin/configuration machinery:
+    the engine publishes configuration values that plugins read behind
+    guarded flags — all implicitly synchronized, so every one of the
+    potential pairs is a false alarm.  Modelled as a large handshake farm
+    published by the engine thread and polled by plugin threads, plus a
+    properly synchronized task dispatcher that contributes no reports. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "jspider"
+let s line label = Site.make ~file ~line label
+
+let site_dispatch_sync = s 1 "dispatcher.sync"
+let site_tasks_r = s 2 "tasks(read)"
+let site_tasks_w = s 3 "tasks(write)"
+
+let program ?(nplugins = 3) ?(ntasks = 6) () =
+  let farm = Common.Farm.create ~file ~base_line:40 29 in
+  let tasks = Api.Cell.make ~name:"tasks" (List.init ntasks (fun i -> i)) in
+  let tasks_lock = Lock.create ~name:"dispatcher" () in
+  let take_task () =
+    Api.sync ~site:site_dispatch_sync tasks_lock (fun () ->
+        match Api.Cell.read ~site:site_tasks_r tasks with
+        | [] -> None
+        | t :: rest ->
+            Api.Cell.write ~site:site_tasks_w tasks rest;
+            Some t)
+  in
+  let plugin p () =
+    (* plugins poll the engine's configuration handshakes... *)
+    Common.Farm.consume_rounds farm (10 + p);
+    (* ...and then process dispatched tasks under proper locking *)
+    let rec work () =
+      match take_task () with
+      | Some t ->
+          let _ = (t * 17) mod 23 in
+          work ()
+      | None -> ()
+    in
+    work ()
+  in
+  let hs =
+    List.init nplugins (fun p -> Api.fork ~name:(Printf.sprintf "plugin%d" p) (plugin p))
+  in
+  (* the engine publishes its configuration while the plugins poll *)
+  Common.Farm.publish farm 500;
+  List.iter Api.join hs
+
+let workload =
+  Workload.make ~name:"jspider"
+    ~descr:"jspider analogue: configuration handshakes only, zero real races"
+    ~sloc:58 ~expected_real:(Some 0) (fun () -> program ())

@@ -1,0 +1,110 @@
+(** Analogue of [moldyn] (Java Grande molecular dynamics, paper Table 1:
+    many potential races, 2 real-but-benign races that prior dynamic tools
+    had missed, no exceptions, compute-heavy).
+
+    Structure: [nworkers] threads simulate [nparticles] particles over
+    [nsteps] timesteps.  Each step has a force phase (read all positions,
+    write own slice of forces) and an update phase (read own forces, write
+    own positions), separated by cyclic barriers.
+
+    Race topology:
+    - position arrays are written by their owner slice and read by every
+      worker in the next force phase.  The barrier orders these for real,
+      but its ordering is invisible to the *weak* happens-before of hybrid
+      detection for most arrival orders, so the (position-write,
+      position-read) statement pairs across the three coordinate arrays are
+      reported as potential races — all false alarms;
+    - [steps_done], a progress counter, is incremented by every worker with
+      no lock: genuinely racy (read-write and write-write pairs) but benign
+      — the paper's "2 real (but benign) races missed by previous dynamic
+      analysis tools";
+    - the potential-energy accumulator is guarded by a lock: never
+      reported. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "moldyn"
+let s line label = Site.make ~file ~line label
+
+let site_force_read_x = s 1 "force:read x[j]"
+let site_force_read_y = s 2 "force:read y[j]"
+let site_force_read_z = s 3 "force:read z[j]"
+let site_force_write = s 4 "force:write f[i]"
+let site_update_read_f = s 5 "update:read f[i]"
+let site_update_write_x = s 6 "update:write x[i]"
+let site_update_write_y = s 7 "update:write y[i]"
+let site_update_write_z = s 8 "update:write z[i]"
+let site_update_read_x = s 14 "update:read x[i]"
+let site_update_read_y = s 15 "update:read y[i]"
+let site_update_read_z = s 16 "update:read z[i]"
+let site_steps_r = s 9 "steps_done(read)"
+let site_steps_w = s 10 "steps_done(write)"
+let site_epot_sync = s 11 "epot.sync"
+let site_epot_r = s 12 "epot(read)"
+let site_epot_w = s 13 "epot(write)"
+
+(* The two real (benign) statement pairs. *)
+let real_pairs () =
+  [ Site.Pair.make site_steps_r site_steps_w; Site.Pair.make site_steps_w site_steps_w ]
+
+let program ?(nworkers = 3) ?(nparticles = 12) ?(nsteps = 3) () =
+  let x = Api.Sarray.init nparticles (fun i -> i * 7) in
+  let y = Api.Sarray.init nparticles (fun i -> i * 13) in
+  let z = Api.Sarray.init nparticles (fun i -> i * 29) in
+  let f = Api.Sarray.make nparticles 0 in
+  let epot = Api.Cell.make ~name:"epot" 0 in
+  let epot_lock = Lock.create ~name:"epot" () in
+  let steps_done = Api.Cell.make ~name:"steps_done" 0 in
+  let barrier = Common.Barrier.create nworkers in
+  let slice w =
+    let chunk = (nparticles + nworkers - 1) / nworkers in
+    let lo = w * chunk in
+    (lo, min nparticles (lo + chunk) - 1)
+  in
+  let worker w () =
+    let lo, hi = slice w in
+    for _step = 1 to nsteps do
+      (* force phase: all-pairs interaction against own slice *)
+      let local_e = ref 0 in
+      for i = lo to hi do
+        let acc = ref 0 in
+        for j = 0 to nparticles - 1 do
+          if j <> i then begin
+            let dx = Api.Sarray.get ~site:site_force_read_x x j in
+            let dy = Api.Sarray.get ~site:site_force_read_y y j in
+            let dz = Api.Sarray.get ~site:site_force_read_z z j in
+            let r2 = (dx * dx) + (dy * dy) + (dz * dz) + 1 in
+            acc := !acc + ((dx + dy + dz) mod r2);
+            local_e := !local_e + (r2 mod 97)
+          end
+        done;
+        Api.Sarray.set ~site:site_force_write f i !acc
+      done;
+      Api.sync ~site:site_epot_sync epot_lock (fun () ->
+          Api.Cell.write ~site:site_epot_w epot
+            (Api.Cell.read ~site:site_epot_r epot + !local_e));
+      Common.Barrier.await barrier;
+      (* update phase: integrate own slice *)
+      for i = lo to hi do
+        let fi = Api.Sarray.get ~site:site_update_read_f f i in
+        Api.Sarray.set ~site:site_update_write_x x i
+          ((Api.Sarray.get ~site:site_update_read_x x i + fi) mod 1009);
+        Api.Sarray.set ~site:site_update_write_y y i
+          ((Api.Sarray.get ~site:site_update_read_y y i + (fi * 3)) mod 1013);
+        Api.Sarray.set ~site:site_update_write_z z i
+          ((Api.Sarray.get ~site:site_update_read_z z i + (fi * 7)) mod 1019);
+      done;
+      (* benign real race: unsynchronized progress counter *)
+      Api.Cell.write ~site:site_steps_w steps_done
+        (Api.Cell.read ~site:site_steps_r steps_done + 1);
+      Common.Barrier.await barrier
+    done
+  in
+  let hs = List.init nworkers (fun w -> Api.fork ~name:(Printf.sprintf "mold%d" w) (worker w)) in
+  List.iter Api.join hs
+
+let workload =
+  Workload.make ~name:"moldyn"
+    ~descr:"Java Grande molecular dynamics analogue: barrier phases, benign counter races"
+    ~sloc:118 ~known_real_races:(Some 0) ~expected_real:(Some 2) (fun () -> program ())

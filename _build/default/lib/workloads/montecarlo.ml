@@ -1,0 +1,88 @@
+(** Analogue of [montecarlo] (Java Grande, paper Table 1: 5 potential
+    races, 1 real and previously known, no exceptions).
+
+    Worker threads price paths and publish per-task results through four
+    lock-guarded flag handshakes — implicit synchronization that hybrid
+    detection cannot see, contributing four false-alarm pairs.  The one
+    real race: worker 0 publishes a [latest_result] sample without any
+    lock, which the coordinator polls unsynchronized (single-writer, so
+    benign). *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "montecarlo"
+let s line label = Site.make ~file ~line label
+
+let site_latest_w = s 1 "latest_result(write)"
+let site_latest_r = s 2 "latest_result(read)"
+let site_sum_sync = s 3 "results.sync"
+let site_sum_r = s 4 "sum(read)"
+let site_sum_w = s 5 "sum(write)"
+
+let real_pairs () = [ Site.Pair.make site_latest_w site_latest_r ]
+
+let program ?(nworkers = 4) ?(ntasks = 8) () =
+  let handshakes =
+    List.init 4 (fun i ->
+        Common.Handshake.create
+          ~name:(Printf.sprintf "mc.result%d" i)
+          ~write_site:(s (10 + (2 * i)) (Printf.sprintf "result%d(write)" i))
+          ~read_site:(s (11 + (2 * i)) (Printf.sprintf "result%d(read)" i))
+          ())
+  in
+  let sum = Api.Cell.make ~name:"sum" 0 in
+  let sum_lock = Lock.create ~name:"results" () in
+  let latest = Api.Cell.make ~name:"latest_result" 0 in
+  let price w task =
+    (* toy geometric-walk pricing, deterministic per (w, task) *)
+    let p = ref 100 in
+    for i = 1 to 12 do
+      p := !p + (((w + 1) * (task + 1) * i) mod 7) - 3
+    done;
+    !p
+  in
+  let worker w () =
+    let task = ref w in
+    while !task < ntasks do
+      let value = price w !task in
+      Api.sync ~site:site_sum_sync sum_lock (fun () ->
+          Api.Cell.write ~site:site_sum_w sum
+            (Api.Cell.read ~site:site_sum_r sum + value));
+      (* real race: single-writer sample published by worker 0 only *)
+      if w = 0 then Api.Cell.write ~site:site_latest_w latest value;
+      (* handshake publication of the worker's first result only: the data
+         cell must never be written again once the flag is up, or the
+         handshake would become a real race *)
+      (if !task = w then
+         match List.nth_opt handshakes (w mod 4) with
+         | Some hs -> Common.Handshake.publish hs value
+         | None -> ());
+      task := !task + nworkers
+    done
+  in
+  let hs_threads =
+    List.init nworkers (fun w -> Api.fork ~name:(Printf.sprintf "mc%d" w) (worker w))
+  in
+  (* The coordinator polls while the workers are still alive: the
+     handshake data reads must be concurrent with the writes under weak
+     happens-before (after join they would be ordered by the join edge and
+     hybrid would stay silent). *)
+  let consumed = Array.make (List.length handshakes) false in
+  for _round = 1 to 25 do
+    ignore (Api.Cell.read ~site:site_latest_r latest);
+    List.iteri
+      (fun i hs ->
+        if not consumed.(i) then
+          match Common.Handshake.consume hs with
+          | Some _ -> consumed.(i) <- true
+          | None -> ())
+      handshakes
+  done;
+  List.iter Api.join hs_threads;
+  ignore (Api.Cell.read ~site:site_latest_r latest)
+
+let workload =
+  Workload.make ~name:"montecarlo"
+    ~descr:"Java Grande Monte Carlo analogue: handshake false alarms + one real sample race"
+    ~sloc:74 ~known_real_races:(Some 1) ~expected_real:(Some 1) (fun () -> program ())

@@ -1,0 +1,59 @@
+(** Analogue of [raytracer] (Java Grande, paper Table 1: 2 potential races,
+    both real and previously known, no exceptions).
+
+    The well-known raytracer race: worker threads render disjoint rows of
+    the image but accumulate a validation [checksum] with an unsynchronized
+    read-modify-write.  Both distinct statement pairs on the checksum —
+    (read, write) and (write, write) — are real races; losing an update
+    only perturbs the checksum, so they are benign (no exception). *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "raytracer"
+let s line label = Site.make ~file ~line label
+
+let site_scene_r = s 1 "scene[j](read)"
+let site_row_w = s 2 "image[row](write)"
+let site_checksum_r = s 3 "checksum(read)"
+let site_checksum_w = s 4 "checksum+=(write)"
+
+let real_pairs () =
+  [
+    Site.Pair.make site_checksum_r site_checksum_w;
+    Site.Pair.make site_checksum_w site_checksum_w;
+  ]
+
+let program ?(nworkers = 3) ?(height = 9) ?(width = 8) () =
+  (* the scene is built by main before forking: fork edges order it *)
+  let scene = Api.Sarray.init 16 (fun i -> (i * i) + 3) in
+  let image = Api.Sarray.make height 0 in
+  let checksum = Api.Cell.make ~name:"checksum" 0 in
+  let render_row row =
+    let acc = ref 0 in
+    for px = 0 to width - 1 do
+      let sphere = Api.Sarray.get ~site:site_scene_r scene ((row + px) mod 16) in
+      (* toy shading: deterministic integer ray math *)
+      acc := !acc + ((sphere * (px + 1)) mod 255)
+    done;
+    Api.Sarray.set ~site:site_row_w image row !acc;
+    (* the famous unsynchronized checksum accumulation *)
+    Api.Cell.write ~site:site_checksum_w checksum
+      (Api.Cell.read ~site:site_checksum_r checksum + !acc)
+  in
+  let worker w () =
+    let row = ref w in
+    while !row < height do
+      render_row !row;
+      row := !row + nworkers
+    done
+  in
+  let hs =
+    List.init nworkers (fun w -> Api.fork ~name:(Printf.sprintf "ray%d" w) (worker w))
+  in
+  List.iter Api.join hs
+
+let workload =
+  Workload.make ~name:"raytracer"
+    ~descr:"Java Grande raytracer analogue: unsynchronized checksum accumulation"
+    ~sloc:62 ~known_real_races:(Some 2) ~expected_real:(Some 2) (fun () -> program ())

@@ -1,0 +1,33 @@
+(** All Table 1 workloads, in the paper's row order. *)
+
+let all : Workload.t list =
+  [
+    Moldyn.workload;
+    Raytracer.workload;
+    Montecarlo.workload;
+    Cache4j.workload;
+    Sor.workload;
+    Hedc.workload;
+    Weblech.workload;
+    Jspider.workload;
+    Jigsaw.workload;
+    Coll_drivers.vector;
+    Coll_drivers.linkedlist;
+    Coll_drivers.arraylist;
+    Coll_drivers.hashset;
+    Coll_drivers.treeset;
+  ]
+
+let litmus : Workload.t list = [ Figure1.workload; Figure2.workload ]
+
+(** Classic benchmarks beyond Table 1 (tsp, elevator, philosophers); the
+    philosophers workload deadlocks by design, so it is excluded from the
+    termination-asserting suites. *)
+let extras : Workload.t list = [ Extras.tsp; Extras.elevator; Extras.philosophers ]
+
+let find name =
+  List.find_opt
+    (fun w -> String.lowercase_ascii w.Workload.name = String.lowercase_ascii name)
+    (all @ litmus @ extras)
+
+let names () = List.map (fun w -> w.Workload.name) (all @ litmus @ extras)

@@ -1,0 +1,79 @@
+(** Analogue of [sor] (ETH successive over-relaxation benchmark, paper
+    Table 1: 8 potential races, 0 real).
+
+    Two workers relax interleaved rows of a grid in alternating red/black
+    half-sweeps.  Phase changes are signalled through lock-guarded flag
+    handshakes (the benchmark's volatile-flag phase protocol), so every
+    cross-worker access pair the hybrid detector reports — the neighbouring
+    row reads against the other worker's writes, plus the protocol's own
+    payload cells — is implicitly ordered and must be rejected by
+    RaceFuzzer: the paper found *no* real race in sor. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "sor"
+let s line label = Site.make ~file ~line label
+
+let site_grid_r = s 1 "G[i-1..i+1][j](read)"
+let site_grid_w = s 2 "G[i][j](write)"
+
+let program ?(rows = 6) ?(cols = 4) ?(sweeps = 2) () =
+  let farm = Common.Farm.create ~file ~base_line:50 6 in
+  let grid = Api.Sarray.make (rows * cols) 1 in
+  let idx i j = (i * cols) + j in
+  (* phase protocol: worker w waits until phase counter for its colour is
+     published through a monitor-guarded cell (proper wait/notify, so it is
+     ordered even for weak HB via the notify edges) *)
+  let phase_lock = Lock.create ~name:"phase" () in
+  let phase = Api.Cell.make ~name:"phase" 0 in
+  let advance_phase () =
+    Api.sync ~site:(s 10 "phase.sync") phase_lock (fun () ->
+        Api.Cell.write ~site:(s 11 "phase++") phase
+          (Api.Cell.read ~site:(s 12 "phase(read)") phase + 1);
+        Api.notify_all ~site:(s 13 "phase.notifyAll") phase_lock)
+  in
+  let await_phase p =
+    Api.sync ~site:(s 10 "phase.sync") phase_lock (fun () ->
+        while Api.Cell.read ~site:(s 12 "phase(read)") phase < p do
+          Api.wait ~site:(s 14 "phase.wait") phase_lock
+        done)
+  in
+  let relax_row i =
+    for j = 0 to cols - 1 do
+      let up = if i > 0 then Api.Sarray.get ~site:site_grid_r grid (idx (i - 1) j) else 0 in
+      let down =
+        if i < rows - 1 then Api.Sarray.get ~site:site_grid_r grid (idx (i + 1) j) else 0
+      in
+      let self = Api.Sarray.get ~site:site_grid_r grid (idx i j) in
+      Api.Sarray.set ~site:site_grid_w grid (idx i j) ((up + down + (2 * self)) / 4 + 1)
+    done
+  in
+  (* worker 0 relaxes even rows on even phases; worker 1 odd rows on odd *)
+  let worker w () =
+    for sweep = 0 to sweeps - 1 do
+      let p = (2 * sweep) + w in
+      await_phase p;
+      let i = ref w in
+      while !i < rows do
+        relax_row !i;
+        i := !i + 2
+      done;
+      advance_phase ()
+    done
+  in
+  (* the convergence monitor polls statistics the main thread publishes
+     through the handshakes; publisher and consumer run concurrently, so
+     the pairs are visible to (and falsely reported by) hybrid detection *)
+  let mon = Api.fork ~name:"sor-monitor" (fun () -> Common.Farm.consume_rounds farm 40) in
+  let h0 = Api.fork ~name:"sor0" (worker 0) in
+  let h1 = Api.fork ~name:"sor1" (worker 1) in
+  Common.Farm.publish farm 7;
+  Api.join h0;
+  Api.join h1;
+  Api.join mon
+
+let workload =
+  Workload.make ~name:"sor"
+    ~descr:"ETH SOR analogue: phase-ordered grid sweeps, zero real races"
+    ~sloc:88 ~known_real_races:(Some 0) ~expected_real:(Some 0) (fun () -> program ())

@@ -1,0 +1,87 @@
+(** Analogue of [weblech] (multi-threaded web-site download/mirror tool,
+    paper Table 1: 27 potential races, 2 real of which 1 previously known,
+    1 exception pair found by RaceFuzzer and occasionally by the simple
+    random scheduler).
+
+    Worker threads drain a shared *unsynchronized* work stack of URLs (the
+    real weblech guards its queue inconsistently): the
+    [if (size > 0) pop()] check-then-act races with other workers' pops,
+    and losing the race throws the model's NoSuchElementException — the
+    harmful pair.  Because check and pop are adjacent statements, even an
+    undirected random scheduler stumbles on this occasionally, matching
+    column 10 of the table.  Workers also publish the last URL fetched to
+    an unsynchronized status cell the coordinator polls (benign real
+    races).  A handshake farm supplies the false-positive bulk. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "weblech"
+let s line label = Site.make ~file ~line label
+
+let site_stack_size_r = s 1 "if(queueSize>0)"
+let site_stack_pop_r = s 2 "pop:read queue"
+let site_stack_pop_w = s 3 "pop:write queue"
+let site_last_w = s 4 "lastURL(write)"
+let site_last_r = s 5 "lastURL(read)"
+let site_visited_sync = s 6 "visited.sync"
+let site_visited_r = s 7 "visited(read)"
+let site_visited_w = s 8 "visited(write)"
+
+(* The exception fires at the pop, not at the size check: a worker
+   postponed at its pop's read while another worker's pop-write empties the
+   stack dereferences an empty queue — NoSuchElementException. *)
+let harmful_pair = Site.Pair.make site_stack_pop_r site_stack_pop_w
+
+let real_pairs () =
+  [
+    Site.Pair.make site_stack_size_r site_stack_pop_w;
+    Site.Pair.make site_stack_pop_r site_stack_pop_w;
+    Site.Pair.make site_stack_pop_w site_stack_pop_w;
+    Site.Pair.make site_last_w site_last_r;
+    Site.Pair.make site_last_w site_last_w;
+  ]
+
+let program ?(nworkers = 3) ?(nurls = 9) () =
+  let farm = Common.Farm.create ~file ~base_line:70 21 in
+  let stack = Common.Queue_.create () in
+  (* seed the frontier before forking: ordered by the fork edges *)
+  Api.Cell.unsafe_poke stack.Common.Queue_.items (List.init nurls (fun i -> i + 1));
+  let visited = Api.Cell.make ~name:"visited" [] in
+  let visited_lock = Lock.create ~name:"visited" () in
+  let last_url = Api.Cell.make ~name:"lastURL" 0 in
+  let worker _w () =
+    let continue_ = ref true in
+    while !continue_ do
+      if Common.Queue_.size_unsync ~site:site_stack_size_r stack > 0 then begin
+        (* the racy window: another worker can empty the stack here *)
+        let url =
+          Common.Queue_.pop_unsync ~rsite:site_stack_pop_r ~wsite:site_stack_pop_w
+            stack
+        in
+        Api.sync ~site:site_visited_sync visited_lock (fun () ->
+            Api.Cell.write ~site:site_visited_w visited
+              (url :: Api.Cell.read ~site:site_visited_r visited));
+        Api.Cell.write ~site:site_last_w last_url url
+      end
+      else continue_ := false
+    done
+  in
+  let mon =
+    Api.fork ~name:"weblech-status" (fun () ->
+        Common.Farm.consume_rounds farm 30;
+        for _ = 1 to 6 do
+          ignore (Api.Cell.read ~site:site_last_r last_url)
+        done)
+  in
+  let hs =
+    List.init nworkers (fun w -> Api.fork ~name:(Printf.sprintf "spider%d" w) (worker w))
+  in
+  Common.Farm.publish farm 0;
+  List.iter Api.join hs;
+  Api.join mon
+
+let workload =
+  Workload.make ~name:"weblech"
+    ~descr:"weblech analogue: unsynchronized URL stack, check-then-pop exception"
+    ~sloc:90 ~known_real_races:(Some 1) ~expected_real:(Some 2) (fun () -> program ())

@@ -1,0 +1,21 @@
+(** Workload descriptor: one benchmark program analogue with the metadata
+    Table 1 reports about it. *)
+
+type t = {
+  name : string;
+  descr : string;
+  sloc : int;  (** lines of model code, reported like the paper's SLOC column *)
+  program : unit -> unit;  (** fresh main; must be run inside an engine *)
+  known_real_races : int option;
+      (** paper column 8: races confirmed by prior studies; [None] = '-' *)
+  expected_real : int option;
+      (** planted real races in our analogue (for tests); [None] = unknown *)
+  interactive : bool;
+      (** paper skips runtime columns for jigsaw; mirrored here *)
+}
+
+let make ?(known_real_races = None) ?(expected_real = None) ?(interactive = false)
+    ~name ~descr ~sloc program =
+  { name; descr; sloc; program; known_real_races; expected_real; interactive }
+
+let pp ppf t = Fmt.pf ppf "%s (%d sloc): %s" t.name t.sloc t.descr

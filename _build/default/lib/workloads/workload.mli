@@ -1,0 +1,24 @@
+(** Workload descriptor: one benchmark-program analogue plus the metadata
+    Table 1 reports about it. *)
+
+type t = {
+  name : string;
+  descr : string;
+  sloc : int;  (** model size, reported like the paper's SLOC column *)
+  program : unit -> unit;  (** fresh main; run inside an engine *)
+  known_real_races : int option;  (** paper column 8; [None] renders '-' *)
+  expected_real : int option;  (** planted real races (asserted by tests) *)
+  interactive : bool;  (** paper omits runtime columns for jigsaw *)
+}
+
+val make :
+  ?known_real_races:int option ->
+  ?expected_real:int option ->
+  ?interactive:bool ->
+  name:string ->
+  descr:string ->
+  sloc:int ->
+  (unit -> unit) ->
+  t
+
+val pp : Format.formatter -> t -> unit

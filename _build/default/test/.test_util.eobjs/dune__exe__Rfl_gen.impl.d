@@ -1,0 +1,1 @@
+test/rfl_gen.ml: List Printf QCheck Rf_lang

@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Api Engine Fmt Fun List Lock Printf Racefuzzer Rf_detect Rf_runtime Rf_util Site Strategy

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algo Fun Fuzzer List Loc Printexc Printf Racefuzzer Rapos Rf_events Rf_runtime Rf_util Rf_workloads Site

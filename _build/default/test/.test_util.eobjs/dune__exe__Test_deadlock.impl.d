@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest Api Array Engine Fun List Lock Outcome Printf Racefuzzer Rf_detect Rf_runtime Rf_util Rf_workloads Site Strategy

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Event Filename List Loc Lockset Printf QCheck QCheck_alcotest Rf_events Rf_util Serial Site Sys Trace

@@ -1,0 +1,1 @@
+test/test_fuzz_rfl.ml: Alcotest Fun List QCheck QCheck_alcotest Racefuzzer Rf_detect Rf_events Rf_lang Rf_runtime Rf_util Rfl_gen Site

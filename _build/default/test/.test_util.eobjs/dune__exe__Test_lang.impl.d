@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Fun Lang Lexer List Option Racefuzzer Rf_events Rf_lang Rf_runtime Rf_util Site String Token

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float Fmt Fun List Racefuzzer Rf_report Rf_util Rf_workloads String

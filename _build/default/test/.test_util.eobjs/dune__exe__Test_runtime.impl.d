@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Api Engine List Lock Outcome Printexc Printf QCheck QCheck_alcotest Rf_events Rf_runtime Rf_util Site Strategy

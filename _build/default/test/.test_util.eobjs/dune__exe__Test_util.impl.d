@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Loc Printf Prng QCheck QCheck_alcotest Rf_util Site

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest List QCheck QCheck_alcotest Rf_vclock Vclock

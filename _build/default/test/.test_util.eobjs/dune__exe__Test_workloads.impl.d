@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fun Fuzzer Hashtbl List Printf Racefuzzer Rf_runtime Rf_util Rf_workloads Site

@@ -1,0 +1,47 @@
+(* Scratch diagnostics for workload race topology (not part of runtest). *)
+
+open Rf_util
+open Racefuzzer
+module W = Rf_workloads
+
+let seeds n = List.init n Fun.id
+
+let dump name (w : W.Workload.t) =
+  let a =
+    Fuzzer.analyze ~phase1_seeds:(seeds 6) ~seeds_per_pair:(seeds 40)
+      w.W.Workload.program
+  in
+  Fmt.pr "=== %s ===@." name;
+  let potential = Fuzzer.potential_pairs a.Fuzzer.a_phase1 in
+  Fmt.pr "potential: %d, real: %d, error: %d@."
+    (Site.Pair.Set.cardinal potential)
+    (Site.Pair.Set.cardinal a.Fuzzer.real_pairs)
+    (Site.Pair.Set.cardinal a.Fuzzer.error_pairs);
+  List.iter
+    (fun (r : Fuzzer.pair_result) ->
+      Fmt.pr "  %a: races=%d/%d errors=%d deadlocks=%d@." Site.Pair.pp r.Fuzzer.pr_pair
+        r.Fuzzer.race_trials (List.length r.Fuzzer.trials) r.Fuzzer.error_trials
+        r.Fuzzer.deadlock_trials;
+      if r.Fuzzer.error_trials = 0 && r.Fuzzer.race_trials > 0 then
+        (* show exceptions seen in trials even without race attribution *)
+        List.iter
+          (fun (t : Fuzzer.trial) ->
+            List.iter
+              (fun (x : Rf_runtime.Outcome.exn_report) ->
+                Fmt.pr "    [seed %d, no-race-attr] %s in %s@." t.Fuzzer.t_seed
+                  (Printexc.to_string x.Rf_runtime.Outcome.exn_)
+                  x.Rf_runtime.Outcome.xthread)
+              t.Fuzzer.t_outcome.Rf_runtime.Outcome.exceptions)
+          r.Fuzzer.trials)
+    a.Fuzzer.results
+
+let () =
+  match Sys.argv with
+  | [| _; name |] -> (
+      match W.Registry.find name with
+      | Some w -> dump name w
+      | None -> Fmt.epr "unknown workload %s@." name)
+  | _ ->
+      dump "cache4j" W.Cache4j.workload;
+      dump "vector1.1" W.Coll_drivers.vector;
+      dump "weblech" W.Weblech.workload

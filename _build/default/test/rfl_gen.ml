@@ -1,0 +1,216 @@
+(* QCheck generator of well-formed RFL programs.
+
+   Programs are well-typed *by construction* (the checker must accept every
+   generated program — itself one of the properties).  The shape is
+   constrained to keep every execution finite and monitor-safe:
+   - loops are literal-bounded [for] loops,
+   - locking is block-structured ([sync] only),
+   - division/modulo use non-zero literal divisors,
+   - [wait] is generated rarely (deadlocks are legitimate outcomes the
+     properties account for; step-bound timeouts are not). *)
+
+open QCheck.Gen
+
+let pos : Rf_lang.Token.pos = { Rf_lang.Token.line = 0; col = 0 }
+
+let e k : Rf_lang.Ast.expr = { Rf_lang.Ast.e = k; epos = pos }
+let s k : Rf_lang.Ast.stmt = { Rf_lang.Ast.s = k; spos = pos }
+
+(* fixed declaration pools *)
+let int_globals = [ "g0"; "g1"; "g2" ]
+let bool_globals = [ "b0"; "b1" ]
+let arrays = [ ("arr0", 4) ]
+let locks = [ "L0"; "L1" ]
+
+type scope = { ints : string list; bools : string list; mutable fresh : int }
+
+let new_scope () = { ints = []; bools = []; fresh = 0 }
+
+let rec gen_int_expr scope depth =
+  if depth <= 0 then
+    frequency
+      [
+        (3, map (fun n -> e (Rf_lang.Ast.Eint (n mod 20))) small_nat);
+        (2, map (fun v -> e (Rf_lang.Ast.Evar v)) (oneofl (int_globals @ scope.ints)));
+      ]
+  else
+    frequency
+      [
+        (2, gen_int_expr scope 0);
+        ( 2,
+          let* op = oneofl [ Rf_lang.Ast.Add; Rf_lang.Ast.Sub; Rf_lang.Ast.Mul ] in
+          let* l = gen_int_expr scope (depth - 1) in
+          let* r = gen_int_expr scope (depth - 1) in
+          return (e (Rf_lang.Ast.Ebin (op, l, r))) );
+        ( 1,
+          (* safe division: non-zero literal divisor *)
+          let* op = oneofl [ Rf_lang.Ast.Div; Rf_lang.Ast.Mod ] in
+          let* l = gen_int_expr scope (depth - 1) in
+          let* d = map (fun n -> 1 + (n mod 7)) small_nat in
+          return (e (Rf_lang.Ast.Ebin (op, l, e (Rf_lang.Ast.Eint d)))) );
+        ( 1,
+          let* a, n = oneofl arrays in
+          let* i = map (fun i -> i mod n) small_nat in
+          return (e (Rf_lang.Ast.Eindex (a, e (Rf_lang.Ast.Eint i)))) );
+        (1, map (fun x -> e (Rf_lang.Ast.Eneg x)) (gen_int_expr scope (depth - 1)));
+      ]
+
+and gen_bool_expr scope depth =
+  if depth <= 0 then
+    frequency
+      [
+        (2, map (fun b -> e (Rf_lang.Ast.Ebool b)) bool);
+        (2, map (fun v -> e (Rf_lang.Ast.Evar v)) (oneofl (bool_globals @ scope.bools)));
+      ]
+  else
+    frequency
+      [
+        (2, gen_bool_expr scope 0);
+        ( 3,
+          let* op =
+            oneofl
+              [ Rf_lang.Ast.Lt; Rf_lang.Ast.Le; Rf_lang.Ast.Gt; Rf_lang.Ast.Ge;
+                Rf_lang.Ast.Eq; Rf_lang.Ast.Neq ]
+          in
+          let* l = gen_int_expr scope (depth - 1) in
+          let* r = gen_int_expr scope (depth - 1) in
+          return (e (Rf_lang.Ast.Ebin (op, l, r))) );
+        ( 1,
+          let* op = oneofl [ Rf_lang.Ast.And; Rf_lang.Ast.Or ] in
+          let* l = gen_bool_expr scope (depth - 1) in
+          let* r = gen_bool_expr scope (depth - 1) in
+          return (e (Rf_lang.Ast.Ebin (op, l, r))) );
+        (1, map (fun x -> e (Rf_lang.Ast.Enot x)) (gen_bool_expr scope (depth - 1)));
+      ]
+
+(* Assignments target globals and arrays only: loop counters stay
+   read-only so every generated loop is genuinely bounded. *)
+let gen_assign scope =
+  frequency
+    [
+      ( 3,
+        let* v = oneofl int_globals in
+        let* ex = gen_int_expr scope 1 in
+        return (s (Rf_lang.Ast.Sassign (v, ex))) );
+      ( 1,
+        let* v = oneofl bool_globals in
+        let* ex = gen_bool_expr scope 1 in
+        return (s (Rf_lang.Ast.Sassign (v, ex))) );
+      ( 1,
+        let* a, n = oneofl arrays in
+        let* i = map (fun i -> i mod n) small_nat in
+        let* ex = gen_int_expr scope 1 in
+        return (s (Rf_lang.Ast.Sindex_assign (a, e (Rf_lang.Ast.Eint i), ex))) );
+    ]
+
+let rec gen_stmt scope depth =
+  if depth <= 0 then gen_assign scope
+  else
+    frequency
+      [
+        (4, gen_assign scope);
+        ( 2,
+          (* bounded for loop over a fresh local *)
+          let v = Printf.sprintf "i%d" scope.fresh in
+          scope.fresh <- scope.fresh + 1;
+          let inner = { scope with ints = v :: scope.ints } in
+          let* bound = map (fun n -> 1 + (n mod 3)) small_nat in
+          let* body = gen_block inner (depth - 1) in
+          return
+            (s
+               (Rf_lang.Ast.Sfor
+                  ( s (Rf_lang.Ast.Slet (v, e (Rf_lang.Ast.Eint 0))),
+                    e
+                      (Rf_lang.Ast.Ebin
+                         (Rf_lang.Ast.Lt, e (Rf_lang.Ast.Evar v), e (Rf_lang.Ast.Eint bound))),
+                    s
+                      (Rf_lang.Ast.Sassign
+                         ( v,
+                           e
+                             (Rf_lang.Ast.Ebin
+                                (Rf_lang.Ast.Add, e (Rf_lang.Ast.Evar v), e (Rf_lang.Ast.Eint 1)))
+                         )),
+                    body ))) );
+        ( 2,
+          let* c = gen_bool_expr scope 1 in
+          let* t = gen_block scope (depth - 1) in
+          let* eo = opt (gen_block scope (depth - 1)) in
+          return (s (Rf_lang.Ast.Sif (c, t, eo))) );
+        ( 2,
+          let* l = oneofl locks in
+          let* b = gen_block scope (depth - 1) in
+          return (s (Rf_lang.Ast.Ssync (l, b))) );
+        ( 1,
+          let* l = oneofl locks in
+          return (s (Rf_lang.Ast.Snotify_all l)) );
+        (1, return (s Rf_lang.Ast.Ssleep));
+        (1, return (s Rf_lang.Ast.Sskip));
+        ( 1,
+          let* ex = gen_int_expr scope 1 in
+          return (s (Rf_lang.Ast.Sprint ex)) );
+      ]
+
+and gen_block scope depth =
+  let* n = map (fun n -> 1 + (n mod 3)) small_nat in
+  let rec go k acc = if k = 0 then return (List.rev acc)
+    else
+      let* st = gen_stmt scope (depth - 1) in
+      go (k - 1) (st :: acc)
+  in
+  go n []
+
+let gen_thread idx =
+  let scope = new_scope () in
+  let* body = gen_block scope 3 in
+  return { Rf_lang.Ast.tname = Printf.sprintf "t%d" idx; tbody = body; tpos = pos }
+
+let gen_program : Rf_lang.Ast.program t =
+  let* nthreads = map (fun n -> 2 + (n mod 2)) small_nat in
+  let rec threads k acc =
+    if k = nthreads then return (List.rev acc)
+    else
+      let* t = gen_thread k in
+      threads (k + 1) (t :: acc)
+  in
+  let* threads = threads 0 [] in
+  return
+    {
+      Rf_lang.Ast.file = "gen.rfl";
+      shareds =
+        List.map
+          (fun name ->
+            {
+              Rf_lang.Ast.gname = name;
+              gty = Rf_lang.Ast.Tint;
+              ginit = e (Rf_lang.Ast.Eint 0);
+              garray = None;
+              gpos = pos;
+            })
+          int_globals
+        @ List.map
+            (fun name ->
+              {
+                Rf_lang.Ast.gname = name;
+                gty = Rf_lang.Ast.Tbool;
+                ginit = e (Rf_lang.Ast.Ebool false);
+                garray = None;
+                gpos = pos;
+              })
+            bool_globals
+        @ List.map
+            (fun (name, n) ->
+              {
+                Rf_lang.Ast.gname = name;
+                gty = Rf_lang.Ast.Tint;
+                ginit = e (Rf_lang.Ast.Eint 0);
+                garray = Some n;
+                gpos = pos;
+              })
+            arrays;
+      locks = List.map (fun l -> (l, pos)) locks;
+      funcs = [];
+      threads;
+    }
+
+let arbitrary_program =
+  QCheck.make ~print:Rf_lang.Pretty.program_to_string gen_program

@@ -1,0 +1,169 @@
+(* Tests for atomicity-violation detection and directed scheduling (the
+   third problem class of the paper's §1): the classic double-withdraw
+   bank with a split check-then-act transaction. *)
+
+open Rf_util
+open Rf_runtime
+
+let site_chk_sync = Api.site "bank:sync(check)"
+let site_chk_read = Api.site "bank:read balance (check)"
+let site_wd_sync = Api.site "bank:sync(withdraw)"
+let site_wd_read = Api.site "bank:read balance (withdraw)"
+let site_wd_write = Api.site "bank:write balance (withdraw)"
+
+(* A bank account with lock-protected but non-atomic withdraw: the check
+   and the debit live in separate critical sections. *)
+let bank ?(atomic = false) ?(amount = 80) () =
+  let balance = Api.Cell.make ~name:"balance" 100 in
+  let l = Lock.create ~name:"account" () in
+  let withdraw () =
+    if atomic then
+      Api.sync ~site:site_chk_sync l (fun () ->
+          if Api.Cell.read ~site:site_chk_read balance >= amount then
+            Api.Cell.write ~site:site_wd_write balance
+              (Api.Cell.read ~site:site_wd_read balance - amount))
+    else begin
+      let enough =
+        Api.sync ~site:site_chk_sync l (fun () ->
+            Api.Cell.read ~site:site_chk_read balance >= amount)
+      in
+      if enough then
+        (* the gap: another withdrawer can slip in here *)
+        Api.sync ~site:site_wd_sync l (fun () ->
+            Api.Cell.write ~site:site_wd_write balance
+              (Api.Cell.read ~site:site_wd_read balance - amount))
+    end
+  in
+  let a = Api.fork ~name:"alice" withdraw in
+  let b = Api.fork ~name:"bob" withdraw in
+  Api.join a;
+  Api.join b;
+  let final = Api.Cell.unsafe_peek balance in
+  if final < 0 then Api.error (Printf.sprintf "overdraft: balance = %d" final)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                             *)
+
+let test_phase1_finds_split_transaction () =
+  let cands = Racefuzzer.Atom_fuzzer.phase1 ~seeds:(List.init 10 Fun.id) (fun () -> bank ()) in
+  Alcotest.(check bool) "candidates found" true (cands <> []);
+  Alcotest.(check bool) "targets the withdraw re-entry" true
+    (List.exists
+       (fun (c : Rf_detect.Atomicity.candidate) ->
+         Site.equal c.Rf_detect.Atomicity.second_acquire site_wd_sync
+         && Site.equal c.Rf_detect.Atomicity.interferer_site site_wd_write)
+       cands)
+
+let test_phase1_silent_on_atomic_version () =
+  let cands =
+    Racefuzzer.Atom_fuzzer.phase1 ~seeds:(List.init 10 Fun.id) (fun () -> bank ~atomic:true ())
+  in
+  Alcotest.(check (list string)) "no candidates" []
+    (List.map
+       (fun c -> Fmt.str "%a" Rf_detect.Atomicity.pp_candidate c)
+       cands)
+
+let test_race_detectors_silent_on_bank () =
+  (* the point of atomicity checking: the split bank is perfectly
+     lock-disciplined, so no race detector reports anything *)
+  let hy = Rf_detect.Detector.hybrid () in
+  let er = Rf_detect.Detector.eraser () in
+  List.iter
+    (fun seed ->
+      ignore
+        (Engine.run
+           ~config:{ Engine.default_config with seed }
+           ~listeners:[ Rf_detect.Detector.feed hy; Rf_detect.Detector.feed er ]
+           ~strategy:(Strategy.random ()) (fun () -> bank ())))
+    (List.init 10 Fun.id);
+  Alcotest.(check int) "hybrid silent" 0 (Rf_detect.Detector.race_count hy);
+  Alcotest.(check int) "eraser silent" 0 (Rf_detect.Detector.race_count er)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2                                                             *)
+
+let analyze ?(trials = 60) program =
+  Racefuzzer.Atom_fuzzer.analyze
+    ~phase1_seeds:(List.init 10 Fun.id)
+    ~seeds_per_candidate:(List.init trials Fun.id)
+    program
+
+let test_fuzzer_realizes_violation () =
+  let results = analyze (fun () -> bank ()) in
+  Alcotest.(check bool) "some candidate real" true
+    (List.exists Racefuzzer.Atom_fuzzer.is_real results);
+  let best =
+    List.fold_left
+      (fun acc r -> max acc r.Racefuzzer.Atom_fuzzer.ac_probability)
+      0.0 results
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "high violation probability (%.2f)" best)
+    true (best > 0.5)
+
+let test_fuzzer_surfaces_overdraft () =
+  let results = analyze (fun () -> bank ()) in
+  Alcotest.(check bool) "overdraft error reached" true
+    (List.exists Racefuzzer.Atom_fuzzer.is_harmful results)
+
+let test_fuzzer_beats_undirected_random () =
+  let undirected =
+    Racefuzzer.Fuzzer.baseline
+      ~seeds:(List.init 60 Fun.id)
+      ~make_strategy:Strategy.random (fun () -> bank ())
+  in
+  let results = analyze (fun () -> bank ()) in
+  let directed_errors =
+    List.fold_left
+      (fun acc r -> max acc r.Racefuzzer.Atom_fuzzer.ac_error_trials)
+      0 results
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "directed (%d/60) >= undirected (%d/60)" directed_errors
+       undirected.Racefuzzer.Fuzzer.b_error_trials)
+    true
+    (directed_errors >= undirected.Racefuzzer.Fuzzer.b_error_trials);
+  Alcotest.(check bool) "directed finds it at all" true (directed_errors > 0)
+
+let test_fuzzer_rejects_atomic_version () =
+  let results = analyze (fun () -> bank ~atomic:true ()) in
+  Alcotest.(check bool) "no candidates to confirm" true (results = [])
+
+let test_violation_seed_replays () =
+  let results = analyze (fun () -> bank ()) in
+  match List.find_opt Racefuzzer.Atom_fuzzer.is_real results with
+  | None -> Alcotest.fail "no real candidate"
+  | Some r -> (
+      match r.Racefuzzer.Atom_fuzzer.ac_seed with
+      | None -> Alcotest.fail "no seed"
+      | Some seed ->
+          let again =
+            Racefuzzer.Atom_fuzzer.fuzz_candidate ~seeds:[ seed ] ~program:(fun () -> bank ())
+              r.Racefuzzer.Atom_fuzzer.ac_candidate
+          in
+          Alcotest.(check int) "replayed violation" 1
+            again.Racefuzzer.Atom_fuzzer.ac_violation_trials)
+
+let () =
+  Alcotest.run "rf_atomicity"
+    [
+      ( "phase1",
+        [
+          Alcotest.test_case "finds split transaction" `Quick
+            test_phase1_finds_split_transaction;
+          Alcotest.test_case "silent on atomic version" `Quick
+            test_phase1_silent_on_atomic_version;
+          Alcotest.test_case "race detectors silent" `Quick
+            test_race_detectors_silent_on_bank;
+        ] );
+      ( "phase2",
+        [
+          Alcotest.test_case "realizes violation" `Quick test_fuzzer_realizes_violation;
+          Alcotest.test_case "surfaces overdraft" `Quick test_fuzzer_surfaces_overdraft;
+          Alcotest.test_case "beats undirected" `Quick
+            test_fuzzer_beats_undirected_random;
+          Alcotest.test_case "rejects atomic version" `Quick
+            test_fuzzer_rejects_atomic_version;
+          Alcotest.test_case "seed replays" `Quick test_violation_seed_replays;
+        ] );
+    ]

@@ -1,0 +1,391 @@
+(* Tests for the model JDK collections: sequential semantics against a
+   reference model, fail-fast iterator behaviour, synchronized wrappers,
+   and the §5.3 bulk-operation bug mechanics. *)
+
+open Rf_runtime
+open Rf_collections
+
+(* All collection code must run inside the engine. *)
+let in_engine f =
+  let result = ref None in
+  let o =
+    Engine.run
+      ~config:{ Engine.default_config with seed = 0 }
+      ~strategy:(Strategy.round_robin ())
+      (fun () -> result := Some (f ()))
+  in
+  match (!result, o.Outcome.exceptions) with
+  | Some r, [] -> r
+  | _, (e : Outcome.exn_report) :: _ ->
+      Alcotest.failf "engine run raised %s" (Printexc.to_string e.Outcome.exn_)
+  | None, [] -> Alcotest.fail "program did not complete"
+
+(* The five collection constructors under test, as generic Jcoll.t. *)
+let mks =
+  [
+    ("ArrayList", fun () -> Array_list.as_coll (Array_list.create ()));
+    ("LinkedList", fun () -> Linked_list.as_coll (Linked_list.create ()));
+    ("HashSet", fun () -> Hash_set.as_coll (Hash_set.create ()));
+    ("TreeSet", fun () -> Tree_set.as_coll (Tree_set.create ()));
+    ("Vector", fun () -> Vector.as_coll (Vector.create ()));
+  ]
+
+let is_set name = name = "HashSet" || name = "TreeSet"
+
+(* ------------------------------------------------------------------ *)
+(* Sequential semantics                                                *)
+
+let test_add_contains_remove (name, mk) () =
+  in_engine (fun () ->
+      let c = mk () in
+      Alcotest.(check bool) "empty" true (c.Jcoll.is_empty ());
+      ignore (c.Jcoll.add 5);
+      ignore (c.Jcoll.add 9);
+      ignore (c.Jcoll.add 1);
+      Alcotest.(check int) (name ^ " size") 3 (c.Jcoll.size ());
+      Alcotest.(check bool) "contains 9" true (c.Jcoll.contains 9);
+      Alcotest.(check bool) "not contains 7" false (c.Jcoll.contains 7);
+      Alcotest.(check bool) "remove 9" true (c.Jcoll.remove 9);
+      Alcotest.(check bool) "remove 9 again" false (c.Jcoll.remove 9);
+      Alcotest.(check int) "size after remove" 2 (c.Jcoll.size ());
+      c.Jcoll.clear ();
+      Alcotest.(check int) "clear" 0 (c.Jcoll.size ()))
+
+let test_set_rejects_duplicates (name, mk) () =
+  in_engine (fun () ->
+      let c = mk () in
+      Alcotest.(check bool) "first add" true (c.Jcoll.add 3);
+      if is_set name then begin
+        Alcotest.(check bool) "duplicate rejected" false (c.Jcoll.add 3);
+        Alcotest.(check int) "size 1" 1 (c.Jcoll.size ())
+      end
+      else begin
+        Alcotest.(check bool) "list accepts duplicate" true (c.Jcoll.add 3);
+        Alcotest.(check int) "size 2" 2 (c.Jcoll.size ())
+      end)
+
+let test_iterator_yields_all (name, mk) () =
+  in_engine (fun () ->
+      let c = mk () in
+      List.iter (fun e -> ignore (c.Jcoll.add e)) [ 4; 2; 8; 6 ];
+      let elems = List.sort compare (Jcoll.elements c) in
+      Alcotest.(check (list int)) (name ^ " iterates all") [ 2; 4; 6; 8 ] elems)
+
+let test_treeset_sorted_iteration () =
+  in_engine (fun () ->
+      let t = Tree_set.create () in
+      List.iter (fun e -> ignore (Tree_set.add t e)) [ 5; 1; 9; 3; 7; 2 ];
+      let c = Tree_set.as_coll t in
+      Alcotest.(check (list int)) "in-order" [ 1; 2; 3; 5; 7; 9 ] (Jcoll.elements c))
+
+let test_treeset_remove_shapes () =
+  (* exercise all three BST delete cases: leaf, one child, two children *)
+  in_engine (fun () ->
+      let t = Tree_set.create () in
+      List.iter (fun e -> ignore (Tree_set.add t e)) [ 50; 30; 70; 20; 40; 60; 80; 65 ];
+      Alcotest.(check bool) "leaf" true (Tree_set.remove t 20);
+      Alcotest.(check bool) "one child" true (Tree_set.remove t 60);
+      Alcotest.(check bool) "two children" true (Tree_set.remove t 50);
+      Alcotest.(check bool) "root two children again" true (Tree_set.remove t 70);
+      Alcotest.(check bool) "missing" false (Tree_set.remove t 99);
+      Alcotest.(check (list int)) "remaining in order" [ 30; 40; 65; 80 ]
+        (Tree_set.to_list_dbg t))
+
+let test_arraylist_positional () =
+  in_engine (fun () ->
+      let a = Array_list.create ~capacity:2 () in
+      for i = 0 to 9 do
+        ignore (Array_list.add a (i * 2))
+      done;
+      (* growth beyond initial capacity *)
+      Alcotest.(check int) "size" 10 (Array_list.size a);
+      Alcotest.(check int) "get 7" 14 (Array_list.get a 7);
+      ignore (Array_list.set a 3 99);
+      Alcotest.(check int) "set/get" 99 (Array_list.get a 3);
+      Alcotest.(check int) "index_of" 3 (Array_list.index_of a 99);
+      Alcotest.(check int) "remove_at" 99 (Array_list.remove_at a 3);
+      Alcotest.(check int) "size after remove" 9 (Array_list.size a);
+      Alcotest.(check bool) "oob get" true
+        (try
+           ignore (Array_list.get a 50);
+           false
+         with Jcoll.No_such_element _ -> true))
+
+let test_linkedlist_ends () =
+  in_engine (fun () ->
+      let l = Linked_list.create () in
+      ignore (Linked_list.add l 2);
+      Linked_list.add_first l 1;
+      ignore (Linked_list.add l 3);
+      Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Linked_list.to_list_dbg l);
+      Alcotest.(check int) "removeFirst" 1 (Linked_list.remove_first l);
+      Alcotest.(check int) "get 1" 3 (Linked_list.get l 1);
+      Alcotest.(check bool) "empty removeFirst raises" true
+        (try
+           ignore (Linked_list.remove_first (Linked_list.create ()));
+           false
+         with Jcoll.No_such_element _ -> true))
+
+let test_hashset_many_buckets () =
+  in_engine (fun () ->
+      let h = Hash_set.create ~nbuckets:4 () in
+      for i = 0 to 49 do
+        ignore (Hash_set.add h i)
+      done;
+      Alcotest.(check int) "size 50" 50 (Hash_set.size h);
+      for i = 0 to 49 do
+        Alcotest.(check bool) "mem" true (Hash_set.contains h i)
+      done;
+      for i = 0 to 24 do
+        ignore (Hash_set.remove h (2 * i))
+      done;
+      Alcotest.(check int) "odd half" 25 (Hash_set.size h);
+      Alcotest.(check bool) "no evens" false (Hash_set.contains h 10))
+
+let test_vector_basics () =
+  in_engine (fun () ->
+      let v = Vector.create ~capacity:2 () in
+      for i = 1 to 6 do
+        ignore (Vector.add v (i * 11))
+      done;
+      Alcotest.(check int) "size" 6 (Vector.size v);
+      Alcotest.(check int) "get" 33 (Vector.get v 2);
+      Vector.set_element_at v 2 7;
+      Alcotest.(check int) "setElementAt" 7 (Vector.get v 2);
+      Alcotest.(check bool) "remove" true (Vector.remove v 7);
+      Alcotest.(check int) "size" 5 (Vector.size v);
+      let dst = Array.make 10 0 in
+      Alcotest.(check int) "copyInto count" 5 (Vector.copy_into v dst);
+      Alcotest.(check int) "copied" 11 dst.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Fail-fast iterators                                                 *)
+
+let test_fail_fast (name, mk) () =
+  in_engine (fun () ->
+      let c = mk () in
+      List.iter (fun e -> ignore (c.Jcoll.add e)) [ 1; 2; 3 ];
+      let it = c.Jcoll.iterator () in
+      ignore (it.Jcoll.next ());
+      ignore (c.Jcoll.add 42);
+      (* structural modification bumps modCount *)
+      if name <> "Vector" then
+        Alcotest.(check bool) (name ^ " iterator fails fast") true
+          (try
+             ignore (it.Jcoll.next ());
+             false
+           with Jcoll.Concurrent_modification _ -> true)
+      else
+        (* JDK 1.1 Enumeration is NOT fail-fast *)
+        Alcotest.(check bool) "vector enumeration tolerates mutation" true
+          (try
+             ignore (it.Jcoll.next ());
+             true
+           with _ -> false))
+
+let test_iterator_next_past_end (_, mk) () =
+  in_engine (fun () ->
+      let c = mk () in
+      ignore (c.Jcoll.add 1);
+      let it = c.Jcoll.iterator () in
+      ignore (it.Jcoll.next ());
+      Alcotest.(check bool) "exhausted" false (it.Jcoll.has_next ());
+      Alcotest.(check bool) "NSE past end" true
+        (try
+           ignore (it.Jcoll.next ());
+           false
+         with Jcoll.No_such_element _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Bulk operations and wrappers                                        *)
+
+let test_bulk_operations (name, mk) () =
+  in_engine (fun () ->
+      let c1 = mk () and c2 = mk () in
+      List.iter (fun e -> ignore (c1.Jcoll.add e)) [ 1; 2; 3; 4 ];
+      List.iter (fun e -> ignore (c2.Jcoll.add e)) [ 2; 4 ];
+      Alcotest.(check bool) (name ^ " containsAll yes") true (Jcoll.contains_all c1 c2);
+      Alcotest.(check bool) "containsAll no" false (Jcoll.contains_all c2 c1);
+      ignore (Jcoll.remove_all c1 c2);
+      Alcotest.(check (list int)) "removeAll" [ 1; 3 ]
+        (List.sort compare (c1.Jcoll.to_list_dbg ()));
+      ignore (Jcoll.add_all c1 c2);
+      Alcotest.(check int) "addAll" 4 (c1.Jcoll.size ()))
+
+let test_equals_lists () =
+  in_engine (fun () ->
+      let mk l =
+        let c = Array_list.as_coll (Array_list.create ()) in
+        List.iter (fun e -> ignore (c.Jcoll.add e)) l;
+        c
+      in
+      Alcotest.(check bool) "equal" true (Jcoll.equals (mk [ 1; 2 ]) (mk [ 1; 2 ]));
+      Alcotest.(check bool) "diff value" false (Jcoll.equals (mk [ 1; 2 ]) (mk [ 1; 3 ]));
+      Alcotest.(check bool) "diff length" false (Jcoll.equals (mk [ 1 ]) (mk [ 1; 2 ])))
+
+let test_synchronized_wrapper_semantics (name, mk) () =
+  in_engine (fun () ->
+      let c = Collections.synchronized (mk ()) in
+      Alcotest.(check bool) "marked synchronized" true c.Jcoll.synchronized;
+      Alcotest.(check string) "name prefixed" ("Synchronized" ^ name) c.Jcoll.cname;
+      ignore (c.Jcoll.add 1);
+      ignore (c.Jcoll.add 2);
+      Alcotest.(check int) "size through wrapper" 2 (c.Jcoll.size ());
+      Alcotest.(check bool) "contains" true (c.Jcoll.contains 2);
+      let elems = List.sort compare (Jcoll.elements c) in
+      Alcotest.(check (list int)) "iterate through wrapper" [ 1; 2 ] elems)
+
+let test_wrapper_mutex_protects () =
+  (* concurrent adds through the wrapper never corrupt size *)
+  for seed = 0 to 14 do
+    let sizes =
+      let got = ref (-1) in
+      let o =
+        Engine.run
+          ~config:{ Engine.default_config with seed }
+          ~strategy:(Strategy.random ())
+          (fun () ->
+            let c =
+              Collections.synchronized (Array_list.as_coll (Array_list.create ()))
+            in
+            let hs =
+              List.init 3 (fun w ->
+                  Api.fork ~name:(Printf.sprintf "adder%d" w) (fun () ->
+                      for i = 0 to 4 do
+                        ignore (c.Jcoll.add ((10 * w) + i))
+                      done))
+            in
+            List.iter Api.join hs;
+            got := c.Jcoll.size ())
+      in
+      Alcotest.(check bool) "no exception" true (o.Outcome.exceptions = []);
+      !got
+    in
+    Alcotest.(check int) (Printf.sprintf "15 adds survive (seed %d)" seed) 15 sizes
+  done
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: sequential behaviour matches a reference model              *)
+
+type op = Add of int | Remove of int | Contains of int | Clear
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun n -> Add (n mod 20)) small_nat);
+        (3, map (fun n -> Remove (n mod 20)) small_nat);
+        (2, map (fun n -> Contains (n mod 20)) small_nat);
+        (1, return Clear);
+      ])
+
+let show_op = function
+  | Add n -> Printf.sprintf "add %d" n
+  | Remove n -> Printf.sprintf "remove %d" n
+  | Contains n -> Printf.sprintf "contains %d" n
+  | Clear -> "clear"
+
+let arb_ops = QCheck.make ~print:(fun l -> String.concat ";" (List.map show_op l))
+    QCheck.Gen.(small_list gen_op)
+
+(* reference: sorted int list without duplicates (set) / multiset (list) *)
+let model_apply ~is_set ops =
+  let apply model = function
+    | Add n ->
+        if is_set && List.mem n model then model
+        else model @ [ n ]
+    | Remove n ->
+        let rec drop = function
+          | [] -> []
+          | x :: rest -> if x = n then rest else x :: drop rest
+        in
+        drop model
+    | Contains _ -> model
+    | Clear -> []
+  in
+  List.fold_left apply [] ops
+
+let prop_matches_model (name, mk) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s matches reference model" name)
+    ~count:60 arb_ops
+    (fun ops ->
+      let expected = List.sort compare (model_apply ~is_set:(is_set name) ops) in
+      let actual =
+        in_engine (fun () ->
+            let c = mk () in
+            List.iter
+              (function
+                | Add n -> ignore (c.Jcoll.add n)
+                | Remove n -> ignore (c.Jcoll.remove n)
+                | Contains n -> ignore (c.Jcoll.contains n)
+                | Clear -> c.Jcoll.clear ())
+              ops;
+            List.sort compare (c.Jcoll.to_list_dbg ()))
+      in
+      expected = actual)
+
+let prop_contains_agrees (name, mk) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s contains agrees with model" name)
+    ~count:60
+    QCheck.(pair arb_ops (int_range 0 19))
+    (fun (ops, probe) ->
+      let model = model_apply ~is_set:(is_set name) ops in
+      let expected = List.mem probe model in
+      let actual =
+        in_engine (fun () ->
+            let c = mk () in
+            List.iter
+              (function
+                | Add n -> ignore (c.Jcoll.add n)
+                | Remove n -> ignore (c.Jcoll.remove n)
+                | Contains n -> ignore (c.Jcoll.contains n)
+                | Clear -> c.Jcoll.clear ())
+              ops;
+            c.Jcoll.contains probe)
+      in
+      expected = actual)
+
+let () =
+  let per_coll mk_case = List.map mk_case mks in
+  Alcotest.run "rf_collections"
+    [
+      ( "semantics",
+        per_coll (fun (name, mk) ->
+            Alcotest.test_case (name ^ " add/contains/remove") `Quick
+              (test_add_contains_remove (name, mk)))
+        @ per_coll (fun (name, mk) ->
+              Alcotest.test_case (name ^ " duplicates") `Quick
+                (test_set_rejects_duplicates (name, mk)))
+        @ per_coll (fun (name, mk) ->
+              Alcotest.test_case (name ^ " iterator all") `Quick
+                (test_iterator_yields_all (name, mk)))
+        @ [
+            Alcotest.test_case "TreeSet sorted" `Quick test_treeset_sorted_iteration;
+            Alcotest.test_case "TreeSet deletes" `Quick test_treeset_remove_shapes;
+            Alcotest.test_case "ArrayList positional" `Quick test_arraylist_positional;
+            Alcotest.test_case "LinkedList ends" `Quick test_linkedlist_ends;
+            Alcotest.test_case "HashSet buckets" `Quick test_hashset_many_buckets;
+            Alcotest.test_case "Vector basics" `Quick test_vector_basics;
+          ] );
+      ( "iterators",
+        per_coll (fun (name, mk) ->
+            Alcotest.test_case (name ^ " fail-fast") `Quick (test_fail_fast (name, mk)))
+        @ per_coll (fun (name, mk) ->
+              Alcotest.test_case (name ^ " past end") `Quick
+                (test_iterator_next_past_end (name, mk))) );
+      ( "bulk",
+        per_coll (fun (name, mk) ->
+            Alcotest.test_case (name ^ " bulk ops") `Quick
+              (test_bulk_operations (name, mk)))
+        @ [ Alcotest.test_case "equals" `Quick test_equals_lists ] );
+      ( "wrappers",
+        per_coll (fun (name, mk) ->
+            Alcotest.test_case (name ^ " synchronized") `Quick
+              (test_synchronized_wrapper_semantics (name, mk)))
+        @ [ Alcotest.test_case "mutex protects" `Quick test_wrapper_mutex_protects ] );
+      ( "model-props",
+        List.map QCheck_alcotest.to_alcotest
+          (List.map prop_matches_model mks @ List.map prop_contains_agrees mks) );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the event model and trace recording. *)
+
+open Rf_util
+open Rf_events
+
+let s1 = Site.make ~file:"ev.rfl" ~line:1 "w"
+let s2 = Site.make ~file:"ev.rfl" ~line:2 "r"
+
+let mem ?(tid = 0) ?(site = s1) ?(loc = Loc.global "x") ?(access = Event.Write)
+    ?(lockset = Lockset.empty) () =
+  Event.Mem { tid; site; loc; access; lockset }
+
+let test_lockset_basics () =
+  let l = Lockset.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "mem" true (Lockset.mem 2 l);
+  Alcotest.(check int) "cardinal" 3 (Lockset.cardinal l);
+  let m = Lockset.of_list [ 3; 4 ] in
+  Alcotest.(check bool) "not disjoint" false (Lockset.disjoint l m);
+  Alcotest.(check bool) "disjoint" true (Lockset.disjoint l (Lockset.of_list [ 9 ]));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Lockset.to_list (Lockset.inter l m));
+  Alcotest.(check bool) "empty is empty" true (Lockset.is_empty Lockset.empty)
+
+let test_event_equality () =
+  Alcotest.(check bool) "mem self equal" true (Event.equal (mem ()) (mem ()));
+  Alcotest.(check bool) "different access" false
+    (Event.equal (mem ()) (mem ~access:Event.Read ()));
+  Alcotest.(check bool) "different loc" false
+    (Event.equal (mem ()) (mem ~loc:(Loc.global "y") ()));
+  Alcotest.(check bool) "different kind" false
+    (Event.equal (mem ()) (Event.Exit { tid = 0 }));
+  Alcotest.(check bool) "snd equal" true
+    (Event.equal
+       (Event.Snd { tid = 1; msg = 7; reason = Event.Fork })
+       (Event.Snd { tid = 1; msg = 7; reason = Event.Fork }));
+  Alcotest.(check bool) "snd reason differs" false
+    (Event.equal
+       (Event.Snd { tid = 1; msg = 7; reason = Event.Fork })
+       (Event.Snd { tid = 1; msg = 7; reason = Event.Join }))
+
+let test_event_accessors () =
+  Alcotest.(check int) "tid" 3 (Event.tid (mem ~tid:3 ()));
+  Alcotest.(check bool) "site of mem" true (Event.site (mem ()) <> None);
+  Alcotest.(check bool) "site of exit" true (Event.site (Event.Exit { tid = 0 }) = None);
+  Alcotest.(check bool) "is_mem" true (Event.is_mem (mem ()));
+  Alcotest.(check bool) "is_sync exit" true (Event.is_sync (Event.Exit { tid = 0 }))
+
+let test_trace_grow_and_get () =
+  let tr = Trace.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Trace.add tr (Event.Exit { tid = i })
+  done;
+  Alcotest.(check int) "length" 100 (Trace.length tr);
+  Alcotest.(check int) "get 57" 57 (Event.tid (Trace.get tr 57));
+  Alcotest.check_raises "oob" (Invalid_argument "Trace.get: out of bounds") (fun () ->
+      ignore (Trace.get tr 100))
+
+let test_trace_equal_and_fingerprint () =
+  let mk () =
+    let tr = Trace.create () in
+    Trace.add tr (mem ());
+    Trace.add tr (Event.Acquire { tid = 0; lock = 1; site = s2 });
+    Trace.add tr (Event.Exit { tid = 0 });
+    tr
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "equal traces" true (Trace.equal a b);
+  Alcotest.(check int) "equal fingerprints" (Trace.fingerprint a) (Trace.fingerprint b);
+  Trace.add b (Event.Exit { tid = 1 });
+  Alcotest.(check bool) "not equal after add" false (Trace.equal a b)
+
+let test_trace_counts () =
+  let tr = Trace.create () in
+  Trace.add tr (mem ());
+  Trace.add tr (mem ~access:Event.Read ());
+  Trace.add tr (Event.Exit { tid = 0 });
+  Alcotest.(check int) "mem count" 2 (Trace.count_mem tr);
+  Alcotest.(check int) "sync count" 1 (Trace.count_sync tr)
+
+let test_trace_fold_iter () =
+  let tr = Trace.create () in
+  for i = 1 to 10 do
+    Trace.add tr (Event.Exit { tid = i })
+  done;
+  let sum = Trace.fold (fun acc ev -> acc + Event.tid ev) 0 tr in
+  Alcotest.(check int) "fold sums tids" 55 sum;
+  let n = ref 0 in
+  Trace.iter (fun _ -> incr n) tr;
+  Alcotest.(check int) "iter visits all" 10 !n;
+  Alcotest.(check int) "to_list length" 10 (List.length (Trace.to_list tr))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let sample_trace () =
+  let tr = Trace.create () in
+  Trace.add tr (Event.Start { tid = 0; name = "main thread" });
+  Trace.add tr
+    (mem ~site:(Site.make ~file:"a file.rfl" ~line:3 ~col:9 "x = y:z%w") ());
+  Trace.add tr (mem ~loc:(Loc.field 4 "next ptr") ~access:Event.Read ~lockset:(Lockset.of_list [ 1; 5 ]) ());
+  Trace.add tr (mem ~loc:(Loc.elem 2 7) ());
+  Trace.add tr (Event.Acquire { tid = 1; lock = 5; site = s2 });
+  Trace.add tr (Event.Snd { tid = 1; msg = 3; reason = Event.Notify });
+  Trace.add tr (Event.Rcv { tid = 2; msg = 3; reason = Event.Notify });
+  Trace.add tr (Event.Release { tid = 1; lock = 5; site = s2 });
+  Trace.add tr (Event.Exit { tid = 0 });
+  tr
+
+let test_serial_roundtrip () =
+  let tr = sample_trace () in
+  let tr' = Serial.trace_of_string (Serial.trace_to_string tr) in
+  Alcotest.(check bool) "roundtrip equal" true (Trace.equal tr tr')
+
+let test_serial_file_roundtrip () =
+  let tr = sample_trace () in
+  let path = Filename.temp_file "rf_trace" ".txt" in
+  Serial.save_trace path tr;
+  let tr' = Serial.load_trace path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Trace.equal tr tr')
+
+let test_serial_rejects_garbage () =
+  Alcotest.(check bool) "bad header" true
+    (try
+       ignore (Serial.trace_of_string "not a trace\n");
+       false
+     with Serial.Parse_error (1, _) -> true);
+  Alcotest.(check bool) "bad event" true
+    (try
+       ignore (Serial.trace_of_string "rf-trace v1\nBOGUS 1 2 3\n");
+       false
+     with Serial.Parse_error (2, _) -> true)
+
+let test_serial_escaping () =
+  let nasty = "a b:c,d%e\nf" in
+  let site = Site.make ~file:nasty ~line:1 ~col:1 nasty in
+  let ev = Event.Mem { tid = 0; site; loc = Loc.global nasty; access = Event.Write; lockset = Lockset.empty } in
+  let ev' = Serial.event_of_string ~line:1 (Serial.event_to_string ev) in
+  Alcotest.(check bool) "nasty strings survive" true (Event.equal ev ev')
+
+let gen_event =
+  QCheck.Gen.(
+    let site = map (fun n -> Site.make ~file:"g.rfl" ~line:(n mod 40) "st") small_nat in
+    let loc =
+      oneof
+        [
+          map (fun n -> Loc.global (Printf.sprintf "g%d" (n mod 5))) small_nat;
+          map (fun n -> Loc.field (n mod 6) "f") small_nat;
+          map2 (fun a i -> Loc.elem (a mod 4) (i mod 8)) small_nat small_nat;
+        ]
+    in
+    oneof
+      [
+        (let* tid = small_nat and* st = site and* l = loc and* w = bool in
+         let* locks = small_list (map (fun n -> n mod 9) small_nat) in
+         return
+           (Event.Mem
+              {
+                tid;
+                site = st;
+                loc = l;
+                access = (if w then Event.Write else Event.Read);
+                lockset = Lockset.of_list locks;
+              }));
+        (let* tid = small_nat and* lock = small_nat and* st = site in
+         return (Event.Acquire { tid; lock; site = st }));
+        (let* tid = small_nat and* lock = small_nat and* st = site in
+         return (Event.Release { tid; lock; site = st }));
+        (let* tid = small_nat and* msg = small_nat in
+         return (Event.Snd { tid; msg; reason = Event.Fork }));
+        (let* tid = small_nat and* msg = small_nat in
+         return (Event.Rcv { tid; msg; reason = Event.Join }));
+        map (fun tid -> Event.Start { tid; name = "t" }) small_nat;
+        map (fun tid -> Event.Exit { tid }) small_nat;
+      ])
+
+let prop_serial_roundtrip_random =
+  QCheck.Test.make ~name:"random traces roundtrip" ~count:150
+    (QCheck.make QCheck.Gen.(small_list gen_event))
+    (fun evs ->
+      let tr = Trace.create () in
+      List.iter (Trace.add tr) evs;
+      Trace.equal tr (Serial.trace_of_string (Serial.trace_to_string tr)))
+
+let prop_lockset_disjoint_iff_empty_inter =
+  QCheck.Test.make ~name:"disjoint iff empty intersection" ~count:300
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (a, b) ->
+      let la = Lockset.of_list a and lb = Lockset.of_list b in
+      Lockset.disjoint la lb = Lockset.is_empty (Lockset.inter la lb))
+
+let () =
+  Alcotest.run "rf_events"
+    [
+      ( "lockset",
+        [
+          Alcotest.test_case "basics" `Quick test_lockset_basics;
+          QCheck_alcotest.to_alcotest prop_lockset_disjoint_iff_empty_inter;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "equality" `Quick test_event_equality;
+          Alcotest.test_case "accessors" `Quick test_event_accessors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "grow and get" `Quick test_trace_grow_and_get;
+          Alcotest.test_case "equal/fingerprint" `Quick test_trace_equal_and_fingerprint;
+          Alcotest.test_case "counts" `Quick test_trace_counts;
+          Alcotest.test_case "fold/iter" `Quick test_trace_fold_iter;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serial_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_serial_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
+          Alcotest.test_case "escaping" `Quick test_serial_escaping;
+          QCheck_alcotest.to_alcotest prop_serial_roundtrip_random;
+        ] );
+    ]

@@ -1,0 +1,105 @@
+(* Smoke and consistency tests for the experiment-regeneration harness
+   (Table 1 / Figure 1 / Figure 2 report code). *)
+
+module W = Rf_workloads
+
+let tiny_config =
+  {
+    Rf_report.Table1.phase1_seeds = [ 0; 1 ];
+    seeds_per_pair = List.init 10 Fun.id;
+    baseline_seeds = List.init 10 Fun.id;
+    timing_seeds = [ 0 ];
+  }
+
+let test_table1_row_consistency () =
+  List.iter
+    (fun w ->
+      let r = Rf_report.Table1.row_of_workload ~config:tiny_config w in
+      Alcotest.(check string) "name" w.W.Workload.name r.Rf_report.Table1.r_name;
+      Alcotest.(check bool) "real <= potential" true
+        (r.Rf_report.Table1.r_real <= r.Rf_report.Table1.r_potential);
+      Alcotest.(check bool) "exceptions <= real" true
+        (r.Rf_report.Table1.r_exceptions_rf <= r.Rf_report.Table1.r_real);
+      Alcotest.(check bool) "probability in range" true
+        (Float.is_nan r.Rf_report.Table1.r_probability
+        || (r.Rf_report.Table1.r_probability >= 0.0
+           && r.Rf_report.Table1.r_probability <= 1.0));
+      Alcotest.(check bool) "hybrid steps >= 0" true
+        (r.Rf_report.Table1.r_steps_hybrid >= 0.0))
+    [ W.Raytracer.workload; W.Sor.workload; W.Coll_drivers.vector ]
+
+let test_table1_interactive_row_hides_times () =
+  let r = Rf_report.Table1.row_of_workload ~config:tiny_config W.Jigsaw.workload in
+  Alcotest.(check bool) "normal time hidden" true (r.Rf_report.Table1.r_time_normal < 0.0);
+  Alcotest.(check bool) "hybrid time hidden" true (r.Rf_report.Table1.r_time_hybrid < 0.0)
+
+let test_table1_render_shape () =
+  let rows =
+    List.map
+      (fun w -> Rf_report.Table1.row_of_workload ~config:tiny_config w)
+      [ W.Raytracer.workload; W.Montecarlo.workload ]
+  in
+  let out = Fmt.str "%a" Rf_report.Table1.render rows in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + separator + 2 rows" 4 (List.length lines);
+  Alcotest.(check bool) "mentions raytracer" true
+    (List.exists
+       (fun l -> String.length l >= 9 && String.sub l 0 9 = "raytracer")
+       lines)
+
+let test_figure1_report () =
+  let r =
+    Rf_report.Figure1_exp.generate ~phase1_seeds:(List.init 8 Fun.id) ~trials:40 ()
+  in
+  Alcotest.(check int) "two potential pairs" 2
+    (Rf_util.Site.Pair.Set.cardinal r.Rf_report.Figure1_exp.potential);
+  Alcotest.(check bool) "real confirmed" true
+    (Racefuzzer.Fuzzer.is_real r.Rf_report.Figure1_exp.real);
+  Alcotest.(check bool) "false alarm rejected" false
+    (Racefuzzer.Fuzzer.is_real r.Rf_report.Figure1_exp.false_alarm);
+  (* render must not raise *)
+  ignore (Fmt.str "%a" Rf_report.Figure1_exp.render r)
+
+let test_figure2_series_shape () =
+  let series = Rf_report.Figure2_exp.generate ~ks:[ 1; 20 ] ~trials:40 () in
+  Alcotest.(check int) "4 schedulers x 2 ks" 8 (List.length series);
+  List.iter
+    (fun (p : Rf_report.Figure2_exp.point) ->
+      Alcotest.(check bool) "p_error in [0,1]" true
+        (p.Rf_report.Figure2_exp.p_error >= 0.0 && p.Rf_report.Figure2_exp.p_error <= 1.0);
+      if p.Rf_report.Figure2_exp.strategy_name = "racefuzzer" then
+        Alcotest.(check (float 0.001)) "RF race probability 1" 1.0
+          p.Rf_report.Figure2_exp.p_race)
+    series;
+  ignore (Fmt.str "%a" Rf_report.Figure2_exp.render series)
+
+let test_stats_helpers () =
+  Alcotest.(check (float 0.001)) "mean" 2.0 (Rf_report.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 0.001)) "mean empty" 0.0 (Rf_report.Stats.mean []);
+  Alcotest.(check (float 0.001)) "min" 1.0 (Rf_report.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 0.001)) "max" 3.0 (Rf_report.Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 0.001)) "stddev of constant" 0.0
+    (Rf_report.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 0.001)) "mean_int" 1.5 (Rf_report.Stats.mean_int [ 1; 2 ]);
+  Alcotest.(check string) "prob nan renders dash" "-"
+    (Fmt.str "%a" Rf_report.Stats.pp_prob Float.nan);
+  Alcotest.(check string) "negative time renders dash" "-"
+    (Fmt.str "%a" Rf_report.Stats.pp_time_ms (-1.0))
+
+let () =
+  Alcotest.run "rf_report"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "row consistency" `Slow test_table1_row_consistency;
+          Alcotest.test_case "interactive row" `Slow
+            test_table1_interactive_row_hides_times;
+          Alcotest.test_case "render shape" `Slow test_table1_render_shape;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure1" `Slow test_figure1_report;
+          Alcotest.test_case "figure2" `Slow test_figure2_series_shape;
+        ] );
+      ( "stats", [ Alcotest.test_case "helpers" `Quick test_stats_helpers ] );
+    ]

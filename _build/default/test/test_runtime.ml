@@ -1,0 +1,699 @@
+(* Tests for the cooperative runtime engine: scheduling, monitors,
+   wait/notify, interrupts, deadlock detection, determinism/replay. *)
+
+open Rf_util
+open Rf_runtime
+
+let run ?(seed = 0) ?(policy = Engine.Every_op) ?(record_trace = false)
+    ?(max_steps = 200_000) ?(strategy = Strategy.random ()) main =
+  Engine.run
+    ~config:{ Engine.default_config with seed; policy; record_trace; max_steps }
+    ~strategy main
+
+let s = Api.site
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+
+let test_single_thread () =
+  let result = ref 0 in
+  let out =
+    run (fun () ->
+        let c = Api.Cell.make ~name:"c" 0 in
+        Api.Cell.write ~site:(s "w1") c 41;
+        Api.Cell.update ~rsite:(s "r1") ~wsite:(s "w2") c (fun v -> v + 1);
+        result := Api.Cell.read ~site:(s "r2") c)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check int) "computed" 42 !result;
+  Alcotest.(check int) "one thread" 1 out.Outcome.threads_spawned
+
+let test_fork_join () =
+  let result = ref 0 in
+  let out =
+    run (fun () ->
+        let c = Api.Cell.make ~name:"c" 0 in
+        let h =
+          Api.fork ~name:"child" (fun () -> Api.Cell.write ~site:(s "cw") c 7)
+        in
+        Api.join h;
+        result := Api.Cell.read ~site:(s "mr") c)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check int) "child wrote before join returned" 7 !result;
+  Alcotest.(check int) "two threads" 2 out.Outcome.threads_spawned
+
+let test_many_threads () =
+  let sum = ref 0 in
+  let out =
+    run (fun () ->
+        let c = Api.Cell.make ~name:"acc" 0 in
+        let l = Lock.create ~name:"L" () in
+        let hs =
+          List.init 8 (fun i ->
+              Api.fork ~name:(Printf.sprintf "w%d" i) (fun () ->
+                  Api.sync ~site:(s "sync") l (fun () ->
+                      Api.Cell.update ~rsite:(s "r") ~wsite:(s "w") c (fun v -> v + 1))))
+        in
+        List.iter Api.join hs;
+        sum := Api.Cell.read ~site:(s "final") c)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check int) "all increments kept" 8 !sum
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion and races                                          *)
+
+let increments ~locked ~seed =
+  let final = ref 0 in
+  let out =
+    run ~seed (fun () ->
+        let c = Api.Cell.make ~name:"n" 0 in
+        let l = Lock.create ~name:"L" () in
+        let body () =
+          if locked then
+            Api.sync ~site:(s "li") l (fun () ->
+                Api.Cell.update ~rsite:(s "lr") ~wsite:(s "lw") c (fun v -> v + 1))
+          else Api.Cell.update ~rsite:(s "ur") ~wsite:(s "uw") c (fun v -> v + 1)
+        in
+        let a = Api.fork ~name:"a" body and b = Api.fork ~name:"b" body in
+        Api.join a;
+        Api.join b;
+        final := Api.Cell.unsafe_peek c)
+  in
+  Alcotest.(check bool) "run ok" true (Outcome.ok out);
+  !final
+
+let test_locked_increments_never_lost () =
+  for seed = 0 to 49 do
+    Alcotest.(check int) "locked increments" 2 (increments ~locked:true ~seed)
+  done
+
+let test_unlocked_increments_race () =
+  let finals = List.init 80 (fun seed -> increments ~locked:false ~seed) in
+  Alcotest.(check bool) "some interleaving loses an update" true
+    (List.mem 1 finals);
+  Alcotest.(check bool) "some interleaving keeps both" true (List.mem 2 finals)
+
+let test_reentrant_lock () =
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"R" () in
+        Api.sync ~site:(s "outer") l (fun () ->
+            Api.sync ~site:(s "inner") l (fun () -> ())))
+  in
+  Alcotest.(check bool) "reentrancy ok" true (Outcome.ok out)
+
+let test_unlock_not_held () =
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"U" () in
+        Api.unlock ~site:(s "bad-unlock") l)
+  in
+  Alcotest.(check int) "one exception" 1 (List.length out.Outcome.exceptions);
+  match (List.hd out.Outcome.exceptions).Outcome.exn_ with
+  | Api.Illegal_monitor_state _ -> ()
+  | e -> Alcotest.failf "expected Illegal_monitor_state, got %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* wait / notify                                                       *)
+
+let test_wait_notify_handshake () =
+  for seed = 0 to 19 do
+    let got = ref (-1) in
+    let out =
+      run ~seed (fun () ->
+          let l = Lock.create ~name:"M" () in
+          let ready = Api.Cell.make ~name:"ready" false in
+          let data = Api.Cell.make ~name:"data" 0 in
+          let consumer =
+            Api.fork ~name:"consumer" (fun () ->
+                Api.sync ~site:(s "c-sync") l (fun () ->
+                    while not (Api.Cell.read ~site:(s "c-ready") ready) do
+                      Api.wait ~site:(s "c-wait") l
+                    done;
+                    got := Api.Cell.read ~site:(s "c-data") data))
+          in
+          Api.Cell.write ~site:(s "p-data") data 99;
+          Api.sync ~site:(s "p-sync") l (fun () ->
+              Api.Cell.write ~site:(s "p-ready") ready true;
+              Api.notify ~site:(s "p-notify") l);
+          Api.join consumer)
+    in
+    Alcotest.(check bool) (Printf.sprintf "ok seed %d" seed) true (Outcome.ok out);
+    Alcotest.(check int) "value transferred" 99 !got
+  done
+
+let test_notify_all_wakes_everyone () =
+  for seed = 0 to 9 do
+    let woken = ref 0 in
+    let out =
+      run ~seed (fun () ->
+          let l = Lock.create ~name:"B" () in
+          let go = Api.Cell.make ~name:"go" false in
+          let hs =
+            List.init 5 (fun i ->
+                Api.fork ~name:(Printf.sprintf "waiter%d" i) (fun () ->
+                    Api.sync ~site:(s "w-sync") l (fun () ->
+                        while not (Api.Cell.read ~site:(s "w-go") go) do
+                          Api.wait ~site:(s "w-wait") l
+                        done;
+                        incr woken)))
+          in
+          Api.sync ~site:(s "m-sync") l (fun () ->
+              Api.Cell.write ~site:(s "m-go") go true;
+              Api.notify_all ~site:(s "m-all") l);
+          List.iter Api.join hs)
+    in
+    Alcotest.(check bool) "ok" true (Outcome.ok out);
+    Alcotest.(check int) "all woken" 5 !woken
+  done
+
+let test_single_notify_wakes_one_at_a_time () =
+  (* One notify with two waiters and no further notifies: one waiter stays
+     in the wait set forever -> deadlock report must name it. *)
+  let out =
+    run ~seed:3 (fun () ->
+        let l = Lock.create ~name:"D" () in
+        let h1 =
+          Api.fork ~name:"w1" (fun () ->
+              Api.sync ~site:(s "n1-sync") l (fun () -> Api.wait ~site:(s "n1-wait") l))
+        and h2 =
+          Api.fork ~name:"w2" (fun () ->
+              Api.sync ~site:(s "n2-sync") l (fun () -> Api.wait ~site:(s "n2-wait") l))
+        in
+        (* Give the waiters time to park: loop until both are waiting is not
+           expressible without shared flags, so just notify once. *)
+        Api.sync ~site:(s "n-main") l (fun () -> Api.notify ~site:(s "n-notify") l);
+        Api.join h1;
+        Api.join h2)
+  in
+  Alcotest.(check bool) "deadlock or ok (timing)" true
+    (Outcome.deadlocked out || Outcome.ok out);
+  Alcotest.(check bool) "no exception" true (out.Outcome.exceptions = [])
+
+let test_wait_without_lock () =
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"W" () in
+        Api.wait ~site:(s "orphan-wait") l)
+  in
+  match out.Outcome.exceptions with
+  | [ { Outcome.exn_ = Api.Illegal_monitor_state _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Illegal_monitor_state"
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock detection                                                  *)
+
+let test_classic_lock_cycle_deadlocks_sometimes () =
+  let deadlocks = ref 0 in
+  for seed = 0 to 39 do
+    let out =
+      run ~seed (fun () ->
+          let l1 = Lock.create ~name:"L1" () and l2 = Lock.create ~name:"L2" () in
+          let a =
+            Api.fork ~name:"a" (fun () ->
+                Api.sync ~site:(s "a1") l1 (fun () ->
+                    Api.sync ~site:(s "a2") l2 (fun () -> ())))
+          and b =
+            Api.fork ~name:"b" (fun () ->
+                Api.sync ~site:(s "b2") l2 (fun () ->
+                    Api.sync ~site:(s "b1") l1 (fun () -> ())))
+          in
+          Api.join a;
+          Api.join b)
+    in
+    if Outcome.deadlocked out then incr deadlocks
+  done;
+  Alcotest.(check bool) "some seeds deadlock" true (!deadlocks > 0);
+  Alcotest.(check bool) "some seeds survive" true (!deadlocks < 40)
+
+let test_forgotten_notify_deadlocks () =
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"F" () in
+        Api.sync ~site:(s "f-sync") l (fun () -> Api.wait ~site:(s "f-wait") l))
+  in
+  Alcotest.(check bool) "deadlocked" true (Outcome.deadlocked out);
+  Alcotest.(check (list int)) "main is the blocked thread" [ 0 ] out.Outcome.deadlocked
+
+(* ------------------------------------------------------------------ *)
+(* Interrupts and sleep                                                *)
+
+let test_interrupt_wakes_waiter () =
+  let caught = ref false in
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"I" () in
+        let h =
+          Api.fork ~name:"sleeper" (fun () ->
+              try Api.sync ~site:(s "i-sync") l (fun () -> Api.wait ~site:(s "i-wait") l)
+              with Api.Interrupted -> caught := true)
+        in
+        Api.interrupt ~site:(s "i-int") h;
+        Api.join h)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check bool) "InterruptedException delivered" true !caught
+
+let test_interrupt_sleep_uncaught () =
+  let out =
+    run (fun () ->
+        let h = Api.fork ~name:"napper" (fun () -> Api.sleep ~site:(s "nap") ()) in
+        Api.interrupt ~site:(s "npi") h;
+        Api.join h)
+  in
+  (* Depending on scheduling the interrupt may land before or after the
+     sleep executes; when it lands before, the sleep throws and the thread
+     dies with an uncaught Interrupted. Both runs must terminate. *)
+  Alcotest.(check bool) "terminates" true
+    (out.Outcome.deadlocked = [] && not out.Outcome.timed_out)
+
+let test_interrupt_before_wait_throws_immediately () =
+  let caught = ref false in
+  let out =
+    run ~strategy:(Strategy.round_robin ()) (fun () ->
+        let l = Lock.create ~name:"IW" () in
+        let flag = Api.Cell.make ~name:"flag" false in
+        let h =
+          Api.fork ~name:"victim" (fun () ->
+              (* spin until the interrupt has been sent *)
+              while not (Api.Cell.read ~site:(s "v-flag") flag) do
+                ()
+              done;
+              try Api.sync ~site:(s "v-sync") l (fun () -> Api.wait ~site:(s "v-wait") l)
+              with Api.Interrupted -> caught := true)
+        in
+        Api.interrupt ~site:(s "v-int") h;
+        Api.Cell.write ~site:(s "v-set") flag true;
+        Api.join h)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check bool) "wait threw immediately" true !caught
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions                                                          *)
+
+let test_thread_exception_recorded () =
+  let out =
+    run (fun () ->
+        let h = Api.fork ~name:"bomber" (fun () -> Api.error "boom") in
+        Api.join h)
+  in
+  (match out.Outcome.exceptions with
+  | [ r ] ->
+      Alcotest.(check string) "thread name" "bomber" r.Outcome.xthread;
+      (match r.Outcome.exn_ with
+      | Api.Model_error m -> Alcotest.(check string) "message" "boom" m
+      | e -> Alcotest.failf "unexpected %s" (Printexc.to_string e))
+  | l -> Alcotest.failf "expected 1 exception, got %d" (List.length l));
+  Alcotest.(check bool) "join still returned" true (out.Outcome.deadlocked = [])
+
+let test_dying_thread_releases_locks () =
+  let out =
+    run (fun () ->
+        let l = Lock.create ~name:"DL" () in
+        let h =
+          Api.fork ~name:"dier" (fun () ->
+              Api.lock ~site:(s "d-lock") l;
+              Api.error "died holding lock")
+        in
+        Api.join h;
+        (* must not deadlock here *)
+        Api.sync ~site:(s "d-after") l (fun () -> ()))
+  in
+  Alcotest.(check bool) "no deadlock" true (out.Outcome.deadlocked = []);
+  Alcotest.(check int) "one exception" 1 (List.length out.Outcome.exceptions)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and replay                                              *)
+
+let racy_program () =
+  let c = Api.Cell.make ~name:"c" 0 in
+  let l = Lock.create ~name:"L" () in
+  let hs =
+    List.init 4 (fun i ->
+        Api.fork ~name:(Printf.sprintf "t%d" i) (fun () ->
+            if i mod 2 = 0 then
+              Api.Cell.update ~rsite:(s "rp-r") ~wsite:(s "rp-w") c (fun v -> v + 1)
+            else
+              Api.sync ~site:(s "rp-s") l (fun () ->
+                  Api.Cell.update ~rsite:(s "rp-lr") ~wsite:(s "rp-lw") c (fun v -> v + 10))))
+  in
+  List.iter Api.join hs
+
+let test_replay_same_seed_same_trace () =
+  for seed = 0 to 9 do
+    let run1 = run ~seed ~record_trace:true racy_program in
+    let run2 = run ~seed ~record_trace:true racy_program in
+    match (run1.Outcome.trace, run2.Outcome.trace) with
+    | Some t1, Some t2 ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: identical traces" seed)
+          true
+          (Rf_events.Trace.equal t1 t2)
+    | _ -> Alcotest.fail "traces missing"
+  done
+
+let test_different_seeds_differ () =
+  let fps =
+    List.init 20 (fun seed ->
+        let out = run ~seed ~record_trace:true racy_program in
+        match out.Outcome.trace with
+        | Some t -> Rf_events.Trace.fingerprint t
+        | None -> 0)
+  in
+  let distinct = List.sort_uniq compare fps in
+  Alcotest.(check bool) "at least two distinct schedules" true
+    (List.length distinct > 1)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine deterministic for any seed" ~count:40
+    QCheck.small_int (fun seed ->
+      let r1 = run ~seed ~record_trace:true racy_program in
+      let r2 = run ~seed ~record_trace:true racy_program in
+      match (r1.Outcome.trace, r2.Outcome.trace) with
+      | Some t1, Some t2 -> Rf_events.Trace.equal t1 t2
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Switch policy                                                       *)
+
+let test_sync_only_policy_fewer_switches () =
+  let heavy () =
+    let c = Api.Cell.make ~name:"h" 0 in
+    let h =
+      Api.fork ~name:"w" (fun () ->
+          for i = 1 to 100 do
+            Api.Cell.write ~site:(s "hp-w") c i
+          done)
+    in
+    for _ = 1 to 100 do
+      ignore (Api.Cell.read ~site:(s "hp-r") c)
+    done;
+    Api.join h
+  in
+  let every = run ~seed:1 ~policy:Engine.Every_op heavy in
+  let synco = run ~seed:1 ~policy:(Engine.Sync_and Site.Set.empty) heavy in
+  Alcotest.(check bool) "both ok" true (Outcome.ok every && Outcome.ok synco);
+  Alcotest.(check bool) "sync-only consults strategy less" true
+    (synco.Outcome.switches < every.Outcome.switches);
+  Alcotest.(check bool) "similar step counts" true
+    (abs (synco.Outcome.steps - every.Outcome.steps) <= 2)
+
+let test_sync_and_watched_site_switches () =
+  let watched = s "watched-w" in
+  let prog () =
+    let c = Api.Cell.make ~name:"wc" 0 in
+    let h =
+      Api.fork ~name:"w" (fun () ->
+          for _ = 1 to 10 do
+            Api.Cell.write ~site:watched c 1
+          done)
+    in
+    Api.join h
+  in
+  let none = run ~seed:0 ~policy:(Engine.Sync_and Site.Set.empty) prog in
+  let some = run ~seed:0 ~policy:(Engine.Sync_and (Site.Set.singleton watched)) prog in
+  Alcotest.(check bool) "watching a site adds switch points" true
+    (some.Outcome.switches > none.Outcome.switches)
+
+(* ------------------------------------------------------------------ *)
+(* Step bound (livelock guard)                                         *)
+
+let test_step_bound_hits () =
+  let out =
+    run ~max_steps:500 (fun () ->
+        let c = Api.Cell.make ~name:"spin" false in
+        while not (Api.Cell.read ~site:(s "spin-r") c) do
+          ()
+        done)
+  in
+  Alcotest.(check bool) "timed out" true out.Outcome.timed_out
+
+(* ------------------------------------------------------------------ *)
+(* Trace contents                                                      *)
+
+let test_trace_structure () =
+  let out =
+    run ~record_trace:true ~strategy:(Strategy.round_robin ()) (fun () ->
+        let l = Lock.create ~name:"T" () in
+        let c = Api.Cell.make ~name:"tc" 0 in
+        Api.sync ~site:(s "t-sync") l (fun () -> Api.Cell.write ~site:(s "t-w") c 1))
+  in
+  match out.Outcome.trace with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+      let events = Rf_events.Trace.to_list tr in
+      let has p = List.exists p events in
+      Alcotest.(check bool) "has start" true
+        (has (function Rf_events.Event.Start { name = "main"; _ } -> true | _ -> false));
+      Alcotest.(check bool) "has acquire" true
+        (has (function Rf_events.Event.Acquire _ -> true | _ -> false));
+      Alcotest.(check bool) "has release" true
+        (has (function Rf_events.Event.Release _ -> true | _ -> false));
+      Alcotest.(check bool) "write under lock has nonempty lockset" true
+        (has (function
+          | Rf_events.Event.Mem { access = Rf_events.Event.Write; lockset; _ } ->
+              not (Rf_events.Lockset.is_empty lockset)
+          | _ -> false));
+      Alcotest.(check bool) "has exit" true
+        (has (function Rf_events.Event.Exit _ -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+
+let test_wait_preserves_reentrancy_depth () =
+  (* wait inside a doubly-nested sync must release fully and restore
+     depth 2 on wakeup; the final unlocks must not throw *)
+  let out =
+    run ~seed:4 (fun () ->
+        let l = Lock.create ~name:"RD" () in
+        let flag = Api.Cell.make ~name:"flag" false in
+        let waiter =
+          Api.fork ~name:"waiter" (fun () ->
+              Api.sync ~site:(s "rd-outer") l (fun () ->
+                  Api.sync ~site:(s "rd-inner") l (fun () ->
+                      while not (Api.Cell.read ~site:(s "rd-flag") flag) do
+                        Api.wait ~site:(s "rd-wait") l
+                      done)))
+        in
+        (* while the waiter is parked, the monitor must be acquirable *)
+        Api.sync ~site:(s "rd-signal") l (fun () ->
+            Api.Cell.write ~site:(s "rd-set") flag true;
+            Api.notify_all ~site:(s "rd-notify") l);
+        Api.join waiter)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out)
+
+let test_self_join_deadlocks () =
+  let out =
+    run (fun () ->
+        let self = ref None in
+        let h =
+          Api.fork ~name:"narcissus" (fun () ->
+              match !self with Some h -> Api.join h | None -> ())
+        in
+        self := Some h;
+        (* give the child its own handle, then wait for it *)
+        Api.join h)
+  in
+  (* the child joins itself -> blocked forever -> real deadlock *)
+  Alcotest.(check bool) "deadlock detected" true
+    (Outcome.deadlocked out || Outcome.ok out)
+
+let test_join_already_dead () =
+  let out =
+    run (fun () ->
+        let h = Api.fork ~name:"quick" (fun () -> ()) in
+        (* schedule enough to let it die in most interleavings, then join
+           twice: joining a dead thread returns immediately *)
+        Api.join h;
+        Api.join h)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out)
+
+let test_fork_cascade () =
+  (* grandchildren: fork inside fork, all joined transitively *)
+  let total = ref 0 in
+  let out =
+    run (fun () ->
+        let c = Api.Cell.make ~name:"sum" 0 in
+        let l = Lock.create ~name:"sum" () in
+        let add n =
+          Api.sync ~site:(s "fc-sync") l (fun () ->
+              Api.Cell.update ~rsite:(s "fc-r") ~wsite:(s "fc-w") c (fun v -> v + n))
+        in
+        let parent =
+          Api.fork ~name:"parent" (fun () ->
+              let kids =
+                List.init 3 (fun i ->
+                    Api.fork ~name:(Printf.sprintf "kid%d" i) (fun () -> add (i + 1)))
+              in
+              List.iter Api.join kids;
+              add 10)
+        in
+        Api.join parent;
+        total := Api.Cell.unsafe_peek c)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check int) "all contributions" 16 !total;
+  Alcotest.(check int) "five threads" 5 out.Outcome.threads_spawned
+
+let test_interrupt_flag_not_lost_on_acquire () =
+  (* interrupt while blocked on a lock: synchronized is NOT interruptible,
+     so the thread should acquire normally and see the exception only at
+     its next interruptible point *)
+  let caught_at_sleep = ref false in
+  let out =
+    run ~strategy:(Strategy.round_robin ()) (fun () ->
+        let l = Lock.create ~name:"NI" () in
+        let started = Api.Cell.make ~name:"started" false in
+        let victim =
+          Api.fork ~name:"victim" (fun () ->
+              while not (Api.Cell.read ~site:(s "ni-spin") started) do
+                ()
+              done;
+              Api.sync ~site:(s "ni-sync") l (fun () -> ());
+              try Api.sleep ~site:(s "ni-sleep") ()
+              with Api.Interrupted -> caught_at_sleep := true)
+        in
+        Api.lock ~site:(s "ni-main-lock") l;
+        Api.Cell.write ~site:(s "ni-start") started true;
+        (* victim now blocks acquiring l; interrupt it there *)
+        Api.interrupt ~site:(s "ni-int") victim;
+        Api.unlock ~site:(s "ni-main-unlock") l;
+        Api.join victim)
+  in
+  Alcotest.(check bool) "terminates cleanly" true (out.Outcome.deadlocked = []);
+  Alcotest.(check bool) "exception delivered at the sleep" true !caught_at_sleep
+
+let test_notify_choice_is_seed_dependent () =
+  (* with several waiters and one notify, which waiter wakes is random but
+     seed-deterministic *)
+  let woken_of seed =
+    let woken = ref (-1) in
+    let _ =
+      run ~seed (fun () ->
+          let l = Lock.create ~name:"NC" () in
+          let parked = Api.Cell.make ~name:"parked" 0 in
+          let hs =
+            List.init 3 (fun i ->
+                Api.fork ~name:(Printf.sprintf "w%d" i) (fun () ->
+                    Api.sync ~site:(s "nc-sync") l (fun () ->
+                        Api.Cell.update ~rsite:(s "nc-pr") ~wsite:(s "nc-pw") parked
+                          (fun v -> v + 1);
+                        Api.wait ~site:(s "nc-wait") l;
+                        woken := i)))
+          in
+          (* wait until all three are parked, then notify one *)
+          let rec spin () =
+            if Api.Cell.read ~site:(s "nc-check") parked < 3 then spin ()
+          in
+          spin ();
+          Api.sync ~site:(s "nc-m") l (fun () -> Api.notify ~site:(s "nc-n") l);
+          ignore hs)
+    in
+    !woken
+  in
+  let results = List.init 30 woken_of in
+  Alcotest.(check bool) "some waiter woken" true (List.for_all (fun w -> w >= 0) results);
+  Alcotest.(check bool) "different waiters across seeds" true
+    (List.length (List.sort_uniq compare results) > 1);
+  Alcotest.(check int) "deterministic per seed" (woken_of 11) (woken_of 11)
+
+let test_exception_in_main_thread () =
+  let out = run (fun () -> Api.error "main exploded") in
+  (match out.Outcome.exceptions with
+  | [ r ] -> Alcotest.(check string) "main named" "main" r.Outcome.xthread
+  | _ -> Alcotest.fail "expected one exception");
+  Alcotest.(check bool) "run completed" true (not out.Outcome.timed_out)
+
+let test_orphaned_children_still_run () =
+  (* main exits without joining; children must still execute to completion *)
+  let done_ = ref 0 in
+  let out =
+    run (fun () ->
+        for i = 1 to 3 do
+          ignore
+            (Api.fork ~name:(Printf.sprintf "orphan%d" i) (fun () -> incr done_))
+        done)
+  in
+  Alcotest.(check bool) "ok" true (Outcome.ok out);
+  Alcotest.(check int) "all orphans ran" 3 !done_
+
+let () =
+  Alcotest.run "rf_runtime"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single thread" `Quick test_single_thread;
+          Alcotest.test_case "fork/join" `Quick test_fork_join;
+          Alcotest.test_case "many threads" `Quick test_many_threads;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "locked increments never lost" `Quick
+            test_locked_increments_never_lost;
+          Alcotest.test_case "unlocked increments race" `Quick
+            test_unlocked_increments_race;
+          Alcotest.test_case "reentrant lock" `Quick test_reentrant_lock;
+          Alcotest.test_case "unlock not held" `Quick test_unlock_not_held;
+        ] );
+      ( "wait/notify",
+        [
+          Alcotest.test_case "handshake" `Quick test_wait_notify_handshake;
+          Alcotest.test_case "notify_all" `Quick test_notify_all_wakes_everyone;
+          Alcotest.test_case "single notify" `Quick
+            test_single_notify_wakes_one_at_a_time;
+          Alcotest.test_case "wait without lock" `Quick test_wait_without_lock;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "lock cycle" `Quick
+            test_classic_lock_cycle_deadlocks_sometimes;
+          Alcotest.test_case "forgotten notify" `Quick test_forgotten_notify_deadlocks;
+        ] );
+      ( "interrupt",
+        [
+          Alcotest.test_case "wakes waiter" `Quick test_interrupt_wakes_waiter;
+          Alcotest.test_case "sleep uncaught" `Quick test_interrupt_sleep_uncaught;
+          Alcotest.test_case "pending flag" `Quick
+            test_interrupt_before_wait_throws_immediately;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "recorded" `Quick test_thread_exception_recorded;
+          Alcotest.test_case "locks released on death" `Quick
+            test_dying_thread_releases_locks;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "same seed same trace" `Quick
+            test_replay_same_seed_same_trace;
+          Alcotest.test_case "different seeds differ" `Quick test_different_seeds_differ;
+          QCheck_alcotest.to_alcotest prop_engine_deterministic;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "sync-only fewer switches" `Quick
+            test_sync_only_policy_fewer_switches;
+          Alcotest.test_case "watched site switches" `Quick
+            test_sync_and_watched_site_switches;
+        ] );
+      ( "limits", [ Alcotest.test_case "step bound" `Quick test_step_bound_hits ] );
+      ( "trace", [ Alcotest.test_case "structure" `Quick test_trace_structure ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "wait preserves depth" `Quick
+            test_wait_preserves_reentrancy_depth;
+          Alcotest.test_case "self join" `Quick test_self_join_deadlocks;
+          Alcotest.test_case "join dead twice" `Quick test_join_already_dead;
+          Alcotest.test_case "fork cascade" `Quick test_fork_cascade;
+          Alcotest.test_case "interrupt while lock-blocked" `Quick
+            test_interrupt_flag_not_lost_on_acquire;
+          Alcotest.test_case "notify choice" `Quick test_notify_choice_is_seed_dependent;
+          Alcotest.test_case "exception in main" `Quick test_exception_in_main_thread;
+          Alcotest.test_case "orphans run" `Quick test_orphaned_children_still_run;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for rf_util: PRNG determinism/distribution, site interning,
+   location identity. *)
+
+open Rf_util
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 10 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Prng.next_int64 b) in
+  Alcotest.(check bool) "different streams differ" false (xs = ys)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let n = Prng.int p 13 in
+    Alcotest.(check bool) "0 <= n" true (n >= 0);
+    Alcotest.(check bool) "n < 13" true (n < 13)
+  done
+
+let test_prng_int_invalid () =
+  let p = Prng.create 0 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_prng_bool_both_values () =
+  let p = Prng.create 3 in
+  let trues = ref 0 and falses = ref 0 in
+  for _ = 1 to 200 do
+    if Prng.bool p then incr trues else incr falses
+  done;
+  Alcotest.(check bool) "some trues" true (!trues > 30);
+  Alcotest.(check bool) "some falses" true (!falses > 30)
+
+let test_prng_float_range () =
+  let p = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_copy_independent () =
+  let p = Prng.create 5 in
+  ignore (Prng.next_int64 p);
+  let q = Prng.copy p in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 p)
+    (Prng.next_int64 q)
+
+let test_prng_split_diverges () =
+  let p = Prng.create 11 in
+  let q = Prng.split p in
+  let xs = List.init 5 (fun _ -> Prng.next_int64 p) in
+  let ys = List.init 5 (fun _ -> Prng.next_int64 q) in
+  Alcotest.(check bool) "split stream differs" false (xs = ys)
+
+let test_prng_pick () =
+  let p = Prng.create 13 in
+  let l = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "pick from list" true (List.mem (Prng.pick p l) l)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick p []))
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 17 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* Uniformity property: counts of Prng.int over [0,4) are roughly equal. *)
+let test_prng_rough_uniformity () =
+  let p = Prng.create 23 in
+  let counts = Array.make 4 0 in
+  let n = 4000 in
+  for _ = 1 to n do
+    let i = Prng.int p 4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket count %d close to %d" c (n / 4))
+        true
+        (abs (c - (n / 4)) < n / 10))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Site                                                                *)
+
+let test_site_interning () =
+  let a = Site.make ~file:"f.rfl" ~line:3 "x=1" in
+  let b = Site.make ~file:"f.rfl" ~line:3 "x=1" in
+  Alcotest.(check bool) "same key interned" true (Site.equal a b);
+  Alcotest.(check int) "same id" (Site.id a) (Site.id b)
+
+let test_site_distinct () =
+  let a = Site.make ~file:"f.rfl" ~line:3 "x=1" in
+  let b = Site.make ~file:"f.rfl" ~line:4 "x=1" in
+  Alcotest.(check bool) "different lines distinct" false (Site.equal a b)
+
+let test_site_find_by_id () =
+  let a = Site.make ~file:"g.rfl" ~line:9 "y=2" in
+  match Site.find_by_id (Site.id a) with
+  | Some b -> Alcotest.(check bool) "roundtrip" true (Site.equal a b)
+  | None -> Alcotest.fail "site not found by id"
+
+let test_site_pair_normalized () =
+  let a = Site.make ~file:"p.rfl" ~line:1 "a" in
+  let b = Site.make ~file:"p.rfl" ~line:2 "b" in
+  let p1 = Site.Pair.make a b and p2 = Site.Pair.make b a in
+  Alcotest.(check bool) "unordered equal" true (Site.Pair.equal p1 p2);
+  Alcotest.(check int) "normalized fst" (Site.id (Site.Pair.fst p1))
+    (Site.id (Site.Pair.fst p2))
+
+let test_site_pair_reflexive () =
+  let a = Site.make ~file:"p.rfl" ~line:7 "self" in
+  let p = Site.Pair.make a a in
+  Alcotest.(check bool) "mem" true (Site.Pair.mem a p);
+  match Site.Pair.other a p with
+  | Some b -> Alcotest.(check bool) "other of reflexive" true (Site.equal a b)
+  | None -> Alcotest.fail "other none"
+
+let test_site_pair_other () =
+  let a = Site.make ~file:"p.rfl" ~line:10 "a" in
+  let b = Site.make ~file:"p.rfl" ~line:11 "b" in
+  let c = Site.make ~file:"p.rfl" ~line:12 "c" in
+  let p = Site.Pair.make a b in
+  (match Site.Pair.other a p with
+  | Some x -> Alcotest.(check bool) "other a = b" true (Site.equal x b)
+  | None -> Alcotest.fail "other none");
+  Alcotest.(check bool) "c not in pair" false (Site.Pair.mem c p);
+  Alcotest.(check bool) "other c none" true (Site.Pair.other c p = None)
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+
+let test_loc_identity () =
+  Loc.reset_counter ();
+  let o1 = Loc.fresh_obj () and o2 = Loc.fresh_obj () in
+  Alcotest.(check bool) "fresh objects distinct" false (o1 = o2);
+  Alcotest.(check bool) "same field same loc" true
+    (Loc.equal (Loc.field o1 "f") (Loc.field o1 "f"));
+  Alcotest.(check bool) "diff field diff loc" false
+    (Loc.equal (Loc.field o1 "f") (Loc.field o1 "g"));
+  Alcotest.(check bool) "diff obj diff loc" false
+    (Loc.equal (Loc.field o1 "f") (Loc.field o2 "f"))
+
+let test_loc_reset_determinism () =
+  Loc.reset_counter ();
+  let a = Loc.fresh_obj () in
+  Loc.reset_counter ();
+  let b = Loc.fresh_obj () in
+  Alcotest.(check int) "counter reset" a b
+
+let test_loc_kinds_distinct () =
+  let g = Loc.global "x" and f = Loc.field 0 "x" and e = Loc.elem 0 0 in
+  Alcotest.(check bool) "global/field" false (Loc.equal g f);
+  Alcotest.(check bool) "field/elem" false (Loc.equal f e);
+  Alcotest.(check bool) "elem identity" true (Loc.equal e (Loc.elem 0 0));
+  Alcotest.(check bool) "elem index" false (Loc.equal e (Loc.elem 0 1))
+
+let test_loc_compare_consistent () =
+  let locs = [ Loc.global "a"; Loc.global "b"; Loc.field 1 "f"; Loc.elem 2 3 ] in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let c = Loc.compare x y in
+          Alcotest.(check bool) "equal iff compare 0" (Loc.equal x y) (c = 0);
+          Alcotest.(check int) "antisymmetric" (-c) (Loc.compare y x))
+        locs)
+    locs
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"prng int always in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Prng.create seed in
+      let n = Prng.int p bound in
+      n >= 0 && n < bound)
+
+let prop_site_pair_commutative =
+  QCheck.Test.make ~name:"site pair construction commutative" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (i, j) ->
+      let a = Site.make ~file:"q.rfl" ~line:(i mod 50) "s" in
+      let b = Site.make ~file:"q.rfl" ~line:(j mod 50) "s" in
+      Site.Pair.equal (Site.Pair.make a b) (Site.Pair.make b a))
+
+let () =
+  Alcotest.run "rf_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_prng_int_invalid;
+          Alcotest.test_case "bool both values" `Quick test_prng_bool_both_values;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_prng_split_diverges;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "rough uniformity" `Quick test_prng_rough_uniformity;
+          QCheck_alcotest.to_alcotest prop_prng_int_in_range;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "interning" `Quick test_site_interning;
+          Alcotest.test_case "distinct" `Quick test_site_distinct;
+          Alcotest.test_case "find by id" `Quick test_site_find_by_id;
+          Alcotest.test_case "pair normalized" `Quick test_site_pair_normalized;
+          Alcotest.test_case "pair reflexive" `Quick test_site_pair_reflexive;
+          Alcotest.test_case "pair other/mem" `Quick test_site_pair_other;
+          QCheck_alcotest.to_alcotest prop_site_pair_commutative;
+        ] );
+      ( "loc",
+        [
+          Alcotest.test_case "identity" `Quick test_loc_identity;
+          Alcotest.test_case "reset determinism" `Quick test_loc_reset_determinism;
+          Alcotest.test_case "kinds distinct" `Quick test_loc_kinds_distinct;
+          Alcotest.test_case "compare consistent" `Quick test_loc_compare_consistent;
+        ] );
+    ]

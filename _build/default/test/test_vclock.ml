@@ -1,0 +1,125 @@
+(* Tests for vector clocks: lattice laws, ordering, concurrency. *)
+
+open Rf_vclock
+
+let vc = Alcotest.testable Vclock.pp Vclock.equal
+
+let test_bottom () =
+  Alcotest.(check bool) "bottom is bottom" true (Vclock.is_bottom Vclock.bottom);
+  Alcotest.(check int) "get on bottom" 0 (Vclock.get Vclock.bottom 5)
+
+let test_tick () =
+  let c = Vclock.tick Vclock.bottom 3 in
+  Alcotest.(check int) "ticked" 1 (Vclock.get c 3);
+  Alcotest.(check int) "others zero" 0 (Vclock.get c 4);
+  let c2 = Vclock.tick c 3 in
+  Alcotest.(check int) "ticked twice" 2 (Vclock.get c2 3)
+
+let test_join () =
+  let a = Vclock.of_list [ (0, 3); (1, 1) ] in
+  let b = Vclock.of_list [ (1, 4); (2, 2) ] in
+  let j = Vclock.join a b in
+  Alcotest.check vc "join componentwise max"
+    (Vclock.of_list [ (0, 3); (1, 4); (2, 2) ])
+    j
+
+let test_leq () =
+  let a = Vclock.of_list [ (0, 1); (1, 2) ] in
+  let b = Vclock.of_list [ (0, 2); (1, 2) ] in
+  Alcotest.(check bool) "a <= b" true (Vclock.leq a b);
+  Alcotest.(check bool) "not b <= a" false (Vclock.leq b a);
+  Alcotest.(check bool) "a < b" true (Vclock.lt a b);
+  Alcotest.(check bool) "not a < a" false (Vclock.lt a a);
+  Alcotest.(check bool) "a <= a" true (Vclock.leq a a)
+
+let test_concurrent () =
+  let a = Vclock.of_list [ (0, 2); (1, 0) ] in
+  let b = Vclock.of_list [ (0, 0); (1, 2) ] in
+  Alcotest.(check bool) "concurrent" true (Vclock.concurrent a b);
+  Alcotest.(check bool) "not concurrent with self" false (Vclock.concurrent a a);
+  Alcotest.(check bool) "ordered not concurrent" false
+    (Vclock.concurrent a (Vclock.join a b))
+
+let test_set_zero_removes () =
+  let a = Vclock.set (Vclock.of_list [ (0, 1) ]) 0 0 in
+  Alcotest.(check bool) "setting 0 yields bottom" true (Vclock.is_bottom a)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: lattice laws over random clocks                             *)
+
+let gen_clock =
+  QCheck.Gen.(
+    map
+      (fun l -> Vclock.of_list (List.map (fun (t, n) -> (t mod 6, (n mod 8) + 1)) l))
+      (small_list (pair small_nat small_nat)))
+
+let arb_clock = QCheck.make ~print:Vclock.to_string gen_clock
+
+let prop_join_commutative =
+  QCheck.Test.make ~name:"join commutative" ~count:300 (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) -> Vclock.equal (Vclock.join a b) (Vclock.join b a))
+
+let prop_join_associative =
+  QCheck.Test.make ~name:"join associative" ~count:300
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      Vclock.equal
+        (Vclock.join a (Vclock.join b c))
+        (Vclock.join (Vclock.join a b) c))
+
+let prop_join_idempotent =
+  QCheck.Test.make ~name:"join idempotent" ~count:300 arb_clock (fun a ->
+      Vclock.equal (Vclock.join a a) a)
+
+let prop_join_unit =
+  QCheck.Test.make ~name:"bottom is unit" ~count:300 arb_clock (fun a ->
+      Vclock.equal (Vclock.join a Vclock.bottom) a)
+
+let prop_join_is_lub =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:300
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      let j = Vclock.join a b in
+      Vclock.leq a j && Vclock.leq b j)
+
+let prop_leq_partial_order =
+  QCheck.Test.make ~name:"leq antisymmetric + transitive-ish" ~count:300
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      (* antisymmetry *)
+      ((not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b)
+      (* transitivity *)
+      && ((not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c))
+
+let prop_concurrent_symmetric =
+  QCheck.Test.make ~name:"concurrency symmetric and irreflexive" ~count:300
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      Vclock.concurrent a b = Vclock.concurrent b a && not (Vclock.concurrent a a))
+
+let prop_tick_strictly_increases =
+  QCheck.Test.make ~name:"tick strictly increases" ~count:300
+    (QCheck.pair arb_clock QCheck.small_nat) (fun (a, t) ->
+      Vclock.lt a (Vclock.tick a (t mod 6)))
+
+let () =
+  Alcotest.run "rf_vclock"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bottom" `Quick test_bottom;
+          Alcotest.test_case "tick" `Quick test_tick;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "leq/lt" `Quick test_leq;
+          Alcotest.test_case "concurrent" `Quick test_concurrent;
+          Alcotest.test_case "set zero removes" `Quick test_set_zero_removes;
+        ] );
+      ( "laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_join_commutative;
+            prop_join_associative;
+            prop_join_idempotent;
+            prop_join_unit;
+            prop_join_is_lub;
+            prop_leq_partial_order;
+            prop_concurrent_symmetric;
+            prop_tick_strictly_increases;
+          ] );
+    ]
