@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- figure2      -- Figure 2 probability series
      dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
      dune exec bench/main.exe -- ablation     -- design-choice ablations
+     dune exec bench/main.exe -- parallel [TRIALS] [DOMAINS]
+                                              -- sequential vs N-domain campaign speedup
 
    The micro benchmarks measure the per-mode execution cost (normal /
    hybrid-detection / RaceFuzzer) on representative workloads — the
@@ -165,6 +167,46 @@ let run_ablation () =
   Fmt.pr "sync-only: %d steps, %d strategy consultations@." s2 w2
 
 (* ------------------------------------------------------------------ *)
+(* Parallel campaign: sequential vs N-domain speedup (Table 1 rows)    *)
+
+let run_parallel ?(trials = 50) ?(domains = 4) () =
+  Fmt.pr "=== Parallel campaign: 1 domain vs %d domains (%d trials/pair) ===@." domains
+    trials;
+  Fmt.pr "(host reports %d recommended domain(s); speedup needs real cores)@.@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "%-14s %6s %7s %10s %10s %8s  %s@." "workload" "pairs" "trials" "seq(s)"
+    "par(s)" "speedup" "identical";
+  let seeds = List.init trials Fun.id in
+  let phase1_seeds = List.init 3 Fun.id in
+  let seq_total = ref 0.0 and par_total = ref 0.0 and all_equal = ref true in
+  List.iter
+    (fun (w : W.Workload.t) ->
+      let campaign d =
+        Rf_campaign.Campaign.run ~domains:d ~cutoff:false ~phase1_seeds
+          ~seeds_per_pair:seeds w.W.Workload.program
+      in
+      let seq = campaign 1 in
+      let par = campaign domains in
+      let s = seq.Rf_campaign.Campaign.stats.Rf_campaign.Campaign.s_wall in
+      let p = par.Rf_campaign.Campaign.stats.Rf_campaign.Campaign.s_wall in
+      let same =
+        Rf_campaign.Campaign.equal_verdicts seq.Rf_campaign.Campaign.analysis
+          par.Rf_campaign.Campaign.analysis
+      in
+      if not same then all_equal := false;
+      seq_total := !seq_total +. s;
+      par_total := !par_total +. p;
+      Fmt.pr "%-14s %6d %7d %10.3f %10.3f %7.2fx  %s@." w.W.Workload.name
+        seq.Rf_campaign.Campaign.stats.Rf_campaign.Campaign.s_pairs
+        seq.Rf_campaign.Campaign.stats.Rf_campaign.Campaign.s_trials s p
+        (if p > 0.0 then s /. p else 0.0)
+        (if same then "yes" else "MISMATCH"))
+    W.Registry.all;
+  Fmt.pr "%-14s %6s %7s %10.3f %10.3f %7.2fx  %s@." "TOTAL" "" "" !seq_total !par_total
+    (if !par_total > 0.0 then !seq_total /. !par_total else 0.0)
+    (if !all_equal then "yes" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
 (* Experiment drivers                                                  *)
 
 let run_table1 ~quick () =
@@ -204,6 +246,15 @@ let () =
   | [ "figure2" ] -> run_figure2 ()
   | [ "micro" ] -> run_micro ()
   | [ "ablation" ] -> run_ablation ()
+  | "parallel" :: rest -> (
+      match List.map int_of_string_opt rest with
+      | [] -> run_parallel ()
+      | [ Some trials ] -> run_parallel ~trials ()
+      | [ Some trials; Some domains ] -> run_parallel ~trials ~domains ()
+      | _ ->
+          Fmt.epr "usage: main.exe parallel [TRIALS] [DOMAINS]@.";
+          exit 2)
   | _ ->
-      Fmt.epr "usage: main.exe [table1|table1-quick|figure1|figure2|micro|ablation]@.";
+      Fmt.epr
+        "usage: main.exe [table1|table1-quick|figure1|figure2|micro|ablation|parallel]@.";
       exit 2

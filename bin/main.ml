@@ -7,6 +7,7 @@
      replay    re-run one phase-2 execution from its seed
      deadlock  deadlock-directed testing (Goodlock cycles + postponement)
      atomicity atomicity-directed testing (split transactions)
+     campaign  parallel whole-program campaign over a domain pool
      workload  analyze a built-in Table-1 workload analogue
      list      list built-in workloads
      table1    regenerate the paper's Table 1
@@ -312,6 +313,94 @@ let atomicity_cmd =
     Term.(const action $ file_arg $ seeds_arg 50)
 
 (* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+
+let campaign_cmd =
+  let target_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"RFL source file or built-in workload name.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains draining the trial queue.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Total trial budget across all pairs; trials freed by early cutoff are \
+             reallocated to unresolved pairs (default: pairs x trials).")
+  in
+  let log_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc:"Write a JSONL progress/event log to $(docv).")
+  in
+  let no_cutoff_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cutoff" ]
+          ~doc:
+            "Disable early cutoff: run every granted trial, making the result \
+             bit-identical to the sequential 'fuzz' analysis.")
+  in
+  let p1_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "phase1-seeds" ] ~docv:"N" ~doc:"Executions observed by hybrid detection.")
+  in
+  let action target domains budget logfile no_cutoff p1 trials =
+    let program =
+      match Rf_workloads.Registry.find target with
+      | Some w -> Ok w.Rf_workloads.Workload.program
+      | None -> (
+          match load target with
+          | Ok prog -> Ok (Rf_lang.Lang.program ~print:ignore prog)
+          | Error m ->
+              Error
+                (Fmt.str "%S is neither a built-in workload (see 'racefuzzer list') nor a \
+                          loadable RFL file:@.%s" target m))
+    in
+    match program with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+    | Ok program ->
+        let log =
+          match logfile with
+          | Some path -> (
+              try Rf_campaign.Event_log.open_file path
+              with Sys_error m ->
+                Fmt.epr "cannot open event log: %s@." m;
+                exit 1)
+          | None -> Rf_campaign.Event_log.null ()
+        in
+        let r =
+          Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
+            ~phase1_seeds:(List.init p1 Fun.id)
+            ~seeds_per_pair:(List.init trials Fun.id)
+            ~log program
+        in
+        Rf_campaign.Event_log.close log;
+        print_analysis r.Rf_campaign.Campaign.analysis;
+        Fmt.pr "@.%a" Rf_report.Campaign_report.render r.Rf_campaign.Campaign.stats;
+        Fmt.pr "fingerprint: %s@."
+          (Rf_campaign.Campaign.fingerprint r.Rf_campaign.Campaign.analysis);
+        Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Parallel whole-program campaign: schedule all (pair, seed) trials across a \
+          domain pool with deterministic aggregation and early cutoff.")
+    Term.(
+      const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
+      $ p1_arg $ seeds_arg 100)
+
+(* ------------------------------------------------------------------ *)
 (* workloads                                                           *)
 
 let workload_cmd =
@@ -374,7 +463,7 @@ let main_cmd =
        ~doc:"Race-directed random testing of concurrent programs (Sen, PLDI 2008).")
     [
       run_cmd; detect_cmd; fuzz_cmd; replay_cmd; deadlock_cmd; atomicity_cmd;
-      workload_cmd; list_cmd; table1_cmd; figure2_cmd;
+      campaign_cmd; workload_cmd; list_cmd; table1_cmd; figure2_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,371 @@
+open Rf_util
+module Fuzzer = Racefuzzer.Fuzzer
+module Algo = Racefuzzer.Algo
+module Outcome = Rf_runtime.Outcome
+
+type stats = {
+  s_pairs : int;
+  s_resolved : int;
+  s_trials : int;
+  s_cancelled : int;
+  s_discarded : int;
+  s_waves : int;
+  s_wall : float;
+  s_phase1_wall : float;
+  s_throughput : float;
+  s_domains : int;
+  s_domain_trials : int array;
+  s_domain_busy : float array;
+}
+
+type result = { analysis : Fuzzer.analysis; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Per-pair campaign state.
+
+   [ps_first_race]/[ps_first_error] are minima over *executed* trials.
+   Because a trial at index i is only ever cancelled when some already-
+   known resolution bound k < i exists — and the bound can only shrink as
+   more trials finish — every index at or below the final bound is
+   guaranteed to execute.  Hence the final minima equal the minima a
+   sequential run would observe, and the truncation point
+
+     k* = max (first race index, first error index)
+
+   is a pure function of the seed list: deterministic for any domain
+   count and any interleaving. *)
+
+type pair_state = {
+  ps_pair : Site.Pair.t;
+  ps_label : string;
+  mutable ps_granted : int;  (** trial indices 0..granted-1 exist *)
+  mutable ps_queued : int;  (** indices already pushed to a wave queue *)
+  mutable ps_slots : Fuzzer.trial option array;  (** length >= granted *)
+  mutable ps_first_race : int;  (** max_int = none yet *)
+  mutable ps_first_error : int;
+  mutable ps_cancelled : int;
+  mutable ps_run : int;
+  mutable ps_settled : bool;  (** savings already returned to the pool *)
+}
+
+let resolution ps =
+  if ps.ps_first_race = max_int || ps.ps_first_error = max_int then None
+  else Some (max ps.ps_first_race ps.ps_first_error)
+
+let grow ps wanted =
+  let len = Array.length ps.ps_slots in
+  if wanted > len then begin
+    let slots = Array.make (max wanted (2 * len)) None in
+    Array.blit ps.ps_slots 0 slots 0 len;
+    ps.ps_slots <- slots
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
+    ?budget ?postpone_timeout ?(max_steps = Rf_runtime.Engine.default_config.max_steps)
+    ?(log = Event_log.null ()) ~(program : Fuzzer.program) (pairs : Site.Pair.t list) :
+    Fuzzer.pair_result list * stats =
+  let t0 = Unix.gettimeofday () in
+  let npairs = List.length pairs in
+  let base_seeds = Array.of_list seeds in
+  let nbase = Array.length base_seeds in
+  (* Extra trials past the base list draw fresh seeds above its maximum,
+     so reallocated budget never re-runs a base seed. *)
+  let extra_seed_base = 1 + Array.fold_left max 0 base_seeds in
+  let seed_of idx = if idx < nbase then base_seeds.(idx) else extra_seed_base + (idx - nbase) in
+  let total_budget =
+    match budget with Some b -> max 0 b | None -> npairs * nbase
+  in
+  Event_log.emit log
+    (Event_log.Campaign_started { domains; base_trials = nbase; budget; cutoff });
+  let states =
+    Array.of_list
+      (List.map
+         (fun pair ->
+           {
+             ps_pair = pair;
+             ps_label = Site.Pair.to_string pair;
+             ps_granted = 0;
+             ps_queued = 0;
+             ps_slots = Array.make (max nbase 1) None;
+             ps_first_race = max_int;
+             ps_first_error = max_int;
+             ps_cancelled = 0;
+             ps_run = 0;
+             ps_settled = false;
+           })
+         pairs)
+  in
+  (* Initial grant: the first [total_budget] tasks in seed-major order,
+     i.e. pair i receives q + 1 trials if i < r else q, where
+     total_budget = q * npairs + r — capped at the base list length. *)
+  let pool = ref total_budget in
+  if npairs > 0 then begin
+    let q = total_budget / npairs and r = total_budget mod npairs in
+    Array.iteri
+      (fun i ps ->
+        let g = min nbase (q + if i < r then 1 else 0) in
+        grow ps g;
+        ps.ps_granted <- g;
+        pool := !pool - g)
+      states
+  end;
+  let mutex = Mutex.create () in
+  let ndomains = max 1 domains in
+  let domain_trials = Array.make ndomains 0 in
+  let domain_busy = Array.make ndomains 0.0 in
+  let worker d queue =
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some (idx, p) ->
+          let ps = states.(p) in
+          let cancelled =
+            cutoff
+            && Mutex.protect mutex (fun () ->
+                   match resolution ps with
+                   | Some k when idx > k ->
+                       ps.ps_cancelled <- ps.ps_cancelled + 1;
+                       true
+                   | _ -> false)
+          in
+          if not cancelled then begin
+            let seed = seed_of idx in
+            Event_log.emit log
+              (Event_log.Trial_started { pair = ps.ps_label; seed; domain = d });
+            let w0 = Unix.gettimeofday () in
+            let tr = Fuzzer.run_trial ?postpone_timeout ~max_steps ~program ps.ps_pair seed in
+            let wall = Unix.gettimeofday () -. w0 in
+            domain_trials.(d) <- domain_trials.(d) + 1;
+            domain_busy.(d) <- domain_busy.(d) +. wall;
+            let race = Algo.race_created tr.Fuzzer.t_report in
+            let error = race && Outcome.has_exception tr.Fuzzer.t_outcome in
+            let deadlock = Outcome.deadlocked tr.Fuzzer.t_outcome in
+            let newly_resolved =
+              Mutex.protect mutex (fun () ->
+                  ps.ps_slots.(idx) <- Some tr;
+                  ps.ps_run <- ps.ps_run + 1;
+                  let before = resolution ps in
+                  if race && idx < ps.ps_first_race then ps.ps_first_race <- idx;
+                  if error && idx < ps.ps_first_error then ps.ps_first_error <- idx;
+                  match (before, resolution ps) with None, Some k -> Some k | _ -> None)
+            in
+            Event_log.emit log
+              (Event_log.Trial_finished
+                 { pair = ps.ps_label; seed; domain = d; race; error; deadlock; wall });
+            Option.iter
+              (fun k ->
+                Event_log.emit log
+                  (Event_log.Pair_resolved { pair = ps.ps_label; at_trial = k }))
+              newly_resolved
+          end;
+          loop ()
+    in
+    loop ()
+  in
+  let run_wave wave tasks =
+    Event_log.emit log (Event_log.Wave_started { wave; tasks = List.length tasks });
+    let queue = Work_queue.create tasks in
+    let n = max 1 (min ndomains (List.length tasks)) in
+    if n = 1 then worker 0 queue
+    else begin
+      let doms =
+        Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) queue))
+      in
+      worker 0 queue;
+      Array.iter Domain.join doms
+    end
+  in
+  (* Wave loop.  Each wave queues every granted-but-unqueued trial in
+     seed-major order (trial 0 of every pair, then trial 1, ...) so all
+     pairs make progress toward their resolution points together.  Between
+     waves — a deterministic barrier — resolved pairs return their unused
+     budget to the pool, which is re-granted round-robin to unresolved
+     pairs.  Grants depend only on resolution points, which are themselves
+     deterministic, so the whole schedule of waves is reproducible. *)
+  let waves = ref 0 in
+  let continue_ = ref (npairs > 0 && total_budget > 0) in
+  while !continue_ do
+    let tasks = ref [] in
+    Array.iteri
+      (fun p ps ->
+        for idx = ps.ps_queued to ps.ps_granted - 1 do
+          tasks := (idx, p) :: !tasks
+        done;
+        ps.ps_queued <- ps.ps_granted)
+      states;
+    let tasks =
+      List.sort
+        (fun (i1, p1) (i2, p2) ->
+          match Int.compare i1 i2 with 0 -> Int.compare p1 p2 | c -> c)
+        !tasks
+    in
+    if tasks <> [] then begin
+      run_wave !waves tasks;
+      incr waves
+    end;
+    (* settle pairs that resolved: their skipped trials refill the pool *)
+    Array.iter
+      (fun ps ->
+        if (not ps.ps_settled) && resolution ps <> None then begin
+          ps.ps_settled <- true;
+          pool := !pool + ps.ps_cancelled
+        end)
+      states;
+    let unresolved =
+      Array.to_list states |> List.filter (fun ps -> not ps.ps_settled)
+    in
+    if (not cutoff) || !pool <= 0 || unresolved = [] then continue_ := false
+    else begin
+      (* round-robin reallocation, at most one base-list worth per pair
+         per wave so a single unresolved pair cannot absorb a huge pool in
+         one indivisible chunk *)
+      let granted_now = Array.make (List.length unresolved) 0 in
+      let progress = ref true in
+      while !pool > 0 && !progress do
+        progress := false;
+        List.iteri
+          (fun i ps ->
+            if !pool > 0 && granted_now.(i) < nbase then begin
+              grow ps (ps.ps_granted + 1);
+              ps.ps_granted <- ps.ps_granted + 1;
+              granted_now.(i) <- granted_now.(i) + 1;
+              decr pool;
+              progress := true
+            end)
+          unresolved
+      done;
+      List.iteri
+        (fun i ps ->
+          if granted_now.(i) > 0 then
+            Event_log.emit log
+              (Event_log.Budget_granted { pair = ps.ps_label; extra = granted_now.(i) }))
+        unresolved;
+      continue_ := List.exists (fun ps -> ps.ps_queued < ps.ps_granted) unresolved
+    end
+  done;
+  (* ---------------------------------------------------------------- *)
+  (* Deterministic aggregation: truncate each pair at its resolution
+     point, discarding speculative trials run past it.                  *)
+  let discarded = ref 0 in
+  let results =
+    Array.to_list
+      (Array.map
+         (fun ps ->
+           if ps.ps_cancelled > 0 then
+             Event_log.emit log
+               (Event_log.Trials_cancelled { pair = ps.ps_label; count = ps.ps_cancelled });
+           let upto =
+             match (if cutoff then resolution ps else None) with
+             | Some k -> k + 1
+             | None -> ps.ps_granted
+           in
+           let kept = ref [] in
+           for idx = ps.ps_granted - 1 downto 0 do
+             match ps.ps_slots.(idx) with
+             | None -> ()  (* cancelled slot *)
+             | Some tr -> if idx < upto then kept := tr :: !kept else incr discarded
+           done;
+           let kept = !kept in
+           let wall =
+             List.fold_left
+               (fun acc (t : Fuzzer.trial) -> acc +. t.Fuzzer.t_outcome.Outcome.wall_time)
+               0.0 kept
+           in
+           Fuzzer.aggregate_trials ~pair:ps.ps_pair ~wall kept)
+         states)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let trials = Array.fold_left ( + ) 0 domain_trials in
+  let cancelled = Array.fold_left (fun acc ps -> acc + ps.ps_cancelled) 0 states in
+  let stats =
+    {
+      s_pairs = npairs;
+      s_resolved =
+        Array.fold_left (fun acc ps -> if resolution ps <> None then acc + 1 else acc) 0 states;
+      s_trials = trials;
+      s_cancelled = cancelled;
+      s_discarded = !discarded;
+      s_waves = !waves;
+      s_wall = wall;
+      s_phase1_wall = 0.0;
+      s_throughput = (if wall > 0.0 then float_of_int trials /. wall else 0.0);
+      s_domains = ndomains;
+      s_domain_trials = domain_trials;
+      s_domain_busy = domain_busy;
+    }
+  in
+  Event_log.emit log
+    (Event_log.Campaign_finished
+       { wall; trials; cancelled; throughput = stats.s_throughput });
+  (results, stats)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
+    ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
+    ?(log = Event_log.null ()) (program : Fuzzer.program) : result =
+  let p1 = Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps program in
+  let potential = Fuzzer.potential_pairs p1 in
+  Event_log.emit log
+    (Event_log.Phase1_finished
+       { potential = Site.Pair.Set.cardinal potential; wall = p1.Fuzzer.p1_wall });
+  let pairs = Site.Pair.Set.elements potential in
+  let results, stats =
+    fuzz_pairs ~domains ~seeds:seeds_per_pair ~cutoff ?budget ?postpone_timeout
+      ?max_steps ~log ~program pairs
+  in
+  let collect p =
+    List.fold_left
+      (fun acc (r : Fuzzer.pair_result) ->
+        if p r then Site.Pair.Set.add r.Fuzzer.pr_pair acc else acc)
+      Site.Pair.Set.empty results
+  in
+  let analysis =
+    {
+      Fuzzer.a_phase1 = p1;
+      results;
+      real_pairs = collect Fuzzer.is_real;
+      error_pairs = collect Fuzzer.is_harmful;
+      deadlock_pairs = collect (fun r -> r.Fuzzer.deadlock_trials > 0);
+    }
+  in
+  ({ analysis; stats = { stats with s_phase1_wall = p1.Fuzzer.p1_wall } } : result)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism fingerprint                                             *)
+
+let fingerprint (a : Fuzzer.analysis) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_pair_set tag set =
+    add "%s:" tag;
+    Site.Pair.Set.iter (fun p -> add "%s;" (Site.Pair.to_string p)) set;
+    add "\n"
+  in
+  add_pair_set "potential" (Fuzzer.potential_pairs a.Fuzzer.a_phase1);
+  List.iter
+    (fun (r : Fuzzer.pair_result) ->
+      add "pair %s race=%d err=%d dead=%d n=%d p=%.17g rs=%s es=%s\n"
+        (Site.Pair.to_string r.Fuzzer.pr_pair)
+        r.Fuzzer.race_trials r.Fuzzer.error_trials r.Fuzzer.deadlock_trials
+        (List.length r.Fuzzer.trials)
+        r.Fuzzer.probability
+        (match r.Fuzzer.race_seed with Some s -> string_of_int s | None -> "-")
+        (match r.Fuzzer.error_seed with Some s -> string_of_int s | None -> "-");
+      List.iter
+        (fun (t : Fuzzer.trial) ->
+          let o = t.Fuzzer.t_outcome in
+          add "  t%d race=%b exn=%d dead=%b steps=%d sw=%d\n" t.Fuzzer.t_seed
+            (Algo.race_created t.Fuzzer.t_report)
+            (List.length o.Outcome.exceptions)
+            (Outcome.deadlocked o) o.Outcome.steps o.Outcome.switches)
+        r.Fuzzer.trials)
+    a.Fuzzer.results;
+  add_pair_set "real" a.Fuzzer.real_pairs;
+  add_pair_set "error" a.Fuzzer.error_pairs;
+  add_pair_set "deadlock" a.Fuzzer.deadlock_pairs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let equal_verdicts a b = String.equal (fingerprint a) (fingerprint b)

@@ -1,0 +1,97 @@
+(** The parallel campaign orchestrator.
+
+    {!Racefuzzer.Fuzzer.analyze} fuzzes candidate pairs strictly one after
+    another.  The paper notes that "different invocations of RaceFuzzer are
+    independent of each other [so] performance can be increased linearly
+    with the number of processors or cores" — a campaign takes that
+    globally: {e all} phase-2 (pair, seed) trials go into a single
+    deterministic work queue drained by a pool of OCaml domains, instead of
+    exploiting parallelism one pair at a time.
+
+    {2 Deterministic aggregation}
+
+    Each trial is a pure function of (pair, seed): the engine resets its
+    domain-local counters per run, so a trial computes the same result on
+    any domain at any time.  Aggregation sorts trials back into their
+    logical (pair, trial-index) slots, so campaign results are
+    {b bit-identical} for any domain count and any interleaving — and,
+    with cutoff disabled, identical to sequential
+    {!Racefuzzer.Fuzzer.analyze} on the same seed lists.
+
+    {2 Early cutoff}
+
+    With [~cutoff:true], once a pair is classified both {e real} and
+    {e harmful}, its remaining queued trials are cancelled.  The cutoff
+    point is defined {e logically}, not temporally: the pair's trial list
+    is truncated at the smallest trial index whose prefix contains a race
+    trial and an error trial.  Workers may speculatively run trials past
+    that index before it is known; their results are discarded at
+    aggregation, so the cutoff semantics are also independent of domain
+    count.  Freed trials return to the budget pool and are reallocated to
+    still-unresolved pairs in deterministic round-robin waves. *)
+
+open Rf_util
+module Fuzzer = Racefuzzer.Fuzzer
+
+type stats = {
+  s_pairs : int;
+  s_resolved : int;  (** pairs classified real-and-harmful *)
+  s_trials : int;  (** trials actually executed *)
+  s_cancelled : int;  (** queued trials skipped by cutoff *)
+  s_discarded : int;  (** speculative trials run past a resolution point *)
+  s_waves : int;
+  s_wall : float;  (** phase-2 wall-clock seconds *)
+  s_phase1_wall : float;
+  s_throughput : float;  (** executed trials per second of phase-2 wall *)
+  s_domains : int;
+  s_domain_trials : int array;  (** trials executed per domain *)
+  s_domain_busy : float array;  (** busy seconds per domain *)
+}
+
+type result = { analysis : Fuzzer.analysis; stats : stats }
+
+val fuzz_pairs :
+  ?domains:int ->
+  ?seeds:int list ->
+  ?cutoff:bool ->
+  ?budget:int ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  ?log:Event_log.t ->
+  program:Fuzzer.program ->
+  Site.Pair.t list ->
+  Fuzzer.pair_result list * stats
+(** Fuzz a fixed candidate set.  [seeds] (default 100) is the per-pair
+    base seed list; [budget] caps the total number of trials across all
+    pairs (default [pairs * seeds]; trials beyond the base list use fresh
+    seeds above the base maximum).  Results come back in input pair
+    order. *)
+
+val run :
+  ?domains:int ->
+  ?phase1_seeds:int list ->
+  ?seeds_per_pair:int list ->
+  ?cutoff:bool ->
+  ?budget:int ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  ?log:Event_log.t ->
+  Fuzzer.program ->
+  result
+(** Whole-program campaign: phase 1 (sequential, like the paper's single
+    observed execution) followed by a campaign over all potential pairs.
+    With [~cutoff:false] (the default) the analysis equals
+    [Fuzzer.analyze ~phase1_seeds ~seeds_per_pair] exactly — see
+    {!fingerprint}. *)
+
+(** {1 Determinism checking} *)
+
+val fingerprint : Fuzzer.analysis -> string
+(** Digest of every deterministic field of an analysis: potential pairs,
+    per-pair trial outcomes (seed, race, exceptions, deadlock, steps,
+    switches), aggregate counts, seeds and verdict sets — everything
+    except wall-clock times.  Two analyses of the same program with the
+    same seed lists fingerprint identically iff they agree. *)
+
+val equal_verdicts : Fuzzer.analysis -> Fuzzer.analysis -> bool
+(** [fingerprint a = fingerprint b]. *)

@@ -1,0 +1,148 @@
+type event =
+  | Campaign_started of {
+      domains : int;
+      base_trials : int;
+      budget : int option;
+      cutoff : bool;
+    }
+  | Phase1_finished of { potential : int; wall : float }
+  | Wave_started of { wave : int; tasks : int }
+  | Trial_started of { pair : string; seed : int; domain : int }
+  | Trial_finished of {
+      pair : string;
+      seed : int;
+      domain : int;
+      race : bool;
+      error : bool;
+      deadlock : bool;
+      wall : float;
+    }
+  | Pair_resolved of { pair : string; at_trial : int }
+  | Trials_cancelled of { pair : string; count : int }
+  | Budget_granted of { pair : string; extra : int }
+  | Campaign_finished of {
+      wall : float;
+      trials : int;
+      cancelled : int;
+      throughput : float;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (hand-rolled: no JSON dependency in the toolchain)   *)
+
+type jv = I of int | F of float | S of string | B of bool | Null
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jv_to_string = function
+  | I n -> string_of_int n
+  | F x -> Printf.sprintf "%.6f" x
+  | S s -> Printf.sprintf "\"%s\"" (escape s)
+  | B b -> if b then "true" else "false"
+  | Null -> "null"
+
+let fields_of_event = function
+  | Campaign_started { domains; base_trials; budget; cutoff } ->
+      ( "campaign_started",
+        [
+          ("domains", I domains);
+          ("base_trials", I base_trials);
+          ("budget", (match budget with Some b -> I b | None -> Null));
+          ("cutoff", B cutoff);
+        ] )
+  | Phase1_finished { potential; wall } ->
+      ("phase1_finished", [ ("potential", I potential); ("wall", F wall) ])
+  | Wave_started { wave; tasks } ->
+      ("wave_started", [ ("wave", I wave); ("tasks", I tasks) ])
+  | Trial_started { pair; seed; domain } ->
+      ("trial_started", [ ("pair", S pair); ("seed", I seed); ("domain", I domain) ])
+  | Trial_finished { pair; seed; domain; race; error; deadlock; wall } ->
+      ( "trial_finished",
+        [
+          ("pair", S pair);
+          ("seed", I seed);
+          ("domain", I domain);
+          ("race", B race);
+          ("error", B error);
+          ("deadlock", B deadlock);
+          ("wall", F wall);
+        ] )
+  | Pair_resolved { pair; at_trial } ->
+      ("pair_resolved", [ ("pair", S pair); ("at_trial", I at_trial) ])
+  | Trials_cancelled { pair; count } ->
+      ("trials_cancelled", [ ("pair", S pair); ("count", I count) ])
+  | Budget_granted { pair; extra } ->
+      ("budget_granted", [ ("pair", S pair); ("extra", I extra) ])
+  | Campaign_finished { wall; trials; cancelled; throughput } ->
+      ( "campaign_finished",
+        [
+          ("wall", F wall);
+          ("trials", I trials);
+          ("cancelled", I cancelled);
+          ("throughput", F throughput);
+        ] )
+
+let event_name ev = fst (fields_of_event ev)
+
+let to_json ~seq ~elapsed ev =
+  let name, fields = fields_of_event ev in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"seq\":%d,\"t\":%.6f,\"ev\":\"%s\"" seq elapsed name);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" k (jv_to_string v)))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+type sink = Drop | Lines of out_channel * bool (* close channel on close *) | Memory
+
+type t = {
+  mutex : Mutex.t;
+  mutable seq : int;
+  started : float;
+  sink : sink;
+  mutable mem : event list;  (** newest first; Memory sink only *)
+}
+
+let make sink = { mutex = Mutex.create (); seq = 0; started = Unix.gettimeofday (); sink; mem = [] }
+let null () = make Drop
+let to_channel oc = make (Lines (oc, false))
+let open_file path = make (Lines (open_out path, true))
+let memory () = make Memory
+
+let emit t ev =
+  match t.sink with
+  | Drop -> ()
+  | Memory ->
+      Mutex.protect t.mutex (fun () ->
+          t.seq <- t.seq + 1;
+          t.mem <- ev :: t.mem)
+  | Lines (oc, _) ->
+      Mutex.protect t.mutex (fun () ->
+          t.seq <- t.seq + 1;
+          let line = to_json ~seq:t.seq ~elapsed:(Unix.gettimeofday () -. t.started) ev in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+
+let events t = Mutex.protect t.mutex (fun () -> List.rev t.mem)
+
+let close t = match t.sink with Lines (oc, true) -> close_out oc | _ -> ()

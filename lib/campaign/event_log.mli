@@ -1,0 +1,68 @@
+(** Campaign observability: a structured progress/event stream.
+
+    Every significant campaign step — trials starting and finishing, pairs
+    getting resolved, budget moving between pairs — is an {!event}.  Sinks
+    render events as JSONL (one JSON object per line, with a sequence
+    number and seconds-since-start timestamp), so a campaign run can be
+    tailed live or analyzed offline.  All sinks are safe to share between
+    worker domains. *)
+
+type event =
+  | Campaign_started of {
+      domains : int;
+      base_trials : int;  (** trials initially granted per pair *)
+      budget : int option;  (** total trial budget; [None] = pairs * base *)
+      cutoff : bool;
+    }
+  | Phase1_finished of { potential : int; wall : float }
+  | Wave_started of { wave : int; tasks : int }
+  | Trial_started of { pair : string; seed : int; domain : int }
+  | Trial_finished of {
+      pair : string;
+      seed : int;
+      domain : int;
+      race : bool;
+      error : bool;  (** race created and an uncaught exception followed *)
+      deadlock : bool;
+      wall : float;
+    }
+  | Pair_resolved of { pair : string; at_trial : int }
+      (** the pair is classified real and harmful by its trial prefix
+          [0..at_trial]; queued trials past that index will be cancelled *)
+  | Trials_cancelled of { pair : string; count : int }
+  | Budget_granted of { pair : string; extra : int }
+      (** trials freed by a resolved pair, reallocated to this one *)
+  | Campaign_finished of {
+      wall : float;
+      trials : int;
+      cancelled : int;
+      throughput : float;  (** trials per second of phase-2 wall time *)
+    }
+
+val event_name : event -> string
+
+val to_json : seq:int -> elapsed:float -> event -> string
+(** One JSON object, no trailing newline. *)
+
+(** {1 Sinks} *)
+
+type t
+
+val null : unit -> t
+(** Drops everything (and skips rendering). *)
+
+val to_channel : out_channel -> t
+(** JSONL to a channel, flushed per line; the channel is not closed by
+    {!close}. *)
+
+val open_file : string -> t
+(** JSONL to a fresh file, closed by {!close}. *)
+
+val memory : unit -> t
+(** Accumulates events in memory for tests; read back with {!events}. *)
+
+val emit : t -> event -> unit
+val events : t -> event list
+(** Events seen so far, oldest first; [[]] for non-memory sinks. *)
+
+val close : t -> unit

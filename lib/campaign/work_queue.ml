@@ -1,0 +1,15 @@
+type 'a t = { mutex : Mutex.t; items : 'a array; mutable next : int }
+
+let create items = { mutex = Mutex.create (); items = Array.of_list items; next = 0 }
+
+let pop t =
+  Mutex.protect t.mutex (fun () ->
+      if t.next >= Array.length t.items then None
+      else begin
+        let x = t.items.(t.next) in
+        t.next <- t.next + 1;
+        Some x
+      end)
+
+let total t = Array.length t.items
+let remaining t = Mutex.protect t.mutex (fun () -> Array.length t.items - t.next)

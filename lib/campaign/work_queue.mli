@@ -1,0 +1,18 @@
+(** A domain-safe work queue with a fixed, deterministic item order.
+
+    The queue is filled once at creation and drained concurrently by worker
+    domains.  Items come out in exactly the order they were put in — the
+    only scheduling freedom is {e which worker} takes each item, never the
+    item sequence itself, which is what keeps campaign task dispatch
+    reproducible enough to reason about. *)
+
+type 'a t
+
+val create : 'a list -> 'a t
+
+val pop : 'a t -> 'a option
+(** Take the next item, or [None] when the queue is exhausted.  Safe to
+    call from any domain. *)
+
+val total : 'a t -> int
+val remaining : 'a t -> int

@@ -49,6 +49,30 @@ type pair_result = {
 val is_real : pair_result -> bool
 val is_harmful : pair_result -> bool
 
+(** {2 The shared trial interface}
+
+    [run_trial] and [aggregate_trials] are the two primitives every phase-2
+    driver is built from: {!fuzz_pair}, {!fuzz_pair_parallel} and the
+    campaign orchestrator ([Rf_campaign.Campaign]) all execute the same
+    single-trial function and fold trial lists with the same aggregation,
+    which is what makes their results comparable bit-for-bit. *)
+
+val run_trial :
+  ?postpone_timeout:int option ->
+  max_steps:int ->
+  program:program ->
+  Site.Pair.t ->
+  int ->
+  trial
+(** One phase-2 execution of [program] against the candidate pair from the
+    given seed.  Deterministic: the same (pair, seed, max_steps) yields the
+    same trial on any domain, because the engine resets its domain-local
+    counters per run. *)
+
+val aggregate_trials : pair:Site.Pair.t -> wall:float -> trial list -> pair_result
+(** Fold trials (in seed order) into a {!pair_result}.  Pure: the result
+    depends only on the trial list, never on who ran the trials or when. *)
+
 val fuzz_pair :
   ?seeds:int list ->
   ?postpone_timeout:int option ->

@@ -1,0 +1,23 @@
+module C = Rf_campaign.Campaign
+
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width +. 0.5) in
+  let n = max 0 (min width n) in
+  String.make n '#' ^ String.make (width - n) '.'
+
+let render ppf (s : C.stats) =
+  Fmt.pf ppf "campaign: %d pair(s), %d resolved real+harmful, %d wave(s)@."
+    s.C.s_pairs s.C.s_resolved s.C.s_waves;
+  Fmt.pf ppf "trials:   %d run, %d cancelled by cutoff, %d speculative discarded@."
+    s.C.s_trials s.C.s_cancelled s.C.s_discarded;
+  Fmt.pf ppf "wall:     %.3fs phase 2 (+ %.3fs phase 1), %.1f trials/s@."
+    s.C.s_wall s.C.s_phase1_wall s.C.s_throughput;
+  Array.iteri
+    (fun d trials ->
+      let busy = s.C.s_domain_busy.(d) in
+      let util = if s.C.s_wall > 0.0 then busy /. s.C.s_wall else 0.0 in
+      Fmt.pf ppf "domain %d: %5d trials  busy %7.3fs  util %3.0f%% %s@." d trials busy
+        (100.0 *. util) (bar 20 util))
+    s.C.s_domain_trials
+
+let pp = render

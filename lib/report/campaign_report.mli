@@ -1,0 +1,5 @@
+(** Human-readable rendering of campaign statistics: trial and cutoff
+    counters, throughput, and per-domain utilization. *)
+
+val render : Format.formatter -> Rf_campaign.Campaign.stats -> unit
+val pp : Format.formatter -> Rf_campaign.Campaign.stats -> unit

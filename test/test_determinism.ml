@@ -1,0 +1,211 @@
+(* Determinism properties of the campaign orchestrator (Rf_campaign):
+
+   1. Campaign.run ~domains:1 ≡ Campaign.run ~domains:4 ≡ sequential
+      Fuzzer.analyze on the same seed lists — same real_pairs /
+      error_pairs / per-pair trial outcomes (QCheck over seeds, trial
+      counts and workloads).
+   2. With early cutoff enabled, results are still bit-identical across
+      domain counts (the cutoff point is logical, not temporal).
+   3. Cutoff actually saves work, and budget freed by resolved pairs is
+      reallocated to unresolved ones. *)
+
+open Rf_util
+module Fuzzer = Racefuzzer.Fuzzer
+module Campaign = Rf_campaign.Campaign
+module Event_log = Rf_campaign.Event_log
+module W = Rf_workloads
+
+let fp = Campaign.fingerprint
+
+(* A pool of cheap workloads with interesting race topology: figure1 has
+   one real+harmful pair and one false alarm; figure2 has one real pair
+   whose error shows up in ~half the trials. *)
+let workload_pool : (string * Fuzzer.program) list =
+  [
+    ("figure1", W.Figure1.program);
+    ("figure2-k5", fun () -> W.Figure2.program ~k:5 ());
+    ("figure2-k25", fun () -> W.Figure2.program ~k:25 ());
+  ]
+
+let gen_case =
+  QCheck.Gen.(
+    let* wi = int_bound (List.length workload_pool - 1) in
+    let* trials = map (fun n -> 3 + (n mod 15)) nat in
+    let* seed0 = int_bound 1000 in
+    let* p1 = map (fun n -> 1 + (n mod 3)) nat in
+    return (wi, trials, seed0, p1))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (wi, trials, seed0, p1) ->
+      Printf.sprintf "workload=%s trials=%d seed0=%d p1=%d"
+        (fst (List.nth workload_pool wi))
+        trials seed0 p1)
+    gen_case
+
+(* 1. No cutoff: campaign at any domain count ≡ sequential analyze. *)
+let prop_campaign_equals_analyze =
+  QCheck.Test.make ~name:"campaign(d=1) = campaign(d=4) = Fuzzer.analyze" ~count:12
+    arb_case (fun (wi, trials, seed0, p1) ->
+      let _, program = List.nth workload_pool wi in
+      let phase1_seeds = List.init p1 Fun.id in
+      let seeds_per_pair = List.init trials (fun i -> seed0 + i) in
+      let a = Fuzzer.analyze ~phase1_seeds ~seeds_per_pair program in
+      let c1 =
+        Campaign.run ~domains:1 ~cutoff:false ~phase1_seeds ~seeds_per_pair program
+      in
+      let c4 =
+        Campaign.run ~domains:4 ~cutoff:false ~phase1_seeds ~seeds_per_pair program
+      in
+      fp a = fp c1.Campaign.analysis && fp a = fp c4.Campaign.analysis)
+
+(* 2. Cutoff mode is still domain-count invariant. *)
+let prop_cutoff_domain_invariant =
+  QCheck.Test.make ~name:"cutoff campaign: d=1 = d=2 = d=4" ~count:12 arb_case
+    (fun (wi, trials, seed0, p1) ->
+      let _, program = List.nth workload_pool wi in
+      let phase1_seeds = List.init p1 Fun.id in
+      let seeds_per_pair = List.init trials (fun i -> seed0 + i) in
+      let run d =
+        Campaign.run ~domains:d ~cutoff:true ~phase1_seeds ~seeds_per_pair program
+      in
+      let c1 = run 1 and c2 = run 2 and c4 = run 4 in
+      fp c1.Campaign.analysis = fp c2.Campaign.analysis
+      && fp c1.Campaign.analysis = fp c4.Campaign.analysis)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit checks on figure1                                *)
+
+let seeds n = List.init n Fun.id
+
+let test_equals_analyze_exact () =
+  let phase1_seeds = seeds 10 and seeds_per_pair = seeds 40 in
+  let a = Fuzzer.analyze ~phase1_seeds ~seeds_per_pair W.Figure1.program in
+  let c =
+    Campaign.run ~domains:4 ~cutoff:false ~phase1_seeds ~seeds_per_pair
+      W.Figure1.program
+  in
+  Alcotest.(check string) "fingerprints equal" (fp a) (fp c.Campaign.analysis);
+  Alcotest.(check bool) "equal_verdicts agrees" true
+    (Campaign.equal_verdicts a c.Campaign.analysis)
+
+let test_cutoff_cancels_and_truncates () =
+  let c =
+    Campaign.run ~domains:1 ~cutoff:true ~phase1_seeds:(seeds 10)
+      ~seeds_per_pair:(seeds 40) W.Figure1.program
+  in
+  let s = c.Campaign.stats in
+  Alcotest.(check bool) "some trials cancelled" true (s.Campaign.s_cancelled > 0);
+  Alcotest.(check bool) "one pair resolved" true (s.Campaign.s_resolved = 1);
+  let real =
+    List.find
+      (fun (r : Fuzzer.pair_result) -> Site.Pair.equal r.Fuzzer.pr_pair W.Figure1.real_pair)
+      c.Campaign.analysis.Fuzzer.results
+  in
+  (* the real pair's list stops at its resolution point: its last trial is
+     the first error trial, everything after is cancelled or discarded *)
+  Alcotest.(check bool) "real pair truncated" true
+    (List.length real.Fuzzer.trials < 40);
+  Alcotest.(check bool) "still classified harmful" true (Fuzzer.is_harmful real)
+
+let test_budget_reallocation () =
+  (* figure1: the real pair resolves almost immediately; with cutoff on,
+     its unused budget must flow to the unresolved false-alarm pair. *)
+  let log = Event_log.memory () in
+  let c =
+    Campaign.run ~domains:1 ~cutoff:true ~phase1_seeds:(seeds 10)
+      ~seeds_per_pair:(seeds 20) ~budget:40 ~log W.Figure1.program
+  in
+  let false_r =
+    List.find
+      (fun (r : Fuzzer.pair_result) ->
+        Site.Pair.equal r.Fuzzer.pr_pair W.Figure1.false_pair)
+      c.Campaign.analysis.Fuzzer.results
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "false pair granted extra trials (got %d > 20)"
+       (List.length false_r.Fuzzer.trials))
+    true
+    (List.length false_r.Fuzzer.trials > 20);
+  Alcotest.(check bool) "still a false alarm" false (Fuzzer.is_real false_r);
+  let evs = Event_log.events log in
+  let has p = List.exists p evs in
+  Alcotest.(check bool) "budget_granted event emitted" true
+    (has (function Event_log.Budget_granted _ -> true | _ -> false));
+  Alcotest.(check bool) "pair_resolved event emitted" true
+    (has (function Event_log.Pair_resolved _ -> true | _ -> false));
+  Alcotest.(check bool) "trials_cancelled event emitted" true
+    (has (function Event_log.Trials_cancelled _ -> true | _ -> false))
+
+let test_event_log_jsonl_shape () =
+  (* every event renders as one JSON object per line with seq/t/ev keys *)
+  let path = Filename.temp_file "campaign" ".jsonl" in
+  let log = Event_log.open_file path in
+  let _ =
+    Campaign.run ~domains:2 ~cutoff:true ~phase1_seeds:(seeds 5)
+      ~seeds_per_pair:(seeds 10) ~log W.Figure1.program
+  in
+  Event_log.close log;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Sys.remove path;
+  Alcotest.(check bool) "log non-empty" true (List.length lines > 4);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line is a JSON object: %s" l)
+        true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      Alcotest.(check bool) "has seq/t/ev fields" true
+        (String.length l > 10 && String.sub l 1 6 = "\"seq\":"))
+    lines;
+  (* first data events are phase1_finished then campaign_started *)
+  match lines with
+  | l1 :: l2 :: _ ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "phase1 event first" true (contains l1 "phase1_finished");
+      Alcotest.(check bool) "campaign_started second" true (contains l2 "campaign_started")
+  | _ -> Alcotest.fail "log too short"
+
+let test_stats_accounting () =
+  let c =
+    Campaign.run ~domains:2 ~cutoff:false ~phase1_seeds:(seeds 10)
+      ~seeds_per_pair:(seeds 15) W.Figure1.program
+  in
+  let s = c.Campaign.stats in
+  Alcotest.(check int) "pairs = potential" 2 s.Campaign.s_pairs;
+  Alcotest.(check int) "all granted trials run (no cutoff)" (2 * 15) s.Campaign.s_trials;
+  Alcotest.(check int) "nothing cancelled" 0 s.Campaign.s_cancelled;
+  Alcotest.(check int) "nothing discarded" 0 s.Campaign.s_discarded;
+  Alcotest.(check int) "per-domain trials sum to total" s.Campaign.s_trials
+    (Array.fold_left ( + ) 0 s.Campaign.s_domain_trials)
+
+let () =
+  Alcotest.run "campaign_determinism"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_campaign_equals_analyze; prop_cutoff_domain_invariant ] );
+      ( "cutoff",
+        [
+          Alcotest.test_case "equals analyze exactly" `Quick test_equals_analyze_exact;
+          Alcotest.test_case "cancels and truncates" `Quick
+            test_cutoff_cancels_and_truncates;
+          Alcotest.test_case "budget reallocation" `Quick test_budget_reallocation;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "jsonl shape" `Quick test_event_log_jsonl_shape;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        ] );
+    ]
