@@ -1,0 +1,364 @@
+(* Scheduler micro-benchmark: raw engine throughput (steps/sec) on three
+   synthetic workloads that isolate the per-step hot paths —
+
+     access-heavy : unsynchronized shared reads/writes (Mem fast path,
+                    lockset snapshots, emit)
+     lock-heavy   : one contended monitor (acquire/release bookkeeping,
+                    enabled-set transitions)
+     fork-heavy   : a wide burst of forks + joins (thread-table growth,
+                    join wake-ups, death bookkeeping)
+
+   Each workload is measured twice: [sequential] drives Engine.run
+   directly under the simple random scheduler, and [campaign] pushes the
+   same program through the Rf_campaign orchestrator (phase-2 trials over
+   domains) so the engine is exercised exactly as the production fuzzing
+   path exercises it.
+
+   Results are written as JSON (default BENCH_engine.json) so the perf
+   trajectory is tracked PR-over-PR.  The same executable owns the
+   trace-fingerprint drift check used by CI: [--write-golden FILE] records
+   the fingerprints of every registry workload (plus the three bench
+   workloads) at fixed seeds, and [--check FILE] recomputes and fails on
+   any drift — pinning engine behaviour, not just its speed.
+
+   Usage:
+     dune exec bench/engine_bench.exe                      # full bench
+     dune exec bench/engine_bench.exe -- --smoke           # tiny budget (CI)
+     dune exec bench/engine_bench.exe -- --out FILE        # JSON destination
+     dune exec bench/engine_bench.exe -- --check FILE      # fingerprint drift
+     dune exec bench/engine_bench.exe -- --write-golden FILE
+     dune exec bench/engine_bench.exe -- --fingerprints    # print, no bench *)
+
+open Rf_util
+open Rf_runtime
+module W = Rf_workloads
+
+let s = Site.make
+
+(* ------------------------------------------------------------------ *)
+(* Workloads.  Each returns a program plus the statement pair handed to
+   the campaign harness (the racing pair its RaceFuzzer trials watch).   *)
+
+type bench_workload = {
+  bname : string;
+  program : unit -> unit;
+  pair : Site.Pair.t;
+}
+
+let access_heavy ~threads ~iters =
+  let r = s "ah-read" and w = s "ah-write" in
+  {
+    bname = "access-heavy";
+    pair = Site.Pair.make r w;
+    program =
+      (fun () ->
+        let c = Api.Cell.make ~name:"hot" 0 in
+        let hs =
+          List.init threads (fun i ->
+              Api.fork ~name:(Printf.sprintf "a%d" i) (fun () ->
+                  for _ = 1 to iters do
+                    let v = Api.Cell.read ~site:r c in
+                    Api.Cell.write ~site:w c (v + 1)
+                  done))
+        in
+        List.iter Api.join hs);
+  }
+
+let lock_heavy ~threads ~iters =
+  let r = s "lh-read" and w = s "lh-write" in
+  {
+    bname = "lock-heavy";
+    pair = Site.Pair.make r w;
+    program =
+      (fun () ->
+        let c = Api.Cell.make ~name:"counter" 0 in
+        let l = Lock.create ~name:"hotlock" () in
+        let hs =
+          List.init threads (fun i ->
+              Api.fork ~name:(Printf.sprintf "l%d" i) (fun () ->
+                  for _ = 1 to iters do
+                    Api.sync ~site:(s "lh-sync") l (fun () ->
+                        let v = Api.Cell.read ~site:r c in
+                        Api.Cell.write ~site:w c (v + 1))
+                  done))
+        in
+        List.iter Api.join hs);
+  }
+
+let fork_heavy ~children ~iters =
+  let w = s "fh-write" in
+  {
+    bname = "fork-heavy";
+    pair = Site.Pair.make w w;
+    program =
+      (fun () ->
+        let c = Api.Cell.make ~name:"sink" 0 in
+        let hs =
+          List.init children (fun i ->
+              Api.fork ~name:(Printf.sprintf "f%d" i) (fun () ->
+                  for _ = 1 to iters do
+                    Api.Cell.write ~site:w c i
+                  done))
+        in
+        List.iter Api.join hs);
+  }
+
+let workloads ~smoke =
+  if smoke then
+    [
+      access_heavy ~threads:4 ~iters:200;
+      lock_heavy ~threads:4 ~iters:60;
+      fork_heavy ~children:60 ~iters:4;
+    ]
+  else
+    [
+      access_heavy ~threads:8 ~iters:20_000;
+      lock_heavy ~threads:8 ~iters:4_000;
+      fork_heavy ~children:2_000 ~iters:8;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+
+type row = {
+  r_workload : string;
+  r_harness : string;  (* "sequential" | "campaign" *)
+  r_runs : int;
+  r_steps : int;  (* total executed scheduler steps, deterministic *)
+  r_wall : float;
+  r_steps_per_sec : float;
+}
+
+let run_once ~seed (wl : bench_workload) =
+  Engine.run
+    ~config:{ Engine.default_config with seed; max_steps = 50_000_000 }
+    ~strategy:(Strategy.random ()) wl.program
+
+let measure_sequential ~min_wall (wl : bench_workload) =
+  ignore (run_once ~seed:0 wl) (* warmup *);
+  let steps = ref 0 and runs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  while elapsed () < min_wall do
+    let o = run_once ~seed:(1 + !runs) wl in
+    steps := !steps + o.Outcome.steps;
+    incr runs
+  done;
+  let wall = elapsed () in
+  {
+    r_workload = wl.bname;
+    r_harness = "sequential";
+    r_runs = !runs;
+    r_steps = !steps;
+    r_wall = wall;
+    r_steps_per_sec = float_of_int !steps /. wall;
+  }
+
+let measure_campaign ~domains ~trials (wl : bench_workload) =
+  let seeds = List.init trials Fun.id in
+  let results, stats =
+    Rf_campaign.Campaign.fuzz_pairs ~domains ~seeds ~program:wl.program
+      [ wl.pair ]
+  in
+  let steps =
+    List.fold_left
+      (fun acc (pr : Racefuzzer.Fuzzer.pair_result) ->
+        List.fold_left
+          (fun acc (t : Racefuzzer.Fuzzer.trial) ->
+            acc + t.Racefuzzer.Fuzzer.t_outcome.Outcome.steps)
+          acc pr.Racefuzzer.Fuzzer.trials)
+      0 results
+  in
+  let wall = stats.Rf_campaign.Campaign.s_wall in
+  {
+    r_workload = wl.bname;
+    r_harness = "campaign";
+    r_runs = stats.Rf_campaign.Campaign.s_trials;
+    r_steps = steps;
+    r_wall = wall;
+    r_steps_per_sec = (if wall > 0.0 then float_of_int steps /. wall else 0.0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: no JSON dependency in the tree)           *)
+
+let write_json ~path ~mode ~domains rows =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"rf-bench-engine/1\",\n";
+  pf "  \"mode\": %S,\n" mode;
+  pf "  \"domains\": %d,\n" domains;
+  pf "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "    {\"workload\": %S, \"harness\": %S, \"runs\": %d, \"steps\": %d, \
+         \"wall_s\": %.6f, \"steps_per_sec\": %.1f}%s\n"
+        r.r_workload r.r_harness r.r_runs r.r_steps r.r_wall r.r_steps_per_sec
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pf "  ]\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Trace fingerprints: the drift check.
+
+   Every registry workload plus the three bench workloads, run with a
+   recorded trace at two fixed seeds under the simple random scheduler.
+   Fingerprints are structural (Event.hash_fold) and stable across
+   processes, so they can live in a checked-in golden file.             *)
+
+let fingerprint_seeds = [ 1; 7 ]
+
+let fingerprint_subjects () =
+  List.map
+    (fun (w : W.Workload.t) -> (w.W.Workload.name, w.W.Workload.program))
+    W.Registry.all
+  @ List.map (fun wl -> (wl.bname, wl.program)) (workloads ~smoke:true)
+
+let compute_fingerprints () =
+  List.concat_map
+    (fun (name, program) ->
+      List.map
+        (fun seed ->
+          let o =
+            Engine.run
+              ~config:
+                { Engine.default_config with seed; record_trace = true }
+              ~strategy:(Strategy.random ()) program
+          in
+          let fp =
+            match o.Outcome.trace with
+            | Some tr -> Rf_events.Trace.fingerprint tr
+            | None -> 0
+          in
+          (name, seed, fp))
+        fingerprint_seeds)
+    (fingerprint_subjects ())
+
+let write_golden path entries =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "# Golden trace fingerprints: <workload> <seed> <fingerprint>\n";
+  Printf.fprintf oc
+    "# Regenerate with: dune exec bench/engine_bench.exe -- --write-golden %s\n"
+    path;
+  List.iter
+    (fun (name, seed, fp) -> Printf.fprintf oc "%s %d %d\n" name seed fp)
+    entries;
+  close_out oc
+
+let read_golden path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         Scanf.sscanf line "%s %d %d" (fun name seed fp ->
+             entries := (name, seed, fp) :: !entries)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let check_golden path =
+  let golden = read_golden path in
+  let current = compute_fingerprints () in
+  let lookup name seed =
+    List.find_opt (fun (n, sd, _) -> n = name && sd = seed) current
+  in
+  let drift = ref 0 in
+  List.iter
+    (fun (name, seed, fp) ->
+      match lookup name seed with
+      | Some (_, _, fp') when fp' = fp -> ()
+      | Some (_, _, fp') ->
+          incr drift;
+          Fmt.epr "DRIFT %s seed %d: golden %d, got %d@." name seed fp fp'
+      | None ->
+          incr drift;
+          Fmt.epr "DRIFT %s seed %d: missing from current build@." name seed)
+    golden;
+  if golden = [] then begin
+    Fmt.epr "golden file %s is empty@." path;
+    exit 2
+  end;
+  if !drift > 0 then begin
+    Fmt.epr "%d fingerprint(s) drifted against %s@." !drift path;
+    exit 1
+  end;
+  Fmt.pr "fingerprints: %d entries match %s@." (List.length golden) path
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_engine.json" in
+  let check = ref None in
+  let write_golden_to = ref None in
+  let fingerprints_only = ref false in
+  let domains = ref (min 4 (Domain.recommended_domain_count ())) in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--check" :: f :: rest ->
+        check := Some f;
+        parse rest
+    | "--write-golden" :: f :: rest ->
+        write_golden_to := Some f;
+        parse rest
+    | "--fingerprints" :: rest ->
+        fingerprints_only := true;
+        parse rest
+    | "--domains" :: n :: rest ->
+        domains := int_of_string n;
+        parse rest
+    | a :: _ ->
+        Fmt.epr
+          "usage: engine_bench [--smoke] [--out FILE] [--check FILE] \
+           [--write-golden FILE] [--fingerprints] [--domains N] (got %s)@."
+          a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !write_golden_to with
+  | Some path ->
+      write_golden path (compute_fingerprints ());
+      Fmt.pr "wrote golden fingerprints to %s@." path
+  | None -> ());
+  if !fingerprints_only then
+    List.iter
+      (fun (name, seed, fp) -> Fmt.pr "%s %d %d@." name seed fp)
+      (compute_fingerprints ())
+  else begin
+    let wls = workloads ~smoke:!smoke in
+    let min_wall = if !smoke then 0.05 else 0.5 in
+    let trials = if !smoke then 6 else 40 in
+    let rows =
+      List.concat_map
+        (fun wl ->
+          let seq = measure_sequential ~min_wall wl in
+          let cam = measure_campaign ~domains:!domains ~trials wl in
+          [ seq; cam ])
+        wls
+    in
+    Fmt.pr "%-14s %-10s %8s %12s %10s %14s@." "workload" "harness" "runs"
+      "steps" "wall(s)" "steps/sec";
+    List.iter
+      (fun r ->
+        Fmt.pr "%-14s %-10s %8d %12d %10.3f %14.0f@." r.r_workload r.r_harness
+          r.r_runs r.r_steps r.r_wall r.r_steps_per_sec)
+      rows;
+    write_json ~path:!out ~mode:(if !smoke then "smoke" else "full")
+      ~domains:!domains rows;
+    Fmt.pr "wrote %s@." !out
+  end;
+  match !check with Some path -> check_golden path | None -> ()

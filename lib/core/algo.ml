@@ -80,8 +80,9 @@ let racing (m : Op.mem) postponed (enabled : Strategy.entry list) =
 (** Build the strategy for one run.
 
     [pair] is the RaceSet; [report] collects hits; [postpone_timeout]
-    bounds how long (in strategy consultations) a thread may stay
-    postponed, [None] disabling relief (ablation). *)
+    bounds how long (in engine steps, the [view.step] clock — not strategy
+    consultations, which advance more slowly under [`Sync_and] fast paths)
+    a thread may stay postponed, [None] disabling relief (ablation). *)
 let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report () :
     Strategy.t =
   (* tid -> step at which it was postponed *)
@@ -94,10 +95,14 @@ let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report (
     (match postpone_timeout with
     | None -> ()
     | Some bound ->
+        (* [Hashtbl.fold] order is unspecified; sort so the release order
+           (and with it any future PRNG consumption) is a function of the
+           run state alone, not of hash-table internals. *)
         let stale =
           Hashtbl.fold
             (fun tid since acc -> if view.step - since > bound then tid :: acc else acc)
             postponed []
+          |> List.sort compare
         in
         List.iter
           (fun tid ->

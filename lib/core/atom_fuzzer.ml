@@ -53,10 +53,13 @@ let strategy ?(postpone_timeout = Some Algo.default_postpone_timeout)
     (match postpone_timeout with
     | None -> ()
     | Some bound ->
-        Hashtbl.iter
-          (fun tid since ->
-            if view.Strategy.step - since > bound then Hashtbl.remove postponed tid)
-          (Hashtbl.copy postponed));
+        (* sorted so release order never depends on hash-table internals *)
+        Hashtbl.fold
+          (fun tid since acc ->
+            if view.Strategy.step - since > bound then tid :: acc else acc)
+          postponed []
+        |> List.sort compare
+        |> List.iter (Hashtbl.remove postponed));
     let rec pick_loop () =
       let avail =
         List.filter

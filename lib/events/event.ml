@@ -83,6 +83,62 @@ let equal a b =
   | Exit x, Exit y -> x.tid = y.tid
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Structural streaming hash (FNV-1a folded into OCaml's 63-bit int).
+
+   [hash_fold acc ev] mixes every field of [ev] into [acc].  Unlike
+   [Hashtbl.hash (to_string ev)] — which this replaced — the digest is a
+   full-width streaming hash with no input truncation, and sites are
+   hashed by their stable interning key (file, line, col, label) rather
+   than their registry id, so the value is reproducible across processes
+   and independent of interning order. *)
+
+let fnv_prime = 0x100000001B3
+
+let[@inline] fold_int acc i = (acc lxor i) * fnv_prime
+
+let fold_string acc s =
+  let acc = ref (fold_int acc (String.length s)) in
+  String.iter (fun c -> acc := fold_int !acc (Char.code c)) s;
+  !acc
+
+let fold_site acc site =
+  let acc = fold_string acc (Site.file site) in
+  let acc = fold_int acc (Site.line site) in
+  let acc = fold_int acc (Site.col site) in
+  fold_string acc (Site.label site)
+
+let fold_loc acc = function
+  | Loc.Global n -> fold_string (fold_int acc 1) n
+  | Loc.Field (o, f) -> fold_string (fold_int (fold_int acc 2) o) f
+  | Loc.Elem (a, i) -> fold_int (fold_int (fold_int acc 3) a) i
+
+let fold_access acc = function Read -> fold_int acc 0 | Write -> fold_int acc 1
+
+let fold_reason acc = function
+  | Fork -> fold_int acc 0
+  | Join -> fold_int acc 1
+  | Notify -> fold_int acc 2
+
+let hash_fold acc = function
+  | Mem { tid; site; loc; access; lockset } ->
+      let acc = fold_int (fold_int acc 11) tid in
+      let acc = fold_site acc site in
+      let acc = fold_loc acc loc in
+      let acc = fold_access acc access in
+      List.fold_left fold_int (fold_int acc (Lockset.cardinal lockset))
+        (Lockset.to_list lockset)
+  | Acquire { tid; lock; site } ->
+      fold_site (fold_int (fold_int (fold_int acc 12) tid) lock) site
+  | Release { tid; lock; site } ->
+      fold_site (fold_int (fold_int (fold_int acc 13) tid) lock) site
+  | Snd { tid; msg; reason } ->
+      fold_reason (fold_int (fold_int (fold_int acc 14) tid) msg) reason
+  | Rcv { tid; msg; reason } ->
+      fold_reason (fold_int (fold_int (fold_int acc 15) tid) msg) reason
+  | Start { tid; name } -> fold_string (fold_int (fold_int acc 16) tid) name
+  | Exit { tid } -> fold_int (fold_int acc 17) tid
+
 let pp ppf = function
   | Mem { tid; site; loc; access; lockset } ->
       Fmt.pf ppf "MEM(t%d %a %a @@ %a locks=%a)" tid pp_access access Loc.pp loc

@@ -38,5 +38,13 @@ val site : t -> Site.t option
 val is_mem : t -> bool
 val is_sync : t -> bool
 val equal : t -> t -> bool
+
+val hash_fold : int -> t -> int
+(** Structural streaming hash: folds every field of the event into the
+    accumulator with no input truncation.  Sites are hashed by their stable
+    (file, line, col, label) key, not their registry id, so digests are
+    stable across processes and site-interning orders (needed by the
+    checked-in golden fingerprints the CI drift check compares against). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -50,10 +50,17 @@ let equal a b =
   let rec go i = i >= a.len || (Event.equal a.events.(i) b.events.(i) && go (i + 1)) in
   go 0
 
-(* A cheap order-sensitive fingerprint; collisions are irrelevant for the
-   replay tests (we also offer full [equal]). *)
+(* Order-sensitive structural digest.  Streams every event field through
+   {!Event.hash_fold} (FNV-style, full 63-bit width) — the previous
+   implementation hashed [Event.to_string] through [Hashtbl.hash], whose
+   30-bit output made collisions between distinct schedules cheap.  The
+   final mix is SplitMix64-style avalanching so single-field differences
+   flip high bits too; masking keeps the result a non-negative [int]. *)
 let fingerprint t =
-  fold (fun acc ev -> (acc * 1000003) + Hashtbl.hash (Event.to_string ev)) 0 t
+  let h = fold (fun acc ev -> Event.hash_fold acc ev) 0x1505 t in
+  let h = (h lxor (h lsr 30)) * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 27)) * 0x1B03738712FAD5C9 in
+  (h lxor (h lsr 31)) land max_int
 
 let count_mem t = fold (fun n ev -> if Event.is_mem ev then n + 1 else n) 0 t
 let count_sync t = fold (fun n ev -> if Event.is_sync ev then n + 1 else n) 0 t

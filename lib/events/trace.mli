@@ -20,7 +20,10 @@ val equal : t -> t -> bool
 (** Event-by-event equality: the replay check. *)
 
 val fingerprint : t -> int
-(** Cheap order-sensitive digest for quick replay comparisons. *)
+(** Order-sensitive structural digest (non-negative).  Streams every event
+    field through {!Event.hash_fold}; stable across processes (sites hash
+    by stable key, not registry id), so values can be checked into golden
+    files and compared in CI. *)
 
 val count_mem : t -> int
 val count_sync : t -> int

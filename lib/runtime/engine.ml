@@ -28,7 +28,29 @@
     thread.  This implements the paper's optimization (§4, citing [31]) that
     makes RaceFuzzer's overhead far smaller than hybrid race detection's:
     RaceFuzzer passes the racing pair as [sites], while detectors that need
-    every access use [`Every_op]. *)
+    every access use [`Every_op].
+
+    {2 Hot-path data structures (amortized O(1) per step)}
+
+    The per-step bookkeeping never scans the whole thread population:
+
+    - threads live in a growable array indexed by tid, so [thread] lookup
+      (joins, notify targets, strategy validation) is one array read;
+    - lock monitor state lives in a growable array indexed by lock id;
+    - each thread caches its lockset ({!Lockset.t} is a persistent set, so
+      the cached value is shared into emitted [Mem] events without
+      copying), updated only at outermost acquire / innermost release;
+    - enabledness is maintained {e incrementally}: every thread carries an
+      [enabled_flag] (mirrored by a global count), recomputed only at the
+      transitions that can change it — fork, death, acquire/release,
+      wait/notify, join, interrupt.  Threads blocked acquiring a monitor
+      are registered in that monitor's [contenders] list and re-evaluated
+      when its holder changes; threads blocked joining are registered in
+      the target's [joiners] list and woken at its death.  The scheduler
+      loop never re-runs the enabledness predicate over all threads;
+    - events are only constructed when someone observes them (a recorded
+      trace, a listener, or verbose mode): with no sink attached, [emit]
+      costs nothing — no event record, no lockset snapshot. *)
 
 open Rf_util
 open Rf_events
@@ -70,10 +92,16 @@ type thread = {
   tname : string;
   mutable fiber : fiber;
   mutable held : (int * int) list;  (* lock id -> reentrancy depth *)
+  mutable lockset : Lockset.t;  (* cached: exactly the ids in [held] *)
   mutable interrupt_pending : bool;
   mutable pending_rcv : (int * Event.sync_reason) option;
   mutable death_msg : int option;
   mutable last_site : Site.t option;
+  mutable enabled_flag : bool;  (* maintained at enabledness transitions *)
+  mutable joiners : int list;  (* live threads parked joining this one *)
+  mutable entry : Strategy.entry;
+      (* strategy-view row for this thread, rebuilt when it parks; sharing
+         it across consultations keeps [view_of] allocation-free per row *)
 }
 
 type lock_state = {
@@ -81,6 +109,7 @@ type lock_state = {
   mutable holder : int option;
   mutable depth : int;
   mutable waiters : int list;  (* FIFO arrival order; notify picks randomly *)
+  mutable contenders : int list;  (* threads parked at Acquire/Reacquire *)
 }
 
 type t = {
@@ -88,12 +117,13 @@ type t = {
   prng : Prng.t;
   strategy : Strategy.t;
   listeners : (Event.t -> unit) list;
-  mutable threads : thread list;  (* insertion (tid) order, ascending *)
-  mutable threads_rev : thread list;
-  locks : (int, lock_state) Hashtbl.t;
+  sink : bool;  (* someone observes events: trace, listener or verbose *)
+  mutable threads : thread array;  (* index = tid; first n_threads slots *)
+  mutable n_threads : int;
+  mutable lock_states : lock_state option array;  (* index = lock id *)
+  mutable enabled_count : int;
   mutable steps : int;
   mutable switches : int;
-  mutable next_tid : int;
   mutable next_msg : int;
   mutable exceptions : Outcome.exn_report list;  (* newest first *)
   mutable timed_out : bool;
@@ -103,6 +133,10 @@ type t = {
 exception Engine_invariant of string
 
 let invariant_fail fmt = Fmt.kstr (fun s -> raise (Engine_invariant s)) fmt
+
+(* Interned once at module init so thread death never touches the
+   (mutex-protected) site registry. *)
+let exit_site = Site.make "thread-exit"
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
@@ -117,49 +151,50 @@ let fresh_msg eng =
   eng.next_msg <- g + 1;
   g
 
-let thread_by_tid eng tid =
-  match List.find_opt (fun th -> th.tid = tid) eng.threads with
-  | Some th -> th
-  | None -> invariant_fail "unknown tid %d" tid
+let thread eng tid =
+  if tid < 0 || tid >= eng.n_threads then invariant_fail "unknown tid %d" tid
+  else eng.threads.(tid)
 
 let lock_state eng (l : Lock.t) =
-  match Hashtbl.find_opt eng.locks (Lock.id l) with
+  let lid = Lock.id l in
+  let cap = Array.length eng.lock_states in
+  if lid >= cap then begin
+    let bigger = Array.make (max 8 (max (2 * cap) (lid + 1))) None in
+    Array.blit eng.lock_states 0 bigger 0 cap;
+    eng.lock_states <- bigger
+  end;
+  match eng.lock_states.(lid) with
   | Some ls -> ls
   | None ->
-      let ls = { lname = Lock.name l; holder = None; depth = 0; waiters = [] } in
-      Hashtbl.add eng.locks (Lock.id l) ls;
+      let ls =
+        { lname = Lock.name l; holder = None; depth = 0; waiters = []; contenders = [] }
+      in
+      eng.lock_states.(lid) <- Some ls;
       ls
 
-let lockset_of th = Lockset.of_list (List.map fst th.held)
+let find_lock_state eng lid =
+  if lid >= 0 && lid < Array.length eng.lock_states then eng.lock_states.(lid)
+  else None
 
 let is_dead th =
   match th.fiber with Finished | Killed _ -> true | _ -> false
 
 let alive th = not (is_dead th)
 
-let new_thread eng ~name body =
-  let tid = eng.next_tid in
-  eng.next_tid <- tid + 1;
-  let th =
-    {
-      tid;
-      tname = name;
-      fiber = Not_started body;
-      held = [];
-      interrupt_pending = false;
-      pending_rcv = None;
-      death_msg = None;
-      last_site = None;
-    }
-  in
-  eng.threads_rev <- th :: eng.threads_rev;
-  eng.threads <- List.rev eng.threads_rev;
-  th
-
 (* ------------------------------------------------------------------ *)
-(* Enabledness (paper §2.1)                                            *)
+(* Enabledness (paper §2.1), maintained incrementally.
 
-let enabled eng th =
+   [compute_enabled] is the paper's predicate; it is evaluated only at the
+   transitions that can change a thread's answer, and the result is cached
+   in [enabled_flag] / [enabled_count] for the scheduler loop.           *)
+
+let set_enabled eng th v =
+  if th.enabled_flag <> v then begin
+    th.enabled_flag <- v;
+    eng.enabled_count <- eng.enabled_count + (if v then 1 else -1)
+  end
+
+let compute_enabled eng th =
   match th.fiber with
   | Not_started _ -> true
   | Running -> invariant_fail "enabled: thread t%d marked Running" th.tid
@@ -170,12 +205,66 @@ let enabled eng th =
           ls.holder = None || ls.holder = Some th.tid
       | Op.Reacquire (l, _, _, _) -> (lock_state eng l).holder = None
       | Op.Join (h, _) ->
-          is_dead (thread_by_tid eng (Handle.tid h)) || th.interrupt_pending
+          is_dead (thread eng (Handle.tid h)) || th.interrupt_pending
       | _ -> true)
   | In_waitset _ | Finished | Killed _ -> false
 
-let enabled_threads eng = List.filter (enabled eng) eng.threads
-let alive_threads eng = List.filter alive eng.threads
+let refresh_enabled eng th = set_enabled eng th (compute_enabled eng th)
+
+(* Re-evaluate every thread parked acquiring this monitor; called whenever
+   its holder changes. *)
+let sweep_contenders eng ls =
+  List.iter (fun tid -> refresh_enabled eng (thread eng tid)) ls.contenders
+
+let remove_contender ls tid =
+  ls.contenders <- List.filter (fun t -> t <> tid) ls.contenders
+
+(* Registration of a freshly parked operation: set the thread's flag and
+   subscribe it to the transitions that could flip it later. *)
+let on_park eng th (type a) (op : a Op.t) =
+  match op with
+  | Op.Acquire (l, _) | Op.Reacquire (l, _, _, _) ->
+      let ls = lock_state eng l in
+      ls.contenders <- th.tid :: ls.contenders;
+      refresh_enabled eng th
+  | Op.Join (h, _) ->
+      let target = thread eng (Handle.tid h) in
+      if is_dead target || th.interrupt_pending then set_enabled eng th true
+      else begin
+        (* woken by the target's death or by an interrupt *)
+        target.joiners <- th.tid :: target.joiners;
+        set_enabled eng th false
+      end
+  | _ -> set_enabled eng th true
+
+let new_thread eng ~name body =
+  let tid = eng.n_threads in
+  let th =
+    {
+      tid;
+      tname = name;
+      fiber = Not_started body;
+      held = [];
+      lockset = Lockset.empty;
+      interrupt_pending = false;
+      pending_rcv = None;
+      death_msg = None;
+      last_site = None;
+      enabled_flag = false;
+      joiners = [];
+      entry = { Strategy.tid; tname = name; pend = Op.P_start };
+    }
+  in
+  let cap = Array.length eng.threads in
+  if tid = cap then begin
+    let bigger = Array.make (max 8 (2 * cap)) th in
+    Array.blit eng.threads 0 bigger 0 cap;
+    eng.threads <- bigger
+  end;
+  eng.threads.(tid) <- th;
+  eng.n_threads <- tid + 1;
+  set_enabled eng th true;
+  th
 
 (* ------------------------------------------------------------------ *)
 (* Thread completion                                                   *)
@@ -186,29 +275,36 @@ let on_thread_done eng th (failure : exn option) =
      otherwise wedge the whole system). *)
   List.iter
     (fun (lid, _) ->
-      match Hashtbl.find_opt eng.locks lid with
+      match find_lock_state eng lid with
       | Some ls when ls.holder = Some th.tid ->
           ls.holder <- None;
           ls.depth <- 0;
-          emit eng
-            (Event.Release
-               { tid = th.tid; lock = lid; site = Site.make "thread-exit" })
+          if eng.sink then
+            emit eng (Event.Release { tid = th.tid; lock = lid; site = exit_site });
+          sweep_contenders eng ls
       | _ -> ())
     th.held;
   th.held <- [];
+  th.lockset <- Lockset.empty;
   (* Death message: join edges receive from it (paper §2.2: thread t1 calls
      t2.join() and t2 terminates => SND(g, t2), RCV(g, t1)). *)
   let g = fresh_msg eng in
   th.death_msg <- Some g;
-  emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Join });
-  emit eng (Event.Exit { tid = th.tid });
+  if eng.sink then begin
+    emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Join });
+    emit eng (Event.Exit { tid = th.tid })
+  end;
   (match failure with
   | None -> th.fiber <- Finished
   | Some e ->
       th.fiber <- Killed e;
       eng.exceptions <-
         { Outcome.xtid = th.tid; xthread = th.tname; exn_ = e; raised_at = th.last_site }
-        :: eng.exceptions)
+        :: eng.exceptions);
+  set_enabled eng th false;
+  (* Wake the joiners (fiber is settled dead at this point). *)
+  List.iter (fun tid -> refresh_enabled eng (thread eng tid)) th.joiners;
+  th.joiners <- []
 
 (* ------------------------------------------------------------------ *)
 (* Fiber plumbing                                                      *)
@@ -226,7 +322,9 @@ let handler eng th =
         | Op.Eff op ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
-                th.fiber <- Pending (op, k))
+                th.fiber <- Pending (op, k);
+                th.entry <- { th.entry with pend = Op.pend_of op };
+                on_park eng th op)
         | _ -> None);
   }
 
@@ -251,31 +349,36 @@ let flush_rcv eng th =
   | None -> ()
   | Some (msg, reason) ->
       th.pending_rcv <- None;
-      emit eng (Event.Rcv { tid = th.tid; msg; reason })
+      if eng.sink then emit eng (Event.Rcv { tid = th.tid; msg; reason })
 
 (* ------------------------------------------------------------------ *)
 (* Executing one pending operation: the paper's Execute(s, t).         *)
 
-let record_site th (op_site : Site.t option) =
-  match op_site with Some s -> th.last_site <- Some s | None -> ()
+let record_site th =
+  (* [th.entry.pend] mirrors the parked op, so no pend view is rebuilt here. *)
+  match Op.pend_site th.entry.Strategy.pend with
+  | Some _ as s -> th.last_site <- s
+  | None -> ()
 
 let exec_op (eng : t) (th : thread) : unit =
   eng.steps <- eng.steps + 1;
   match th.fiber with
   | Not_started body ->
       flush_rcv eng th;
-      emit eng (Event.Start { tid = th.tid; name = th.tname });
+      if eng.sink then emit eng (Event.Start { tid = th.tid; name = th.tname });
       start_fiber eng th body
   | Pending (op, k) -> (
-      record_site th (Op.pend_site (Op.pend_of op));
+      record_site th;
       flush_rcv eng th;
       match op with
       | Op.Mem { site; loc; access } ->
-          emit eng
-            (Event.Mem { tid = th.tid; site; loc; access; lockset = lockset_of th });
+          if eng.sink then
+            emit eng
+              (Event.Mem { tid = th.tid; site; loc; access; lockset = th.lockset });
           resume eng th k ()
       | Op.Acquire (l, site) ->
           let ls = lock_state eng l in
+          remove_contender ls th.tid;
           (match ls.holder with
           | Some tid when tid = th.tid ->
               (* reentrant: no lockset change, no event *)
@@ -291,7 +394,10 @@ let exec_op (eng : t) (th : thread) : unit =
               ls.holder <- Some th.tid;
               ls.depth <- 1;
               th.held <- (Lock.id l, 1) :: th.held;
-              emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site }));
+              th.lockset <- Lockset.add (Lock.id l) th.lockset;
+              if eng.sink then
+                emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+              sweep_contenders eng ls);
           resume eng th k ()
       | Op.Release (l, site) ->
           let ls = lock_state eng l in
@@ -304,7 +410,10 @@ let exec_op (eng : t) (th : thread) : unit =
             if ls.depth = 0 then begin
               ls.holder <- None;
               th.held <- List.remove_assoc (Lock.id l) th.held;
-              emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site })
+              th.lockset <- Lockset.remove (Lock.id l) th.lockset;
+              if eng.sink then
+                emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
+              sweep_contenders eng ls
             end
             else
               th.held <-
@@ -330,19 +439,27 @@ let exec_op (eng : t) (th : thread) : unit =
             ls.holder <- None;
             ls.depth <- 0;
             th.held <- List.remove_assoc (Lock.id l) th.held;
-            emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
+            th.lockset <- Lockset.remove (Lock.id l) th.lockset;
+            if eng.sink then
+              emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
             ls.waiters <- ls.waiters @ [ th.tid ];
-            th.fiber <- In_waitset { wlock = l; wdepth = d; wsite = site; wk = k }
+            th.fiber <- In_waitset { wlock = l; wdepth = d; wsite = site; wk = k };
+            set_enabled eng th false;
+            sweep_contenders eng ls
             (* no resume: the thread parks until notify/interrupt *)
           end
       | Op.Reacquire (l, d, interrupted, site) ->
           let ls = lock_state eng l in
+          remove_contender ls th.tid;
           if ls.holder <> None then
             invariant_fail "reacquire of held lock L%d scheduled" (Lock.id l);
           ls.holder <- Some th.tid;
           ls.depth <- d;
           th.held <- (Lock.id l, d) :: th.held;
-          emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+          th.lockset <- Lockset.add (Lock.id l) th.lockset;
+          if eng.sink then
+            emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+          sweep_contenders eng ls;
           if interrupted then begin
             th.interrupt_pending <- false;
             resume_exn eng th k Op.Interrupted
@@ -363,15 +480,23 @@ let exec_op (eng : t) (th : thread) : unit =
                   else [ List.nth waiters (Prng.int eng.prng (List.length waiters)) ]
                 in
                 let g = fresh_msg eng in
-                emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Notify });
+                if eng.sink then
+                  emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Notify });
                 List.iter
                   (fun wtid ->
-                    let wth = thread_by_tid eng wtid in
+                    let wth = thread eng wtid in
                     match wth.fiber with
                     | In_waitset { wlock; wdepth; wsite; wk } ->
                         wth.pending_rcv <- Some (g, Event.Notify);
                         wth.fiber <-
-                          Pending (Op.Reacquire (wlock, wdepth, false, wsite), wk)
+                          Pending (Op.Reacquire (wlock, wdepth, false, wsite), wk);
+                        wth.entry <-
+                          {
+                            wth.entry with
+                            pend = Op.P_reacquire { lock = Lock.id wlock; site = wsite };
+                          };
+                        ls.contenders <- wtid :: ls.contenders;
+                        refresh_enabled eng wth
                     | _ ->
                         invariant_fail "waiter t%d of L%d not in wait set" wtid
                           (Lock.id l))
@@ -383,36 +508,47 @@ let exec_op (eng : t) (th : thread) : unit =
       | Op.Fork (name, body) ->
           let child = new_thread eng ~name body in
           let g = fresh_msg eng in
-          emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Fork });
+          if eng.sink then
+            emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Fork });
           child.pending_rcv <- Some (g, Event.Fork);
           resume eng th k (Handle.make ~tid:child.tid ~name)
       | Op.Join (h, _site) ->
+          let target = thread eng (Handle.tid h) in
           if th.interrupt_pending then begin
             th.interrupt_pending <- false;
+            target.joiners <- List.filter (fun t -> t <> th.tid) target.joiners;
             resume_exn eng th k Op.Interrupted
           end
           else begin
-            let target = thread_by_tid eng (Handle.tid h) in
             if not (is_dead target) then
               invariant_fail "join of live t%d scheduled for t%d" target.tid th.tid;
             (match target.death_msg with
-            | Some g -> emit eng (Event.Rcv { tid = th.tid; msg = g; reason = Event.Join })
+            | Some g ->
+                if eng.sink then
+                  emit eng (Event.Rcv { tid = th.tid; msg = g; reason = Event.Join })
             | None -> ());
             resume eng th k ()
           end
       | Op.Interrupt (h, _site) ->
-          (let target = thread_by_tid eng (Handle.tid h) in
+          (let target = thread eng (Handle.tid h) in
            if not (is_dead target) then begin
              target.interrupt_pending <- true;
-             match target.fiber with
+             (match target.fiber with
              | In_waitset { wlock; wdepth; wsite; wk } ->
                  (* An interrupted waiter leaves the wait set, re-contends for
                     the monitor, and then receives InterruptedException. *)
                  let ls = lock_state eng wlock in
                  ls.waiters <- List.filter (fun tid -> tid <> target.tid) ls.waiters;
                  target.fiber <-
-                   Pending (Op.Reacquire (wlock, wdepth, true, wsite), wk)
-             | _ -> ()
+                   Pending (Op.Reacquire (wlock, wdepth, true, wsite), wk);
+                 target.entry <-
+                   {
+                     target.entry with
+                     pend = Op.P_reacquire { lock = Lock.id wlock; site = wsite };
+                   };
+                 ls.contenders <- target.tid :: ls.contenders
+             | _ -> ());
+             if target.tid <> th.tid then refresh_enabled eng target
            end);
           resume eng th k ()
       | Op.Sleep _site ->
@@ -444,41 +580,33 @@ let rec drain_fast eng th =
     drain_fast eng th
   end
 
-let view_of eng en =
-  {
-    Strategy.step = eng.steps;
-    enabled =
-      List.map
-        (fun th ->
-          let pend =
-            match th.fiber with
-            | Not_started _ -> Op.P_start
-            | Pending (op, _) -> Op.pend_of op
-            | _ -> invariant_fail "view: t%d not pending" th.tid
-          in
-          { Strategy.tid = th.tid; tname = th.tname; pend })
-        en;
-    prng = eng.prng;
-  }
+let view_of eng =
+  let entries = ref [] in
+  for i = eng.n_threads - 1 downto 0 do
+    let th = eng.threads.(i) in
+    if th.enabled_flag then entries := th.entry :: !entries
+  done;
+  { Strategy.step = eng.steps; enabled = !entries; prng = eng.prng }
 
 let rec loop eng =
   if eng.steps >= eng.cfg.max_steps then eng.timed_out <- true
-  else
-    match enabled_threads eng with
-    | [] -> () (* termination or deadlock; classified by [run] *)
-    | en ->
-        let view = view_of eng en in
-        eng.switches <- eng.switches + 1;
-        let tid = eng.strategy.Strategy.choose view in
-        let th =
-          match List.find_opt (fun th -> th.tid = tid) en with
-          | Some th -> th
-          | None -> invariant_fail "strategy %s chose non-enabled tid %d"
-                      eng.strategy.Strategy.sname tid
-        in
-        exec_op eng th;
-        drain_fast eng th;
-        loop eng
+  else if eng.enabled_count = 0 then ()
+    (* termination or deadlock; classified by [run] *)
+  else begin
+    let view = view_of eng in
+    eng.switches <- eng.switches + 1;
+    let tid = eng.strategy.Strategy.choose view in
+    let th =
+      if tid >= 0 && tid < eng.n_threads && eng.threads.(tid).enabled_flag then
+        eng.threads.(tid)
+      else
+        invariant_fail "strategy %s chose non-enabled tid %d"
+          eng.strategy.Strategy.sname tid
+    in
+    exec_op eng th;
+    drain_fast eng th;
+    loop eng
+  end
 
 let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> unit) :
     Outcome.t =
@@ -490,12 +618,13 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
       prng = Prng.create config.seed;
       strategy;
       listeners;
-      threads = [];
-      threads_rev = [];
-      locks = Hashtbl.create 64;
+      sink = config.record_trace || listeners <> [] || config.verbose;
+      threads = [||];
+      n_threads = 0;
+      lock_states = [||];
+      enabled_count = 0;
       steps = 0;
       switches = 0;
-      next_tid = 0;
       next_msg = 0;
       exceptions = [];
       timed_out = false;
@@ -506,7 +635,17 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
   let (_ : thread) = new_thread eng ~name:"main" main in
   loop eng;
   let wall = Unix.gettimeofday () -. t0 in
-  let blocked = if eng.timed_out then [] else alive_threads eng in
+  let blocked =
+    if eng.timed_out then []
+    else begin
+      let acc = ref [] in
+      for i = eng.n_threads - 1 downto 0 do
+        let th = eng.threads.(i) in
+        if alive th then acc := th :: !acc
+      done;
+      !acc
+    end
+  in
   let deadlocked = List.map (fun th -> th.tid) blocked in
   let blocked_at =
     List.map
@@ -523,7 +662,7 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
   {
     Outcome.steps = eng.steps;
     switches = eng.switches;
-    threads_spawned = eng.next_tid;
+    threads_spawned = eng.n_threads;
     exceptions = List.rev eng.exceptions;
     deadlocked;
     blocked_at;

@@ -205,6 +205,98 @@ let test_postpone_timeout_releases () =
     (seeds 20);
   Alcotest.(check bool) "timeout releases fired" true (!total_releases > 0)
 
+(* A workload that leans on livelock relief: three writers park at the
+   watched site on three *distinct* locations (so no two of them ever
+   race and every arrival is postponed), while the main thread keeps the
+   engine-step clock ticking at an unwatched site until the relief bound
+   expires and the whole batch is released at once. *)
+let timeout_heavy_program () =
+  let open Rf_runtime.Api in
+  let a = Cell.global "th-a" 0 in
+  let b = Cell.global "th-b" 0 in
+  let c = Cell.global "th-c" 0 in
+  let spin = Cell.global "th-spin" 0 in
+  let w_site = site "th-write" in
+  let writer cell () =
+    for _ = 1 to 5 do
+      Cell.write ~site:w_site cell 1
+    done
+  in
+  let h1 = fork ~name:"w1" (writer a) in
+  let h2 = fork ~name:"w2" (writer b) in
+  let h3 = fork ~name:"w3" (writer c) in
+  let tick = site "th-tick" in
+  (* several bursts with a sync point in between, so writers postponed
+     between bursts age past the relief bound during the next one *)
+  for _ = 1 to 10 do
+    for _ = 1 to 100 do
+      Cell.write ~site:tick spin 1
+    done;
+    sleep ()
+  done;
+  join h1;
+  join h2;
+  join h3
+
+let timeout_heavy_pair () =
+  Site.Pair.make (Rf_runtime.Api.site "th-write") (Rf_runtime.Api.site "th-read")
+
+let test_timeout_heavy_replay_deterministic () =
+  (* Stale postponed threads are collected from an unordered hash table;
+     the release order must nevertheless be a pure function of the run
+     state, so replaying a relief-heavy trial must reproduce the trace
+     bit for bit. *)
+  let pair = timeout_heavy_pair () in
+  List.iter
+    (fun seed ->
+      let run () =
+        Fuzzer.replay ~postpone_timeout:(Some 50) ~record_trace:true ~seed
+          ~program:timeout_heavy_program pair
+      in
+      let o1, rep1 = run () in
+      let o2, rep2 = run () in
+      Alcotest.(check bool) "relief fired" true (rep1.Algo.timeout_releases > 0);
+      Alcotest.(check int)
+        "same relief count" rep1.Algo.timeout_releases rep2.Algo.timeout_releases;
+      match (o1.Rf_runtime.Outcome.trace, o2.Rf_runtime.Outcome.trace) with
+      | Some t1, Some t2 ->
+          Alcotest.(check int)
+            "same trace fingerprint"
+            (Rf_events.Trace.fingerprint t1)
+            (Rf_events.Trace.fingerprint t2);
+          Alcotest.(check bool) "equal traces" true (Rf_events.Trace.equal t1 t2)
+      | _ -> Alcotest.fail "trace not recorded")
+    (seeds 10)
+
+let test_timeout_unit_is_engine_steps () =
+  (* The postpone timeout is measured on the engine-step clock
+     ([view.step]), not in strategy consultations, so livelock relief
+     fires under [`Every_op] and under the paper's [`Sync_and] fast-path
+     configuration alike: fast-pathed memory accesses advance the clock
+     even though they never consult the strategy. *)
+  let open Rf_runtime in
+  let pair = timeout_heavy_pair () in
+  let watch =
+    Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
+  in
+  List.iter
+    (fun policy ->
+      let releases = ref 0 in
+      List.iter
+        (fun seed ->
+          let report = Algo.fresh_report () in
+          let strategy = Algo.strategy ~postpone_timeout:(Some 50) ~pair ~report () in
+          let outcome =
+            Engine.run
+              ~config:{ Engine.default_config with seed; policy; max_steps = 100_000 }
+              ~strategy timeout_heavy_program
+          in
+          Alcotest.(check bool) "terminates" true (not outcome.Outcome.timed_out);
+          releases := !releases + report.Algo.timeout_releases)
+        (seeds 5);
+      Alcotest.(check bool) "relief fires under this policy" true (!releases > 0))
+    [ Engine.Every_op; Engine.Sync_and watch ]
+
 let test_no_timeout_still_terminates () =
   List.iter
     (fun seed ->
@@ -288,6 +380,10 @@ let () =
       ( "liveness",
         [
           Alcotest.test_case "timeout releases" `Quick test_postpone_timeout_releases;
+          Alcotest.test_case "relief-heavy replay deterministic" `Quick
+            test_timeout_heavy_replay_deterministic;
+          Alcotest.test_case "timeout unit is engine steps" `Quick
+            test_timeout_unit_is_engine_steps;
           Alcotest.test_case "terminates without relief" `Quick
             test_no_timeout_still_terminates;
         ] );

@@ -68,6 +68,40 @@ let test_trace_equal_and_fingerprint () =
   Trace.add b (Event.Exit { tid = 1 });
   Alcotest.(check bool) "not equal after add" false (Trace.equal a b)
 
+let test_fingerprint_structural () =
+  (* Single-field sensitivity: the streaming hash must separate traces that
+     differ in any one event field, including fields the old
+     string+Hashtbl.hash digest was prone to colliding on. *)
+  let fp evs =
+    let tr = Trace.create () in
+    List.iter (Trace.add tr) evs;
+    Trace.fingerprint tr
+  in
+  let base = [ mem (); Event.Acquire { tid = 0; lock = 1; site = s2 } ] in
+  let variants =
+    [
+      [ mem ~access:Event.Read (); Event.Acquire { tid = 0; lock = 1; site = s2 } ];
+      [ mem ~loc:(Loc.elem 0 1) (); Event.Acquire { tid = 0; lock = 1; site = s2 } ];
+      [ mem ~loc:(Loc.elem 1 0) (); Event.Acquire { tid = 0; lock = 1; site = s2 } ];
+      [ mem ~lockset:(Lockset.of_list [ 2 ]) ();
+        Event.Acquire { tid = 0; lock = 1; site = s2 } ];
+      [ mem ~tid:1 (); Event.Acquire { tid = 0; lock = 1; site = s2 } ];
+      [ mem (); Event.Acquire { tid = 0; lock = 2; site = s2 } ];
+      [ mem (); Event.Release { tid = 0; lock = 1; site = s2 } ];
+      [ Event.Acquire { tid = 0; lock = 1; site = s2 }; mem () ] (* order *);
+    ]
+  in
+  let fps = List.map fp (base :: variants) in
+  List.iter
+    (fun f -> Alcotest.(check bool) "non-negative" true (f >= 0))
+    fps;
+  Alcotest.(check int) "all variants distinct" (List.length fps)
+    (List.length (List.sort_uniq compare fps));
+  (* Pinned value: the digest is part of the golden-file contract (CI
+     compares recomputed fingerprints against checked-in ones), so an
+     accidental change to the hash must fail loudly here first. *)
+  Alcotest.(check int) "pinned digest" 2392111145469299187 (fp base)
+
 let test_trace_counts () =
   let tr = Trace.create () in
   Trace.add tr (mem ());
@@ -295,6 +329,8 @@ let () =
         [
           Alcotest.test_case "grow and get" `Quick test_trace_grow_and_get;
           Alcotest.test_case "equal/fingerprint" `Quick test_trace_equal_and_fingerprint;
+          Alcotest.test_case "fingerprint structural" `Quick
+            test_fingerprint_structural;
           Alcotest.test_case "counts" `Quick test_trace_counts;
           Alcotest.test_case "fold/iter" `Quick test_trace_fold_iter;
         ] );

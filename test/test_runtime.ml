@@ -622,6 +622,120 @@ let test_orphaned_children_still_run () =
   Alcotest.(check bool) "ok" true (Outcome.ok out);
   Alcotest.(check int) "all orphans ran" 3 !done_
 
+(* ------------------------------------------------------------------ *)
+(* Enabledness edge cases                                              *)
+
+let test_reentrant_acquire_stays_enabled () =
+  (* A thread parked at a *reentrant* acquire (it already holds the
+     monitor) must stay enabled even while another thread contends for the
+     same lock; treating any acquire of a held lock as disabled would
+     deadlock this program instantly. *)
+  List.iter
+    (fun seed ->
+      let order = ref [] in
+      let out =
+        run ~seed ~record_trace:true (fun () ->
+            let l = Lock.create ~name:"RE" () in
+            let h =
+              Api.fork ~name:"contender" (fun () ->
+                  Api.sync ~site:(s "re-b") l (fun () -> order := `B :: !order))
+            in
+            Api.sync ~site:(s "re-outer") l (fun () ->
+                Api.sync ~site:(s "re-inner") l (fun () -> order := `A :: !order));
+            Api.join h)
+      in
+      Alcotest.(check bool) "no deadlock" true (Outcome.ok out);
+      Alcotest.(check bool) "both sections ran" true
+        (List.mem `A !order && List.mem `B !order);
+      (* the nested acquire is silent: exactly one Acquire of RE by main *)
+      match out.Outcome.trace with
+      | None -> Alcotest.fail "trace not recorded"
+      | Some tr ->
+          let main_acquires =
+            Rf_events.Trace.fold
+              (fun n ev ->
+                match ev with
+                | Rf_events.Event.Acquire { tid = 0; _ } -> n + 1
+                | _ -> n)
+              0 tr
+          in
+          Alcotest.(check int) "reentrant acquire emits no event" 1 main_acquires)
+    (List.init 25 Fun.id)
+
+let test_reacquire_disabled_until_notifier_releases () =
+  (* A notified waiter re-contends for the monitor but must not run before
+     the notifier leaves it: whatever the notifier does *after* notify but
+     still inside the monitor happens before the waiter resumes. *)
+  List.iter
+    (fun seed ->
+      let violations = ref 0 in
+      let out =
+        run ~seed (fun () ->
+            let l = Lock.create ~name:"RQ" () in
+            let flag = Api.Cell.make ~name:"flag" false in
+            let parked = Api.Cell.make ~name:"parked" false in
+            let w =
+              Api.fork ~name:"waiter" (fun () ->
+                  Api.sync ~site:(s "rq-wsync") l (fun () ->
+                      Api.Cell.write ~site:(s "rq-parked") parked true;
+                      Api.wait ~site:(s "rq-wait") l;
+                      (* the notifier set this after notify, inside the
+                         monitor; if we ran before its release we'd see
+                         false *)
+                      if not (Api.Cell.read ~site:(s "rq-check") flag) then
+                        incr violations))
+            in
+            let rec spin () =
+              if not (Api.Cell.read ~site:(s "rq-spin") parked) then spin ()
+            in
+            spin ();
+            Api.sync ~site:(s "rq-nsync") l (fun () ->
+                Api.notify ~site:(s "rq-notify") l;
+                Api.Cell.write ~site:(s "rq-set") flag true);
+            Api.join w)
+      in
+      Alcotest.(check bool) "no deadlock" true (Outcome.ok out);
+      Alcotest.(check int) "waiter never ran inside notifier's monitor" 0 !violations)
+    (List.init 25 Fun.id)
+
+let test_join_live_thread_interrupt_pending () =
+  (* A thread parked joining a *live* target is disabled — until an
+     interrupt arrives, which enables it so the pending Join can deliver
+     Interrupted while the target is still running. *)
+  List.iter
+    (fun seed ->
+      let caught = ref false in
+      let target_alive_at_catch = ref false in
+      let target_exited = ref false in
+      let out =
+        run ~seed (fun () ->
+            let stop = Api.Cell.make ~name:"stop" false in
+            let c =
+              Api.fork ~name:"target" (fun () ->
+                  let rec spin () =
+                    if not (Api.Cell.read ~site:(s "jl-spin") stop) then spin ()
+                  in
+                  spin ();
+                  target_exited := true)
+            in
+            let j =
+              Api.fork ~name:"joiner" (fun () ->
+                  (try Api.join ~site:(s "jl-join") c
+                   with Api.Interrupted ->
+                     caught := true;
+                     target_alive_at_catch := not !target_exited);
+                  Api.Cell.write ~site:(s "jl-stop") stop true;
+                  Api.join ~site:(s "jl-rejoin") c)
+            in
+            Api.interrupt ~site:(s "jl-int") j;
+            Api.join j)
+      in
+      Alcotest.(check bool) "no deadlock" true (Outcome.ok out);
+      Alcotest.(check bool) "Interrupted delivered at join" true !caught;
+      Alcotest.(check bool) "target still alive when caught" true
+        !target_alive_at_catch)
+    (List.init 25 Fun.id)
+
 let () =
   Alcotest.run "rf_runtime"
     [
@@ -695,5 +809,14 @@ let () =
           Alcotest.test_case "notify choice" `Quick test_notify_choice_is_seed_dependent;
           Alcotest.test_case "exception in main" `Quick test_exception_in_main_thread;
           Alcotest.test_case "orphans run" `Quick test_orphaned_children_still_run;
+        ] );
+      ( "enabledness",
+        [
+          Alcotest.test_case "reentrant acquire stays enabled" `Quick
+            test_reentrant_acquire_stays_enabled;
+          Alcotest.test_case "reacquire gated on notifier release" `Quick
+            test_reacquire_disabled_until_notifier_releases;
+          Alcotest.test_case "join live target + interrupt" `Quick
+            test_join_live_thread_interrupt_pending;
         ] );
     ]
