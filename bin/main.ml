@@ -170,15 +170,21 @@ let fuzz_cmd =
     | Error m ->
         Fmt.epr "%s@." m;
         exit 1
-    | Ok prog ->
+    | Ok prog -> (
         let main = Rf_lang.Lang.program ~print:ignore prog in
-        let a =
+        match
           Racefuzzer.Fuzzer.analyze
             ~phase1_seeds:(List.init p1 Fun.id)
             ~seeds_per_pair:(List.init trials Fun.id)
             main
-        in
-        print_analysis a
+        with
+        | a -> print_analysis a
+        | exception e ->
+            (* The sequential driver is unsandboxed: a harness crash aborts
+               the analysis.  Use 'campaign' for fault-tolerant runs. *)
+            Fmt.epr "harness crash: %s@.%s@." (Printexc.to_string e)
+              (Printexc.get_backtrace ());
+            exit 2)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Full two-phase RaceFuzzer analysis of an RFL program.")
@@ -352,7 +358,46 @@ let campaign_cmd =
       value & opt int 5
       & info [ "phase1-seeds" ] ~docv:"N" ~doc:"Executions observed by hybrid detection.")
   in
-  let action target domains budget logfile no_cutoff p1 trials =
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject deterministic faults (harness crashes, stalls, worker deaths) to \
+             exercise the campaign's sandboxing, supervision and quarantine paths. \
+             Faults are pure functions of --chaos-seed, so chaos runs are \
+             reproducible.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the chaos fault plan.")
+  in
+  let chaos_stop_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-stop-after" ] ~docv:"N"
+          ~doc:
+            "Request a graceful stop after N executed trials — a deterministic \
+             'kill' for checkpoint/resume testing.")
+  in
+  let trial_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "trial-deadline" ] ~docv:"SECS"
+          ~doc:"Cancel any single trial that runs longer than $(docv) wall-clock.")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from the JSONL journal of an earlier interrupted run: trials it \
+             already settled are replayed instead of re-executed, and the final \
+             report is identical to an uninterrupted run's.")
+  in
+  let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
+      chaos_stop trial_deadline resume =
     let program =
       match Rf_workloads.Registry.find target with
       | Some w -> Ok w.Rf_workloads.Workload.program
@@ -369,6 +414,24 @@ let campaign_cmd =
         Fmt.epr "%s@." m;
         exit 1
     | Ok program ->
+        (* Resuming from the very file we are about to (re)write would
+           truncate the journal before it can be read: move it aside. *)
+        let resume =
+          match (resume, logfile) with
+          | Some r, Some l when r = l ->
+              let prev = r ^ ".prev" in
+              (try Sys.rename r prev
+               with Sys_error m ->
+                 Fmt.epr "cannot rotate journal for resume: %s@." m;
+                 exit 1);
+              Some prev
+          | r, _ -> r
+        in
+        (match resume with
+        | Some path when not (Sys.file_exists path) ->
+            Fmt.epr "resume journal %S not found@." path;
+            exit 1
+        | _ -> ());
         let log =
           match logfile with
           | Some path -> (
@@ -378,27 +441,57 @@ let campaign_cmd =
                 exit 1)
           | None -> Rf_campaign.Event_log.null ()
         in
+        let chaos =
+          if not chaos_flag then None
+          else
+            let base = Rf_campaign.Chaos.default chaos_seed in
+            Some { base with Rf_campaign.Chaos.c_stop_after = chaos_stop }
+        in
+        let stop = Rf_campaign.Campaign.stop_switch () in
+        let (_ : Sys.signal_behavior) =
+          (* Graceful SIGINT: workers drain, the journal is flushed, and a
+             partial report is printed; a second ^C kills as usual once the
+             process is back out of the campaign. *)
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> Rf_campaign.Campaign.request_stop stop))
+        in
         let r =
           Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
             ~phase1_seeds:(List.init p1 Fun.id)
             ~seeds_per_pair:(List.init trials Fun.id)
-            ~log program
+            ~log ?chaos ?trial_deadline ?resume ~stop program
         in
         Rf_campaign.Event_log.close log;
+        Sys.set_signal Sys.sigint Sys.Signal_default;
         print_analysis r.Rf_campaign.Campaign.analysis;
         Fmt.pr "@.%a" Rf_report.Campaign_report.render r.Rf_campaign.Campaign.stats;
         Fmt.pr "fingerprint: %s@."
           (Rf_campaign.Campaign.fingerprint r.Rf_campaign.Campaign.analysis);
-        Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile
+        Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile;
+        let s = r.Rf_campaign.Campaign.stats in
+        if s.Rf_campaign.Campaign.s_interrupted then begin
+          Option.iter
+            (fun path -> Fmt.pr "interrupted — resume with:  --resume %s@." path)
+            logfile;
+          exit 130
+        end;
+        if
+          s.Rf_campaign.Campaign.s_quarantined > 0
+          || s.Rf_campaign.Campaign.s_crashes > 0
+        then exit 3
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Parallel whole-program campaign: schedule all (pair, seed) trials across a \
-          domain pool with deterministic aggregation and early cutoff.")
+          domain pool with deterministic aggregation, early cutoff, sandboxed \
+          trials, supervised workers and checkpoint/resume. Exit status: 0 clean, \
+          3 when trials crashed the harness or pairs were quarantined, 130 when \
+          interrupted (SIGINT or --chaos-stop-after).")
     Term.(
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
-      $ p1_arg $ seeds_arg 100)
+      $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
+      $ trial_deadline_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)

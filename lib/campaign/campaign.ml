@@ -2,6 +2,17 @@ open Rf_util
 module Fuzzer = Racefuzzer.Fuzzer
 module Algo = Racefuzzer.Algo
 module Outcome = Rf_runtime.Outcome
+module Engine = Rf_runtime.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative stop switch.  An atomic flag so it is safe to flip from a
+   signal handler (SIGINT) or from any worker domain (chaos stop_after). *)
+
+type stop_switch = bool Atomic.t
+
+let stop_switch () = Atomic.make false
+let request_stop s = Atomic.set s true
+let stop_requested s = Atomic.get s
 
 type stats = {
   s_pairs : int;
@@ -16,6 +27,16 @@ type stats = {
   s_domains : int;
   s_domain_trials : int array;
   s_domain_busy : float array;
+  (* fault-tolerance accounting *)
+  s_exhausted : int;
+  s_crashes : int;
+  s_quarantined : int;
+  s_q_skipped : int;
+  s_replayed : int;
+  s_worker_crashes : int;
+  s_worker_respawns : int;
+  s_worker_gave_up : int;
+  s_interrupted : bool;
 }
 
 type result = { analysis : Fuzzer.analysis; stats : stats }
@@ -33,7 +54,14 @@ type result = { analysis : Fuzzer.analysis; stats : stats }
      k* = max (first race index, first error index)
 
    is a pure function of the seed list: deterministic for any domain
-   count and any interleaving. *)
+   count and any interleaving.
+
+   Quarantine reuses the same fixpoint argument with a different bound:
+   once a pair has crashed the harness [quarantine_crashes] times, its
+   bound is the Nth-smallest crash index — also monotone under new
+   information, so also deterministic whenever the crashes themselves are
+   (which injected chaos crashes are by construction, being pure functions
+   of (pair, seed)). *)
 
 type pair_state = {
   ps_pair : Site.Pair.t;
@@ -43,14 +71,35 @@ type pair_state = {
   mutable ps_slots : Fuzzer.trial option array;  (** length >= granted *)
   mutable ps_first_race : int;  (** max_int = none yet *)
   mutable ps_first_error : int;
-  mutable ps_cancelled : int;
+  mutable ps_cancelled : int;  (** trials skipped past the cutoff bound *)
   mutable ps_run : int;
   mutable ps_settled : bool;  (** savings already returned to the pool *)
+  mutable ps_crash_idxs : int list;  (** indices whose trial crashed the harness *)
+  mutable ps_q_skipped : int;  (** trials skipped past the quarantine bound *)
+  mutable ps_exhausted : int;  (** trials cancelled by the watchdog *)
 }
 
 let resolution ps =
   if ps.ps_first_race = max_int || ps.ps_first_error = max_int then None
   else Some (max ps.ps_first_race ps.ps_first_error)
+
+let quarantine_bound ~qn ps =
+  if qn <= 0 then None
+  else
+    let crashes = List.length ps.ps_crash_idxs in
+    if crashes < qn then None
+    else Some (List.nth (List.sort Int.compare ps.ps_crash_idxs) (qn - 1))
+
+(* The index past which this pair runs no more trials: cutoff resolution,
+   quarantine, or both (whichever bites first).  Quarantine applies even
+   with cutoff disabled — it is a safety boundary, not an optimisation. *)
+let skip_bound ~cutoff ~qn ps =
+  let r = if cutoff then resolution ps else None in
+  let q = quarantine_bound ~qn ps in
+  match (r, q) with
+  | None, None -> None
+  | (Some _ as b), None | None, (Some _ as b) -> b
+  | Some a, Some b -> Some (min a b)
 
 let grow ps wanted =
   let len = Array.length ps.ps_slots in
@@ -61,11 +110,68 @@ let grow ps wanted =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Resume: a journal's trial records, keyed by (pair label, seed).  A
+   resumed campaign recomputes its entire schedule from scratch; whenever
+   it reaches a trial the journal already settled, it replays the record
+   instead of executing.  Because trials are pure in (pair, seed), the
+   resumed control flow — resolutions, quarantines, budget waves —
+   matches the uninterrupted run's exactly. *)
+
+type replayed =
+  | R_finished of {
+      r_race : bool;
+      r_deadlock : bool;
+      r_steps : int;
+      r_switches : int;
+      r_exns : int;
+      r_wall : float;
+    }
+  | R_crashed of { r_exn : string }
+  | R_exhausted of { r_reason : string; r_steps : int; r_wall : float }
+
+let load_resume path =
+  let tbl = Hashtbl.create 512 in
+  let events = Event_log.load path in
+  let resumable =
+    match events with
+    | Event_log.Journal_opened { schema } :: _ -> schema = Event_log.schema_version
+    | _ -> false  (* v1 journal: observability only, re-run everything *)
+  in
+  if resumable then
+    List.iter
+      (function
+        | Event_log.Trial_finished
+            { pair; seed; race; deadlock; steps; switches; exns; wall; _ } ->
+            Hashtbl.replace tbl (pair, seed)
+              (R_finished
+                 {
+                   r_race = race;
+                   r_deadlock = deadlock;
+                   r_steps = steps;
+                   r_switches = switches;
+                   r_exns = exns;
+                   r_wall = wall;
+                 })
+        | Event_log.Trial_crashed { pair; seed; exn_; _ } ->
+            Hashtbl.replace tbl (pair, seed) (R_crashed { r_exn = exn_ })
+        | Event_log.Trial_exhausted { pair; seed; reason; steps; wall; _ } ->
+            Hashtbl.replace tbl (pair, seed)
+              (R_exhausted { r_reason = reason; r_steps = steps; r_wall = wall })
+        | _ -> ())
+      events;
+  tbl
+
+let reason_string = function
+  | Outcome.Wall_deadline -> "wall deadline"
+  | Outcome.Step_deadline -> "step deadline"
+
+(* ------------------------------------------------------------------ *)
 
 let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
-    ?budget ?postpone_timeout ?(max_steps = Rf_runtime.Engine.default_config.max_steps)
-    ?(log = Event_log.null ()) ~(program : Fuzzer.program) (pairs : Site.Pair.t list) :
-    Fuzzer.pair_result list * stats =
+    ?budget ?postpone_timeout ?(max_steps = Engine.default_config.max_steps)
+    ?(log = Event_log.null ()) ?(supervision = Supervisor.default_policy) ?chaos
+    ?trial_deadline ?resume ?stop ~(program : Fuzzer.program)
+    (pairs : Site.Pair.t list) : Fuzzer.pair_result list * stats =
   let t0 = Unix.gettimeofday () in
   let npairs = List.length pairs in
   let base_seeds = Array.of_list seeds in
@@ -76,6 +182,20 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
   let seed_of idx = if idx < nbase then base_seeds.(idx) else extra_seed_base + (idx - nbase) in
   let total_budget =
     match budget with Some b -> max 0 b | None -> npairs * nbase
+  in
+  let stop = match stop with Some s -> s | None -> stop_switch () in
+  let qn = supervision.Supervisor.quarantine_crashes in
+  let resume_tbl =
+    match resume with Some path -> load_resume path | None -> Hashtbl.create 1
+  in
+  let chaos_state = Option.map (fun plan -> (plan, Chaos.state ())) chaos in
+  let deadline =
+    let wall =
+      match trial_deadline with
+      | Some _ as w -> w
+      | None -> Option.bind chaos (fun c -> c.Chaos.c_trial_deadline)
+    in
+    Option.map (fun w -> Engine.deadline ~wall:w ()) wall
   in
   Event_log.emit log
     (Event_log.Campaign_started { domains; base_trials = nbase; budget; cutoff });
@@ -94,6 +214,9 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
              ps_cancelled = 0;
              ps_run = 0;
              ps_settled = false;
+             ps_crash_idxs = [];
+             ps_q_skipped = 0;
+             ps_exhausted = 0;
            })
          pairs)
   in
@@ -115,77 +238,203 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
   let ndomains = max 1 domains in
   let domain_trials = Array.make ndomains 0 in
   let domain_busy = Array.make ndomains 0.0 in
-  let worker d queue =
-    let rec loop () =
-      match Work_queue.pop queue with
-      | None -> ()
-      | Some (idx, p) ->
-          let ps = states.(p) in
-          let cancelled =
-            cutoff
-            && Mutex.protect mutex (fun () ->
-                   match resolution ps with
-                   | Some k when idx > k ->
-                       ps.ps_cancelled <- ps.ps_cancelled + 1;
-                       true
-                   | _ -> false)
-          in
-          if not cancelled then begin
-            let seed = seed_of idx in
-            Event_log.emit log
-              (Event_log.Trial_started { pair = ps.ps_label; seed; domain = d });
-            let w0 = Unix.gettimeofday () in
-            let tr = Fuzzer.run_trial ?postpone_timeout ~max_steps ~program ps.ps_pair seed in
-            let wall = Unix.gettimeofday () -. w0 in
-            domain_trials.(d) <- domain_trials.(d) + 1;
-            domain_busy.(d) <- domain_busy.(d) +. wall;
-            let race = Algo.race_created tr.Fuzzer.t_report in
-            let error = race && Outcome.has_exception tr.Fuzzer.t_outcome in
-            let deadlock = Outcome.deadlocked tr.Fuzzer.t_outcome in
-            let newly_resolved =
-              Mutex.protect mutex (fun () ->
-                  ps.ps_slots.(idx) <- Some tr;
-                  ps.ps_run <- ps.ps_run + 1;
-                  let before = resolution ps in
-                  if race && idx < ps.ps_first_race then ps.ps_first_race <- idx;
-                  if error && idx < ps.ps_first_error then ps.ps_first_error <- idx;
-                  match (before, resolution ps) with None, Some k -> Some k | _ -> None)
-            in
-            Event_log.emit log
-              (Event_log.Trial_finished
-                 { pair = ps.ps_label; seed; domain = d; race; error; deadlock; wall });
-            Option.iter
-              (fun k ->
-                Event_log.emit log
-                  (Event_log.Pair_resolved { pair = ps.ps_label; at_trial = k }))
-              newly_resolved
-          end;
-          loop ()
+  let executed_n = Atomic.make 0 in
+  let replayed_n = Atomic.make 0 in
+  let crashes_n = Atomic.make 0 in
+  let worker_crashes_n = Atomic.make 0 in
+  let worker_respawns_n = Atomic.make 0 in
+  let worker_gave_up_n = Atomic.make 0 in
+  let interrupted_remaining = ref 0 in
+  (* -------------------------------------------------------------- *)
+  (* Trial bookkeeping, shared by fresh executions and journal replays
+     so both feed resolution/quarantine state identically.            *)
+  let record_trial d ps idx seed (tr : Fuzzer.trial) =
+    let o = tr.Fuzzer.t_outcome in
+    let race = Algo.race_created tr.Fuzzer.t_report in
+    let error = race && Outcome.has_exception o in
+    let deadlock = Outcome.deadlocked o in
+    let newly_resolved =
+      Mutex.protect mutex (fun () ->
+          ps.ps_slots.(idx) <- Some tr;
+          ps.ps_run <- ps.ps_run + 1;
+          let before = resolution ps in
+          if race && idx < ps.ps_first_race then ps.ps_first_race <- idx;
+          if error && idx < ps.ps_first_error then ps.ps_first_error <- idx;
+          match (before, resolution ps) with None, Some k -> Some k | _ -> None)
     in
-    loop ()
+    Event_log.emit log
+      (Event_log.Trial_finished
+         {
+           pair = ps.ps_label;
+           seed;
+           domain = d;
+           race;
+           error;
+           deadlock;
+           steps = o.Outcome.steps;
+           switches = o.Outcome.switches;
+           exns = List.length o.Outcome.exceptions;
+           wall = o.Outcome.wall_time;
+         });
+    Option.iter
+      (fun k ->
+        Event_log.emit log
+          (Event_log.Pair_resolved { pair = ps.ps_label; at_trial = k }))
+      newly_resolved
+  in
+  let record_crash d ps idx seed exn_str backtrace =
+    let newly_quarantined =
+      Mutex.protect mutex (fun () ->
+          let before = quarantine_bound ~qn ps in
+          ps.ps_crash_idxs <- idx :: ps.ps_crash_idxs;
+          match (before, quarantine_bound ~qn ps) with
+          | None, Some k -> Some (k, List.length ps.ps_crash_idxs)
+          | _ -> None)
+    in
+    Atomic.incr crashes_n;
+    Event_log.emit log
+      (Event_log.Trial_crashed
+         { pair = ps.ps_label; seed; domain = d; exn_ = exn_str; backtrace });
+    Option.iter
+      (fun (k, crashes) ->
+        Event_log.emit log
+          (Event_log.Pair_quarantined { pair = ps.ps_label; crashes; at_trial = k }))
+      newly_quarantined
+  in
+  let record_exhausted d ps _idx seed reason steps wall =
+    Mutex.protect mutex (fun () -> ps.ps_exhausted <- ps.ps_exhausted + 1);
+    Event_log.emit log
+      (Event_log.Trial_exhausted
+         { pair = ps.ps_label; seed; domain = d; reason; steps; wall })
+  in
+  (* One task: skip-check, then replay from the journal or execute inside
+     the sandbox.  Nothing a trial does can escape this function. *)
+  let process d (idx, p) =
+    let ps = states.(p) in
+    let skipped =
+      Mutex.protect mutex (fun () ->
+          match skip_bound ~cutoff ~qn ps with
+          | Some k when idx > k ->
+              (match (if cutoff then resolution ps else None) with
+              | Some r when idx > r -> ps.ps_cancelled <- ps.ps_cancelled + 1
+              | _ -> ps.ps_q_skipped <- ps.ps_q_skipped + 1);
+              true
+          | _ -> false)
+    in
+    if not skipped then begin
+      let seed = seed_of idx in
+      match Hashtbl.find_opt resume_tbl (ps.ps_label, seed) with
+      | Some (R_finished r) ->
+          Atomic.incr replayed_n;
+          let tr =
+            Fuzzer.trial_of_record ~pair:ps.ps_pair ~seed ~race:r.r_race
+              ~exns:r.r_exns ~deadlock:r.r_deadlock ~steps:r.r_steps
+              ~switches:r.r_switches ~wall:r.r_wall
+          in
+          record_trial d ps idx seed tr
+      | Some (R_crashed r) ->
+          Atomic.incr replayed_n;
+          record_crash d ps idx seed r.r_exn ""
+      | Some (R_exhausted r) ->
+          Atomic.incr replayed_n;
+          record_exhausted d ps idx seed r.r_reason r.r_steps r.r_wall
+      | None ->
+          Event_log.emit log
+            (Event_log.Trial_started { pair = ps.ps_label; seed; domain = d });
+          let inject =
+            match chaos with
+            | Some plan -> Chaos.inject plan ~label:ps.ps_label ~seed
+            | None -> ignore
+          in
+          let w0 = Unix.gettimeofday () in
+          let res =
+            Fuzzer.run_trial ?postpone_timeout ?deadline ~inject ~max_steps
+              ~program ps.ps_pair seed
+          in
+          let wall = Unix.gettimeofday () -. w0 in
+          domain_trials.(d) <- domain_trials.(d) + 1;
+          domain_busy.(d) <- domain_busy.(d) +. wall;
+          let n = Atomic.fetch_and_add executed_n 1 + 1 in
+          (match chaos with
+          | Some { Chaos.c_stop_after = Some m; _ } when n >= m ->
+              request_stop stop
+          | _ -> ());
+          (match res with
+          | Fuzzer.Completed tr -> record_trial d ps idx seed tr
+          | Fuzzer.Harness_crash (e, bt) ->
+              record_crash d ps idx seed (Printexc.to_string e) bt
+          | Fuzzer.Budget_exhausted { bx_reason; bx_steps; bx_wall; _ } ->
+              record_exhausted d ps idx seed (reason_string bx_reason) bx_steps
+                bx_wall)
+    end
   in
   let run_wave wave tasks =
     Event_log.emit log (Event_log.Wave_started { wave; tasks = List.length tasks });
     let queue = Work_queue.create tasks in
     let n = max 1 (min ndomains (List.length tasks)) in
-    if n = 1 then worker 0 queue
-    else begin
-      let doms =
-        Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) queue))
+    let inflight = Array.make n None in
+    let worker ~allow_death ~domain =
+      let rec loop () =
+        if stop_requested stop then ()
+        else
+          match Work_queue.pop queue with
+          | None -> ()
+          | Some task ->
+              inflight.(domain) <- Some task;
+              (match chaos_state with
+              | Some (plan, st) when allow_death && Chaos.kills_worker plan st ->
+                  (* The in-flight task is recorded; the supervisor's
+                     on_crash hook requeues it. *)
+                  raise Chaos.Injected_death
+              | _ -> ());
+              process domain task;
+              inflight.(domain) <- None;
+              loop ()
       in
-      worker 0 queue;
-      Array.iter Domain.join doms
-    end
+      loop ()
+    in
+    let on_crash ~domain ~attempt e =
+      (match inflight.(domain) with
+      | Some task ->
+          inflight.(domain) <- None;
+          Work_queue.requeue queue task
+      | None -> ());
+      Atomic.incr worker_crashes_n;
+      Event_log.emit log
+        (Event_log.Worker_crashed { domain; attempt; exn_ = Printexc.to_string e })
+    in
+    let on_respawn ~domain ~attempt ~backoff =
+      Atomic.incr worker_respawns_n;
+      Event_log.emit log (Event_log.Worker_respawned { domain; attempt; backoff })
+    in
+    let on_give_up ~domain =
+      Atomic.incr worker_gave_up_n;
+      Event_log.emit log (Event_log.Worker_gave_up { domain })
+    in
+    let (_ : Supervisor.outcome) =
+      Supervisor.supervise ~policy:supervision ~on_crash ~on_respawn ~on_give_up
+        ~domains:n
+        (worker ~allow_death:true)
+    in
+    (* If every surviving worker exited but slots gave up mid-queue, finish
+       the stragglers inline, immune to injected deaths. *)
+    if (not (stop_requested stop)) && Work_queue.remaining queue > 0 then
+      worker ~allow_death:false ~domain:0;
+    if stop_requested stop then
+      interrupted_remaining :=
+        !interrupted_remaining + List.length (Work_queue.drain queue)
   in
   (* Wave loop.  Each wave queues every granted-but-unqueued trial in
      seed-major order (trial 0 of every pair, then trial 1, ...) so all
      pairs make progress toward their resolution points together.  Between
-     waves — a deterministic barrier — resolved pairs return their unused
-     budget to the pool, which is re-granted round-robin to unresolved
-     pairs.  Grants depend only on resolution points, which are themselves
-     deterministic, so the whole schedule of waves is reproducible. *)
+     waves — a deterministic barrier — resolved and quarantined pairs
+     return their unused budget to the pool, which is re-granted
+     round-robin to unresolved pairs.  The refund is *logical*:
+     granted - (bound + 1), a pure function of the bound, never of how
+     many trials some worker happened to skip first — so reallocation is
+     as deterministic as the bounds themselves. *)
   let waves = ref 0 in
-  let continue_ = ref (npairs > 0 && total_budget > 0) in
+  let continue_ = ref (npairs > 0 && total_budget > 0 && not (stop_requested stop)) in
   while !continue_ do
     let tasks = ref [] in
     Array.iteri
@@ -205,49 +454,59 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       run_wave !waves tasks;
       incr waves
     end;
-    (* settle pairs that resolved: their skipped trials refill the pool *)
-    Array.iter
-      (fun ps ->
-        if (not ps.ps_settled) && resolution ps <> None then begin
-          ps.ps_settled <- true;
-          pool := !pool + ps.ps_cancelled
-        end)
-      states;
-    let unresolved =
-      Array.to_list states |> List.filter (fun ps -> not ps.ps_settled)
-    in
-    if (not cutoff) || !pool <= 0 || unresolved = [] then continue_ := false
+    if stop_requested stop then continue_ := false
     else begin
-      (* round-robin reallocation, at most one base-list worth per pair
-         per wave so a single unresolved pair cannot absorb a huge pool in
-         one indivisible chunk *)
-      let granted_now = Array.make (List.length unresolved) 0 in
-      let progress = ref true in
-      while !pool > 0 && !progress do
-        progress := false;
+      (* settle pairs that hit a bound: unused grants refill the pool *)
+      Array.iter
+        (fun ps ->
+          match skip_bound ~cutoff ~qn ps with
+          | Some b when not ps.ps_settled ->
+              ps.ps_settled <- true;
+              pool := !pool + max 0 (ps.ps_granted - (b + 1))
+          | _ -> ())
+        states;
+      let unresolved =
+        Array.to_list states |> List.filter (fun ps -> not ps.ps_settled)
+      in
+      if (not cutoff) || !pool <= 0 || unresolved = [] then continue_ := false
+      else begin
+        (* round-robin reallocation, at most one base-list worth per pair
+           per wave so a single unresolved pair cannot absorb a huge pool
+           in one indivisible chunk *)
+        let granted_now = Array.make (List.length unresolved) 0 in
+        let progress = ref true in
+        while !pool > 0 && !progress do
+          progress := false;
+          List.iteri
+            (fun i ps ->
+              if !pool > 0 && granted_now.(i) < nbase then begin
+                grow ps (ps.ps_granted + 1);
+                ps.ps_granted <- ps.ps_granted + 1;
+                granted_now.(i) <- granted_now.(i) + 1;
+                decr pool;
+                progress := true
+              end)
+            unresolved
+        done;
         List.iteri
           (fun i ps ->
-            if !pool > 0 && granted_now.(i) < nbase then begin
-              grow ps (ps.ps_granted + 1);
-              ps.ps_granted <- ps.ps_granted + 1;
-              granted_now.(i) <- granted_now.(i) + 1;
-              decr pool;
-              progress := true
-            end)
-          unresolved
-      done;
-      List.iteri
-        (fun i ps ->
-          if granted_now.(i) > 0 then
-            Event_log.emit log
-              (Event_log.Budget_granted { pair = ps.ps_label; extra = granted_now.(i) }))
-        unresolved;
-      continue_ := List.exists (fun ps -> ps.ps_queued < ps.ps_granted) unresolved
+            if granted_now.(i) > 0 then
+              Event_log.emit log
+                (Event_log.Budget_granted { pair = ps.ps_label; extra = granted_now.(i) }))
+          unresolved;
+        continue_ := List.exists (fun ps -> ps.ps_queued < ps.ps_granted) unresolved
+      end
     end
   done;
+  let interrupted = stop_requested stop in
+  if interrupted then
+    Event_log.emit log
+      (Event_log.Campaign_interrupted
+         { executed = Atomic.get executed_n; remaining = !interrupted_remaining });
   (* ---------------------------------------------------------------- *)
-  (* Deterministic aggregation: truncate each pair at its resolution
-     point, discarding speculative trials run past it.                  *)
+  (* Deterministic aggregation: truncate each pair at its skip bound
+     (cutoff resolution and/or quarantine), discarding speculative trials
+     run past it.                                                       *)
   let discarded = ref 0 in
   let results =
     Array.to_list
@@ -257,14 +516,14 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
              Event_log.emit log
                (Event_log.Trials_cancelled { pair = ps.ps_label; count = ps.ps_cancelled });
            let upto =
-             match (if cutoff then resolution ps else None) with
-             | Some k -> k + 1
+             match skip_bound ~cutoff ~qn ps with
+             | Some k -> min (k + 1) ps.ps_granted
              | None -> ps.ps_granted
            in
            let kept = ref [] in
            for idx = ps.ps_granted - 1 downto 0 do
              match ps.ps_slots.(idx) with
-             | None -> ()  (* cancelled slot *)
+             | None -> ()  (* cancelled, skipped, crashed or exhausted slot *)
              | Some tr -> if idx < upto then kept := tr :: !kept else incr discarded
            done;
            let kept = !kept in
@@ -294,6 +553,18 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_domains = ndomains;
       s_domain_trials = domain_trials;
       s_domain_busy = domain_busy;
+      s_exhausted = Array.fold_left (fun acc ps -> acc + ps.ps_exhausted) 0 states;
+      s_crashes = Atomic.get crashes_n;
+      s_quarantined =
+        Array.fold_left
+          (fun acc ps -> if quarantine_bound ~qn ps <> None then acc + 1 else acc)
+          0 states;
+      s_q_skipped = Array.fold_left (fun acc ps -> acc + ps.ps_q_skipped) 0 states;
+      s_replayed = Atomic.get replayed_n;
+      s_worker_crashes = Atomic.get worker_crashes_n;
+      s_worker_respawns = Atomic.get worker_respawns_n;
+      s_worker_gave_up = Atomic.get worker_gave_up_n;
+      s_interrupted = interrupted;
     }
   in
   Event_log.emit log
@@ -305,7 +576,8 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
 
 let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
-    ?(log = Event_log.null ()) (program : Fuzzer.program) : result =
+    ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
+    (program : Fuzzer.program) : result =
   let p1 = Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps program in
   let potential = Fuzzer.potential_pairs p1 in
   Event_log.emit log
@@ -314,7 +586,8 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
   let pairs = Site.Pair.Set.elements potential in
   let results, stats =
     fuzz_pairs ~domains ~seeds:seeds_per_pair ~cutoff ?budget ?postpone_timeout
-      ?max_steps ~log ~program pairs
+      ?max_steps ~log ?supervision ?chaos ?trial_deadline ?resume ?stop ~program
+      pairs
   in
   let collect p =
     List.fold_left

@@ -27,16 +27,50 @@
     trial and an error trial.  Workers may speculatively run trials past
     that index before it is known; their results are discarded at
     aggregation, so the cutoff semantics are also independent of domain
-    count.  Freed trials return to the budget pool and are reallocated to
-    still-unresolved pairs in deterministic round-robin waves. *)
+    count.  Freed trials return to the budget pool — the refund is the
+    logical [granted - (bound + 1)], never a temporal "how many did we
+    happen to skip" — and are reallocated to still-unresolved pairs in
+    deterministic round-robin waves.
+
+    {2 Fault tolerance}
+
+    Trials run inside a sandbox ({!Racefuzzer.Fuzzer.run_trial}): a
+    harness crash or watchdog cancellation is recorded in the journal and
+    costs one trial, never the campaign.  A pair that crashes the harness
+    [quarantine_crashes] times is {e quarantined} at its Nth-smallest
+    crash index — the same monotone-bound construction as cutoff, so
+    quarantine decisions are deterministic whenever the crashes are.
+    Worker domains are supervised ({!Supervisor}): a dead worker's
+    in-flight task is requeued and the worker respawned with exponential
+    backoff.  A campaign can be stopped gracefully ({!request_stop}) and
+    later resumed from its journal ([~resume]), replaying finished trials
+    instead of re-executing them — the resumed analysis fingerprints
+    identically to an uninterrupted run. *)
 
 open Rf_util
 module Fuzzer = Racefuzzer.Fuzzer
 
+(** {1 Graceful stop} *)
+
+type stop_switch
+(** A cooperative cancellation flag, safe to flip from a signal handler or
+    any domain. *)
+
+val stop_switch : unit -> stop_switch
+
+val request_stop : stop_switch -> unit
+(** Workers finish (or skip) their current task and exit; the wave loop
+    drains, emits [Campaign_interrupted], and aggregation produces a
+    partial — but still deterministic — report. *)
+
+val stop_requested : stop_switch -> bool
+
+(** {1 Stats} *)
+
 type stats = {
   s_pairs : int;
   s_resolved : int;  (** pairs classified real-and-harmful *)
-  s_trials : int;  (** trials actually executed *)
+  s_trials : int;  (** trials actually executed (excludes replays) *)
   s_cancelled : int;  (** queued trials skipped by cutoff *)
   s_discarded : int;  (** speculative trials run past a resolution point *)
   s_waves : int;
@@ -46,6 +80,15 @@ type stats = {
   s_domains : int;
   s_domain_trials : int array;  (** trials executed per domain *)
   s_domain_busy : float array;  (** busy seconds per domain *)
+  s_exhausted : int;  (** trials cancelled by the per-trial watchdog *)
+  s_crashes : int;  (** sandboxed harness crashes (incl. injected chaos) *)
+  s_quarantined : int;  (** pairs quarantined for repeated crashes *)
+  s_q_skipped : int;  (** trials skipped past a quarantine bound *)
+  s_replayed : int;  (** trials satisfied from the resume journal *)
+  s_worker_crashes : int;
+  s_worker_respawns : int;
+  s_worker_gave_up : int;  (** worker slots that exhausted their respawns *)
+  s_interrupted : bool;  (** the campaign was stopped before completion *)
 }
 
 type result = { analysis : Fuzzer.analysis; stats : stats }
@@ -58,6 +101,11 @@ val fuzz_pairs :
   ?postpone_timeout:int option ->
   ?max_steps:int ->
   ?log:Event_log.t ->
+  ?supervision:Supervisor.policy ->
+  ?chaos:Chaos.plan ->
+  ?trial_deadline:float ->
+  ?resume:string ->
+  ?stop:stop_switch ->
   program:Fuzzer.program ->
   Site.Pair.t list ->
   Fuzzer.pair_result list * stats
@@ -65,7 +113,15 @@ val fuzz_pairs :
     base seed list; [budget] caps the total number of trials across all
     pairs (default [pairs * seeds]; trials beyond the base list use fresh
     seeds above the base maximum).  Results come back in input pair
-    order. *)
+    order.
+
+    [supervision] (default {!Supervisor.default_policy}) sets the worker
+    respawn budget, backoff curve and quarantine threshold.  [chaos]
+    injects deterministic faults ({!Chaos}).  [trial_deadline] attaches a
+    wall-clock watchdog to every trial (seconds; chaos plans can also
+    carry one).  [resume] replays the [Trial_*] records of an existing
+    journal instead of re-executing those trials.  [stop] is polled by
+    workers and the wave loop for graceful interruption. *)
 
 val run :
   ?domains:int ->
@@ -76,13 +132,19 @@ val run :
   ?postpone_timeout:int option ->
   ?max_steps:int ->
   ?log:Event_log.t ->
+  ?supervision:Supervisor.policy ->
+  ?chaos:Chaos.plan ->
+  ?trial_deadline:float ->
+  ?resume:string ->
+  ?stop:stop_switch ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
     observed execution) followed by a campaign over all potential pairs.
-    With [~cutoff:false] (the default) the analysis equals
+    With [~cutoff:false] (the default) and no faults, the analysis equals
     [Fuzzer.analyze ~phase1_seeds ~seeds_per_pair] exactly — see
-    {!fingerprint}. *)
+    {!fingerprint}.  Phase 1 is deterministic and cheap, so a resumed run
+    re-executes it and replays only phase-2 trials. *)
 
 (** {1 Determinism checking} *)
 

@@ -1,0 +1,103 @@
+(* Deterministic fault injection for campaign robustness testing.
+
+   Chaos must never change *what* a campaign computes, only how bumpy the
+   road there is.  Two rules make that hold:
+
+   - Faults that feed back into results (injected harness crashes, stalls)
+     are pure functions of (chaos seed, pair label, trial seed) — the same
+     trial misbehaves identically on every run, every domain count, and
+     across kill/resume, so quarantine decisions and fingerprints are
+     reproducible.
+
+   - Faults that only affect liveness (worker deaths) are keyed off a
+     global pop counter.  They perturb *which domain* runs a task and force
+     the supervisor's respawn/requeue path, but since aggregation is
+     domain-agnostic the report is unchanged. *)
+
+type plan = {
+  c_seed : int;
+  c_crash_rate : float;
+  c_stall_rate : float;
+  c_stall_seconds : float;
+  c_trial_deadline : float option;
+  c_death_every : int option;
+  c_max_deaths : int;
+  c_stop_after : int option;
+}
+
+let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
+    ?trial_deadline ?death_every ?(max_deaths = 2) ?stop_after seed =
+  {
+    c_seed = seed;
+    c_crash_rate = crash_rate;
+    c_stall_rate = stall_rate;
+    c_stall_seconds = stall_seconds;
+    c_trial_deadline = trial_deadline;
+    c_death_every = (match death_every with Some n when n <= 0 -> None | d -> d);
+    c_max_deaths = max_deaths;
+    c_stop_after = stop_after;
+  }
+
+let default seed =
+  plan ~crash_rate:0.08 ~stall_rate:0.04 ~stall_seconds:0.05
+    ~trial_deadline:2.0 ~death_every:25 seed
+
+exception Injected_crash of string
+exception Injected_death
+
+(* FNV-1a over the chaos seed, a salt and the task identity.  Cheap, well
+   mixed, and — unlike Random — shared-nothing and order-independent.
+   The offset basis is the standard one truncated to OCaml's 63-bit int. *)
+let hash plan ~salt ~label ~seed =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  let mix byte = h := (!h lxor (byte land 0xff)) * fnv_prime in
+  let mix_int v =
+    for shift = 0 to 7 do
+      mix (v asr (shift * 8))
+    done
+  in
+  mix_int plan.c_seed;
+  mix_int salt;
+  String.iter (fun c -> mix (Char.code c)) label;
+  mix_int seed;
+  !h land max_int
+
+(* Map a hash to [0, 1) with 30 bits of precision — plenty for rates. *)
+let unit_float h = float_of_int (h land 0x3FFFFFFF) /. 1073741824.0
+
+let crashes plan ~label ~seed =
+  plan.c_crash_rate > 0.0
+  && unit_float (hash plan ~salt:0x1 ~label ~seed) < plan.c_crash_rate
+
+let stalls plan ~label ~seed =
+  plan.c_stall_rate > 0.0
+  && unit_float (hash plan ~salt:0x2 ~label ~seed) < plan.c_stall_rate
+
+let inject plan ~label ~seed () =
+  if stalls plan ~label ~seed then Unix.sleepf plan.c_stall_seconds;
+  if crashes plan ~label ~seed then
+    raise (Injected_crash (Printf.sprintf "chaos: injected crash (%s seed %d)" label seed))
+
+(* Worker-death state: one counter for pops, one for deaths granted. *)
+type state = { pops : int Atomic.t; deaths : int Atomic.t }
+
+let state () = { pops = Atomic.make 0; deaths = Atomic.make 0 }
+
+let kills_worker plan st =
+  match plan.c_death_every with
+  | None -> false
+  | Some every ->
+      let n = Atomic.fetch_and_add st.pops 1 + 1 in
+      if n mod every <> 0 then false
+      else
+        (* Grant at most [c_max_deaths] deaths, racing grants resolved by
+           the atomic counter itself. *)
+        let granted = Atomic.fetch_and_add st.deaths 1 in
+        if granted < plan.c_max_deaths then true
+        else begin
+          Atomic.decr st.deaths;
+          false
+        end
+
+let deaths st = Atomic.get st.deaths

@@ -1,0 +1,72 @@
+(** Deterministic chaos injection for exercising the campaign's fault
+    tolerance: injected harness crashes, artificial stalls, worker deaths
+    and early stops, all derived from one chaos seed.
+
+    The invariant that makes chaos useful as a {e test} rather than mere
+    noise: result-bearing faults (crashes, stalls) are pure functions of
+    (chaos seed, pair label, trial seed), so every run of the same campaign
+    under the same chaos plan quarantines the same pairs and produces the
+    same fingerprint — regardless of domain count, worker deaths, or
+    kill/resume boundaries.  Liveness-only faults (worker deaths) are
+    counter-based and may land on different tasks run-to-run; they must not
+    (and, because aggregation is domain-agnostic, do not) affect results. *)
+
+type plan = {
+  c_seed : int;
+  c_crash_rate : float;  (** probability a trial raises {!Injected_crash} *)
+  c_stall_rate : float;  (** probability a trial sleeps before starting *)
+  c_stall_seconds : float;
+  c_trial_deadline : float option;
+      (** per-trial wall watchdog to apply campaign-wide, so stalls are
+          cancelled rather than waited out *)
+  c_death_every : int option;  (** kill a worker every N task pops *)
+  c_max_deaths : int;
+  c_stop_after : int option;
+      (** request a graceful campaign stop after N executed trials — the
+          deterministic "kill" half of kill/resume tests *)
+}
+
+val plan :
+  ?crash_rate:float ->
+  ?stall_rate:float ->
+  ?stall_seconds:float ->
+  ?trial_deadline:float ->
+  ?death_every:int ->
+  ?max_deaths:int ->
+  ?stop_after:int ->
+  int ->
+  plan
+(** [plan seed] with everything off by default; enable faults explicitly. *)
+
+val default : int -> plan
+(** The [--chaos] preset: 8% crashes, 4% stalls, a 2s trial deadline, a
+    worker death every 25 pops (max 2). *)
+
+exception Injected_crash of string
+(** Raised inside the trial sandbox; surfaces as
+    [Fuzzer.Harness_crash]. *)
+
+exception Injected_death
+(** Raised on a worker thread outside any sandbox; kills the domain so the
+    supervisor must respawn it and requeue the in-flight task. *)
+
+val crashes : plan -> label:string -> seed:int -> bool
+val stalls : plan -> label:string -> seed:int -> bool
+
+val inject : plan -> label:string -> seed:int -> unit -> unit
+(** The [?inject] hook for [Fuzzer.run_trial]: sleep if the trial stalls,
+    then raise {!Injected_crash} if it crashes. *)
+
+(** {1 Worker deaths} *)
+
+type state
+(** Mutable death bookkeeping shared by all workers of one campaign. *)
+
+val state : unit -> state
+
+val kills_worker : plan -> state -> bool
+(** Count a task pop; [true] when this pop should kill its worker (the
+    caller raises {!Injected_death} after safely recording the in-flight
+    task).  At most [c_max_deaths] grants, atomically enforced. *)
+
+val deaths : state -> int

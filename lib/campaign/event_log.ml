@@ -1,4 +1,11 @@
+(* Journal schema v2: v1 (PR 1) had no header and a Trial_finished without
+   the steps/switches/exns fields the resume path replays.  The reader
+   skips records it cannot parse, so a v1 journal degrades to "nothing to
+   resume" instead of failing. *)
+let schema_version = 2
+
 type event =
+  | Journal_opened of { schema : int }
   | Campaign_started of {
       domains : int;
       base_trials : int;
@@ -15,11 +22,34 @@ type event =
       race : bool;
       error : bool;
       deadlock : bool;
+      steps : int;
+      switches : int;
+      exns : int;
+      wall : float;
+    }
+  | Trial_crashed of {
+      pair : string;
+      seed : int;
+      domain : int;
+      exn_ : string;
+      backtrace : string;
+    }
+  | Trial_exhausted of {
+      pair : string;
+      seed : int;
+      domain : int;
+      reason : string;
+      steps : int;
       wall : float;
     }
   | Pair_resolved of { pair : string; at_trial : int }
+  | Pair_quarantined of { pair : string; crashes : int; at_trial : int }
   | Trials_cancelled of { pair : string; count : int }
   | Budget_granted of { pair : string; extra : int }
+  | Worker_crashed of { domain : int; attempt : int; exn_ : string }
+  | Worker_respawned of { domain : int; attempt : int; backoff : float }
+  | Worker_gave_up of { domain : int }
+  | Campaign_interrupted of { executed : int; remaining : int }
   | Campaign_finished of {
       wall : float;
       trials : int;
@@ -56,6 +86,7 @@ let jv_to_string = function
   | Null -> "null"
 
 let fields_of_event = function
+  | Journal_opened { schema } -> ("journal_opened", [ ("schema", I schema) ])
   | Campaign_started { domains; base_trials; budget; cutoff } ->
       ( "campaign_started",
         [
@@ -70,7 +101,8 @@ let fields_of_event = function
       ("wave_started", [ ("wave", I wave); ("tasks", I tasks) ])
   | Trial_started { pair; seed; domain } ->
       ("trial_started", [ ("pair", S pair); ("seed", I seed); ("domain", I domain) ])
-  | Trial_finished { pair; seed; domain; race; error; deadlock; wall } ->
+  | Trial_finished { pair; seed; domain; race; error; deadlock; steps; switches; exns; wall }
+    ->
       ( "trial_finished",
         [
           ("pair", S pair);
@@ -79,14 +111,49 @@ let fields_of_event = function
           ("race", B race);
           ("error", B error);
           ("deadlock", B deadlock);
+          ("steps", I steps);
+          ("switches", I switches);
+          ("exns", I exns);
+          ("wall", F wall);
+        ] )
+  | Trial_crashed { pair; seed; domain; exn_; backtrace } ->
+      ( "trial_crashed",
+        [
+          ("pair", S pair);
+          ("seed", I seed);
+          ("domain", I domain);
+          ("exn", S exn_);
+          ("backtrace", S backtrace);
+        ] )
+  | Trial_exhausted { pair; seed; domain; reason; steps; wall } ->
+      ( "trial_exhausted",
+        [
+          ("pair", S pair);
+          ("seed", I seed);
+          ("domain", I domain);
+          ("reason", S reason);
+          ("steps", I steps);
           ("wall", F wall);
         ] )
   | Pair_resolved { pair; at_trial } ->
       ("pair_resolved", [ ("pair", S pair); ("at_trial", I at_trial) ])
+  | Pair_quarantined { pair; crashes; at_trial } ->
+      ( "pair_quarantined",
+        [ ("pair", S pair); ("crashes", I crashes); ("at_trial", I at_trial) ] )
   | Trials_cancelled { pair; count } ->
       ("trials_cancelled", [ ("pair", S pair); ("count", I count) ])
   | Budget_granted { pair; extra } ->
       ("budget_granted", [ ("pair", S pair); ("extra", I extra) ])
+  | Worker_crashed { domain; attempt; exn_ } ->
+      ( "worker_crashed",
+        [ ("domain", I domain); ("attempt", I attempt); ("exn", S exn_) ] )
+  | Worker_respawned { domain; attempt; backoff } ->
+      ( "worker_respawned",
+        [ ("domain", I domain); ("attempt", I attempt); ("backoff", F backoff) ] )
+  | Worker_gave_up { domain } -> ("worker_gave_up", [ ("domain", I domain) ])
+  | Campaign_interrupted { executed; remaining } ->
+      ( "campaign_interrupted",
+        [ ("executed", I executed); ("remaining", I remaining) ] )
   | Campaign_finished { wall; trials; cancelled; throughput } ->
       ( "campaign_finished",
         [
@@ -110,6 +177,260 @@ let to_json ~seq ~elapsed ev =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* JSON parsing: exactly the flat-object subset [to_json] emits.       *)
+
+exception Parse_error
+
+let parse_object (line : string) : (string * jv) list =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Parse_error else line.[!pos] in
+  let advance () = incr pos in
+  let expect c = if peek () <> c then raise Parse_error else advance () in
+  let skip_ws () =
+    while !pos < n && (peek () = ' ' || peek () = '\t') do
+      advance ()
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'u' ->
+              if !pos + 4 >= n then raise Parse_error;
+              let code =
+                try int_of_string ("0x" ^ String.sub line (!pos + 1) 4)
+                with _ -> raise Parse_error
+              in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+          | _ -> raise Parse_error);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> S (parse_string ())
+    | 't' ->
+        pos := !pos + 4;
+        if !pos > n then raise Parse_error;
+        B true
+    | 'f' ->
+        pos := !pos + 5;
+        if !pos > n then raise Parse_error;
+        B false
+    | 'n' ->
+        pos := !pos + 4;
+        if !pos > n then raise Parse_error;
+        Null
+    | _ ->
+        let start = !pos in
+        let is_float = ref false in
+        while
+          !pos < n
+          &&
+          match line.[!pos] with
+          | '0' .. '9' | '-' | '+' -> true
+          | '.' | 'e' | 'E' ->
+              is_float := true;
+              true
+          | _ -> false
+        do
+          advance ()
+        done;
+        let s = String.sub line start (!pos - start) in
+        if s = "" then raise Parse_error
+        else if !is_float then
+          F (try float_of_string s with _ -> raise Parse_error)
+        else I (try int_of_string s with _ -> raise Parse_error)
+  in
+  expect '{';
+  skip_ws ();
+  if peek () = '}' then []
+  else begin
+    let fields = ref [] in
+    let rec members () =
+      skip_ws ();
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' ->
+          advance ();
+          members ()
+      | '}' -> advance ()
+      | _ -> raise Parse_error
+    in
+    members ();
+    List.rev !fields
+  end
+
+let str_f fields k = match List.assoc_opt k fields with Some (S s) -> Some s | _ -> None
+let int_f fields k = match List.assoc_opt k fields with Some (I n) -> Some n | _ -> None
+let bool_f fields k = match List.assoc_opt k fields with Some (B b) -> Some b | _ -> None
+
+let float_f fields k =
+  match List.assoc_opt k fields with
+  | Some (F x) -> Some x
+  | Some (I n) -> Some (float_of_int n)
+  | _ -> None
+
+let opt_int_f fields k =
+  match List.assoc_opt k fields with
+  | Some (I n) -> Some (Some n)
+  | Some Null -> Some None
+  | _ -> None
+
+let event_of_fields fields : event option =
+  let ( let* ) = Option.bind in
+  match str_f fields "ev" with
+  | Some "journal_opened" ->
+      let* schema = int_f fields "schema" in
+      Some (Journal_opened { schema })
+  | Some "campaign_started" ->
+      let* domains = int_f fields "domains" in
+      let* base_trials = int_f fields "base_trials" in
+      let* budget = opt_int_f fields "budget" in
+      let* cutoff = bool_f fields "cutoff" in
+      Some (Campaign_started { domains; base_trials; budget; cutoff })
+  | Some "phase1_finished" ->
+      let* potential = int_f fields "potential" in
+      let* wall = float_f fields "wall" in
+      Some (Phase1_finished { potential; wall })
+  | Some "wave_started" ->
+      let* wave = int_f fields "wave" in
+      let* tasks = int_f fields "tasks" in
+      Some (Wave_started { wave; tasks })
+  | Some "trial_started" ->
+      let* pair = str_f fields "pair" in
+      let* seed = int_f fields "seed" in
+      let* domain = int_f fields "domain" in
+      Some (Trial_started { pair; seed; domain })
+  | Some "trial_finished" ->
+      let* pair = str_f fields "pair" in
+      let* seed = int_f fields "seed" in
+      let* domain = int_f fields "domain" in
+      let* race = bool_f fields "race" in
+      let* error = bool_f fields "error" in
+      let* deadlock = bool_f fields "deadlock" in
+      let* steps = int_f fields "steps" in
+      let* switches = int_f fields "switches" in
+      let* exns = int_f fields "exns" in
+      let* wall = float_f fields "wall" in
+      Some
+        (Trial_finished
+           { pair; seed; domain; race; error; deadlock; steps; switches; exns; wall })
+  | Some "trial_crashed" ->
+      let* pair = str_f fields "pair" in
+      let* seed = int_f fields "seed" in
+      let* domain = int_f fields "domain" in
+      let* exn_ = str_f fields "exn" in
+      let* backtrace = str_f fields "backtrace" in
+      Some (Trial_crashed { pair; seed; domain; exn_; backtrace })
+  | Some "trial_exhausted" ->
+      let* pair = str_f fields "pair" in
+      let* seed = int_f fields "seed" in
+      let* domain = int_f fields "domain" in
+      let* reason = str_f fields "reason" in
+      let* steps = int_f fields "steps" in
+      let* wall = float_f fields "wall" in
+      Some (Trial_exhausted { pair; seed; domain; reason; steps; wall })
+  | Some "pair_resolved" ->
+      let* pair = str_f fields "pair" in
+      let* at_trial = int_f fields "at_trial" in
+      Some (Pair_resolved { pair; at_trial })
+  | Some "pair_quarantined" ->
+      let* pair = str_f fields "pair" in
+      let* crashes = int_f fields "crashes" in
+      let* at_trial = int_f fields "at_trial" in
+      Some (Pair_quarantined { pair; crashes; at_trial })
+  | Some "trials_cancelled" ->
+      let* pair = str_f fields "pair" in
+      let* count = int_f fields "count" in
+      Some (Trials_cancelled { pair; count })
+  | Some "budget_granted" ->
+      let* pair = str_f fields "pair" in
+      let* extra = int_f fields "extra" in
+      Some (Budget_granted { pair; extra })
+  | Some "worker_crashed" ->
+      let* domain = int_f fields "domain" in
+      let* attempt = int_f fields "attempt" in
+      let* exn_ = str_f fields "exn" in
+      Some (Worker_crashed { domain; attempt; exn_ })
+  | Some "worker_respawned" ->
+      let* domain = int_f fields "domain" in
+      let* attempt = int_f fields "attempt" in
+      let* backoff = float_f fields "backoff" in
+      Some (Worker_respawned { domain; attempt; backoff })
+  | Some "worker_gave_up" ->
+      let* domain = int_f fields "domain" in
+      Some (Worker_gave_up { domain })
+  | Some "campaign_interrupted" ->
+      let* executed = int_f fields "executed" in
+      let* remaining = int_f fields "remaining" in
+      Some (Campaign_interrupted { executed; remaining })
+  | Some "campaign_finished" ->
+      let* wall = float_f fields "wall" in
+      let* trials = int_f fields "trials" in
+      let* cancelled = int_f fields "cancelled" in
+      let* throughput = float_f fields "throughput" in
+      Some (Campaign_finished { wall; trials; cancelled; throughput })
+  | _ -> None
+
+let event_of_json line =
+  match parse_object line with
+  | fields -> event_of_fields fields
+  | exception Parse_error -> None
+
+let load path =
+  let ic = open_in path in
+  let events = ref [] in
+  (try
+     let torn = ref false in
+     while not !torn do
+       let line = input_line ic in
+       (* a crash mid-write leaves at most one torn line, necessarily the
+          last complete-line-less tail; a line that fails to parse as a
+          whole object ends the useful journal prefix *)
+       if String.length line = 0 then ()
+       else
+         match event_of_json line with
+         | Some ev -> events := ev :: !events
+         | None ->
+             if
+               String.length line < 2
+               || line.[0] <> '{'
+               || line.[String.length line - 1] <> '}'
+             then torn := true
+             (* else: well-formed object of an unknown/newer event — skip *)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 
 type sink = Drop | Lines of out_channel * bool (* close channel on close *) | Memory
@@ -120,12 +441,26 @@ type t = {
   started : float;
   sink : sink;
   mutable mem : event list;  (** newest first; Memory sink only *)
+  mutable closed : bool;
 }
 
-let make sink = { mutex = Mutex.create (); seq = 0; started = Unix.gettimeofday (); sink; mem = [] }
+let make sink =
+  {
+    mutex = Mutex.create ();
+    seq = 0;
+    started = Unix.gettimeofday ();
+    sink;
+    mem = [];
+    closed = false;
+  }
+
 let null () = make Drop
 let to_channel oc = make (Lines (oc, false))
-let open_file path = make (Lines (open_out path, true))
+
+let open_file path =
+  let t = make (Lines (open_out path, true)) in
+  t
+
 let memory () = make Memory
 
 let emit t ev =
@@ -137,12 +472,35 @@ let emit t ev =
           t.mem <- ev :: t.mem)
   | Lines (oc, _) ->
       Mutex.protect t.mutex (fun () ->
-          t.seq <- t.seq + 1;
-          let line = to_json ~seq:t.seq ~elapsed:(Unix.gettimeofday () -. t.started) ev in
-          output_string oc line;
-          output_char oc '\n';
-          flush oc)
+          if not t.closed then begin
+            t.seq <- t.seq + 1;
+            let line = to_json ~seq:t.seq ~elapsed:(Unix.gettimeofday () -. t.started) ev in
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+          end)
+
+let open_file path =
+  let t = open_file path in
+  emit t (Journal_opened { schema = schema_version });
+  t
 
 let events t = Mutex.protect t.mutex (fun () -> List.rev t.mem)
 
-let close t = match t.sink with Lines (oc, true) -> close_out oc | _ -> ()
+let flush_log t =
+  match t.sink with
+  | Lines (oc, _) ->
+      Mutex.protect t.mutex (fun () -> if not t.closed then flush oc)
+  | _ -> ()
+
+(* [close] shares the emit mutex so a worker mid-write can never race the
+   channel teardown, and is idempotent. *)
+let close t =
+  match t.sink with
+  | Lines (oc, close_ch) ->
+      Mutex.protect t.mutex (fun () ->
+          if not t.closed then begin
+            t.closed <- true;
+            if close_ch then close_out oc else flush oc
+          end)
+  | _ -> ()

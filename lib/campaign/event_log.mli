@@ -1,13 +1,28 @@
-(** Campaign observability: a structured progress/event stream.
+(** Campaign observability {e and} durability: a structured event stream
+    that doubles as the crash-recovery journal.
 
     Every significant campaign step — trials starting and finishing, pairs
-    getting resolved, budget moving between pairs — is an {!event}.  Sinks
-    render events as JSONL (one JSON object per line, with a sequence
-    number and seconds-since-start timestamp), so a campaign run can be
-    tailed live or analyzed offline.  All sinks are safe to share between
-    worker domains. *)
+    getting resolved or quarantined, budget moving between pairs, workers
+    crashing and respawning — is an {!event}.  Sinks render events as JSONL
+    (one JSON object per line, with a sequence number and
+    seconds-since-start timestamp), so a campaign run can be tailed live or
+    analyzed offline.  All sinks are safe to share between worker domains:
+    one mutex serializes rendering, writing and closing, so lines are never
+    interleaved or torn by concurrent writers.
+
+    A file journal ({!open_file}) begins with a [Journal_opened] schema
+    header and can be {!load}ed back: [Trial_finished] / [Trial_crashed] /
+    [Trial_exhausted] records carry everything deterministic aggregation
+    needs, which is what makes checkpoint/resume
+    ([Campaign.fuzz_pairs ~resume]) possible. *)
+
+val schema_version : int
+(** Journal schema of this writer (2).  Version 1 journals (no header,
+    leaner [Trial_finished]) load as observability events only: their trial
+    records are skipped, so resuming from one simply re-runs everything. *)
 
 type event =
+  | Journal_opened of { schema : int }  (** first line of a file journal *)
   | Campaign_started of {
       domains : int;
       base_trials : int;  (** trials initially granted per pair *)
@@ -24,14 +39,45 @@ type event =
       race : bool;
       error : bool;  (** race created and an uncaught exception followed *)
       deadlock : bool;
+      steps : int;
+      switches : int;
+      exns : int;  (** uncaught program exceptions in the trial *)
       wall : float;
     }
+      (** Carries every field deterministic aggregation and the campaign
+          fingerprint read, so resume can replay it without re-executing. *)
+  | Trial_crashed of {
+      pair : string;
+      seed : int;
+      domain : int;
+      exn_ : string;
+      backtrace : string;
+    }
+      (** The harness (not the program under test) raised; the trial was
+          sandboxed and the campaign continued. *)
+  | Trial_exhausted of {
+      pair : string;
+      seed : int;
+      domain : int;
+      reason : string;  (** "wall deadline" or "step deadline" *)
+      steps : int;
+      wall : float;
+    }  (** A watchdog cancelled the trial ({!Rf_runtime.Engine.deadline}). *)
   | Pair_resolved of { pair : string; at_trial : int }
       (** the pair is classified real and harmful by its trial prefix
           [0..at_trial]; queued trials past that index will be cancelled *)
+  | Pair_quarantined of { pair : string; crashes : int; at_trial : int }
+      (** the pair crashed the harness [crashes] times; trials past
+          [at_trial] are skipped and the pair is reported, not fatal *)
   | Trials_cancelled of { pair : string; count : int }
   | Budget_granted of { pair : string; extra : int }
       (** trials freed by a resolved pair, reallocated to this one *)
+  | Worker_crashed of { domain : int; attempt : int; exn_ : string }
+  | Worker_respawned of { domain : int; attempt : int; backoff : float }
+  | Worker_gave_up of { domain : int }
+      (** respawn budget exhausted; the campaign continues degraded *)
+  | Campaign_interrupted of { executed : int; remaining : int }
+      (** graceful stop: workers drained, journal flushed, partial report *)
   | Campaign_finished of {
       wall : float;
       trials : int;
@@ -43,6 +89,18 @@ val event_name : event -> string
 
 val to_json : seq:int -> elapsed:float -> event -> string
 (** One JSON object, no trailing newline. *)
+
+(** {1 Reading journals back} *)
+
+val event_of_json : string -> event option
+(** Parse one journal line.  [None] for torn lines, non-JSON, or unknown
+    event shapes. *)
+
+val load : string -> event list
+(** Read a JSONL journal.  Unknown-but-well-formed lines are skipped
+    (forward compatibility); a torn trailing line — the signature of a
+    crashed writer — ends the journal without error.  Raises [Sys_error]
+    if the file cannot be opened. *)
 
 (** {1 Sinks} *)
 
@@ -56,13 +114,20 @@ val to_channel : out_channel -> t
     {!close}. *)
 
 val open_file : string -> t
-(** JSONL to a fresh file, closed by {!close}. *)
+(** JSONL journal in a fresh file, starting with a [Journal_opened] schema
+    header; closed by {!close}. *)
 
 val memory : unit -> t
 (** Accumulates events in memory for tests; read back with {!events}. *)
 
 val emit : t -> event -> unit
+(** Thread-safe from any domain; a no-op after {!close}. *)
+
 val events : t -> event list
 (** Events seen so far, oldest first; [[]] for non-memory sinks. *)
 
+val flush_log : t -> unit
+
 val close : t -> unit
+(** Flush and (for {!open_file}) close the underlying channel.
+    Idempotent; serialized against concurrent {!emit}s. *)

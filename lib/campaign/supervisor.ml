@@ -1,0 +1,75 @@
+(* Worker supervision: run a fixed fleet of worker bodies on domains,
+   detect crashes, respawn with exponential backoff, give up after a
+   budget.
+
+   Each worker slot gets one long-lived supervising domain; each *attempt*
+   runs on a freshly spawned child domain, so a respawned worker starts
+   with clean domain-local state exactly like the original.  A crash is an
+   exception escaping the worker body (in OCaml a domain cannot die any
+   other way short of taking the whole process with it). *)
+
+type policy = {
+  max_respawns : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  quarantine_crashes : int;
+}
+
+let default_policy =
+  {
+    max_respawns = 3;
+    backoff_base = 0.01;
+    backoff_factor = 2.0;
+    backoff_max = 0.5;
+    quarantine_crashes = 3;
+  }
+
+let backoff_delay policy attempt =
+  min policy.backoff_max
+    (policy.backoff_base *. (policy.backoff_factor ** float_of_int attempt))
+
+type outcome = { crashes : int; gave_up : int }
+
+let nothing1 ~domain:_ = ()
+let nothing_crash ~domain:_ ~attempt:_ _ = ()
+let nothing_respawn ~domain:_ ~attempt:_ ~backoff:_ = ()
+
+let run_slot ~policy ~on_crash ~on_respawn ~on_give_up ~domain body =
+  let rec go attempt crashes =
+    let child =
+      Domain.spawn (fun () ->
+          match body ~domain with
+          | () -> Ok ()
+          | exception e -> Error e)
+    in
+    match Domain.join child with
+    | Ok () -> (crashes, false)
+    | Error e ->
+        on_crash ~domain ~attempt e;
+        if attempt >= policy.max_respawns then begin
+          on_give_up ~domain;
+          (crashes + 1, true)
+        end
+        else begin
+          let backoff = backoff_delay policy attempt in
+          if backoff > 0.0 then Unix.sleepf backoff;
+          on_respawn ~domain ~attempt:(attempt + 1) ~backoff;
+          go (attempt + 1) (crashes + 1)
+        end
+  in
+  go 0 0
+
+let supervise ?(policy = default_policy) ?(on_crash = nothing_crash)
+    ?(on_respawn = nothing_respawn) ?(on_give_up = nothing1) ~domains body =
+  let slots =
+    List.init domains (fun domain ->
+        Domain.spawn (fun () ->
+            run_slot ~policy ~on_crash ~on_respawn ~on_give_up ~domain body))
+  in
+  let results = List.map Domain.join slots in
+  {
+    crashes = List.fold_left (fun acc (c, _) -> acc + c) 0 results;
+    gave_up =
+      List.fold_left (fun acc (_, g) -> acc + if g then 1 else 0) 0 results;
+  }

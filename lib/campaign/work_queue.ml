@@ -1,15 +1,60 @@
-type 'a t = { mutex : Mutex.t; items : 'a array; mutable next : int }
+type 'a t = {
+  mutex : Mutex.t;
+  items : 'a array;  (* base tasks, fixed deterministic order *)
+  mutable next : int;
+  mutable requeued : 'a list;  (* recovered tasks; drained before [items] *)
+  mutable closed : bool;
+}
 
-let create items = { mutex = Mutex.create (); items = Array.of_list items; next = 0 }
+let create items =
+  {
+    mutex = Mutex.create ();
+    items = Array.of_list items;
+    next = 0;
+    requeued = [];
+    closed = false;
+  }
 
 let pop t =
   Mutex.protect t.mutex (fun () ->
-      if t.next >= Array.length t.items then None
-      else begin
-        let x = t.items.(t.next) in
-        t.next <- t.next + 1;
-        Some x
-      end)
+      if t.closed then None
+      else
+        match t.requeued with
+        | x :: rest ->
+            t.requeued <- rest;
+            Some x
+        | [] ->
+            if t.next >= Array.length t.items then None
+            else begin
+              let x = t.items.(t.next) in
+              t.next <- t.next + 1;
+              Some x
+            end)
+
+let requeue t x = Mutex.protect t.mutex (fun () -> t.requeued <- x :: t.requeued)
+
+let close t = Mutex.protect t.mutex (fun () -> t.closed <- true)
+let is_closed t = Mutex.protect t.mutex (fun () -> t.closed)
+
+(* Unconsumed tasks in pop order: recovered tasks first, then the rest of
+   the base array.  Caller holds the mutex. *)
+let unconsumed t =
+  let tail = ref [] in
+  for i = Array.length t.items - 1 downto t.next do
+    tail := t.items.(i) :: !tail
+  done;
+  t.requeued @ !tail
+
+let drain t =
+  Mutex.protect t.mutex (fun () ->
+      t.closed <- true;
+      let rest = unconsumed t in
+      t.requeued <- [];
+      t.next <- Array.length t.items;
+      rest)
 
 let total t = Array.length t.items
-let remaining t = Mutex.protect t.mutex (fun () -> Array.length t.items - t.next)
+
+let remaining t =
+  Mutex.protect t.mutex (fun () ->
+      List.length t.requeued + (Array.length t.items - t.next))

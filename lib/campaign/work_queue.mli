@@ -1,18 +1,43 @@
-(** A domain-safe work queue with a fixed, deterministic item order.
+(** A domain-safe work queue with a fixed, deterministic base order.
 
     The queue is filled once at creation and drained concurrently by worker
-    domains.  Items come out in exactly the order they were put in — the
-    only scheduling freedom is {e which worker} takes each item, never the
-    item sequence itself, which is what keeps campaign task dispatch
-    reproducible enough to reason about. *)
+    domains.  Base items come out in exactly the order they were put in —
+    the only scheduling freedom is {e which worker} takes each item, never
+    the item sequence itself, which is what keeps campaign task dispatch
+    reproducible enough to reason about.
+
+    Fault tolerance adds two controlled exceptions to "filled once":
+    {!requeue} returns a task recovered from a crashed worker (it is
+    re-issued before the remaining base items), and {!close}/{!drain} let a
+    supervisor cancel cleanly — workers see [None] and exit, and the
+    unconsumed tasks are accounted for rather than lost. *)
 
 type 'a t
 
 val create : 'a list -> 'a t
 
 val pop : 'a t -> 'a option
-(** Take the next item, or [None] when the queue is exhausted.  Safe to
-    call from any domain. *)
+(** Take the next item, or [None] when the queue is exhausted or closed.
+    Safe to call from any domain. *)
+
+val requeue : 'a t -> 'a -> unit
+(** Return a task taken by a worker that died before completing it.  The
+    task is re-issued ahead of the remaining base items.  Requeueing after
+    {!close} is safe: the task is retained and comes back out of
+    {!drain}, so nothing is lost. *)
+
+val close : 'a t -> unit
+(** Stop issuing tasks: every subsequent {!pop} returns [None].  Tasks not
+    yet consumed stay in the queue for {!drain} to collect. *)
+
+val is_closed : 'a t -> bool
+
+val drain : 'a t -> 'a list
+(** Close the queue and remove all unconsumed tasks, returning them in the
+    order {!pop} would have issued them. *)
 
 val total : 'a t -> int
+(** Number of base items (excludes requeues). *)
+
 val remaining : 'a t -> int
+(** Unconsumed tasks, including requeued ones. *)

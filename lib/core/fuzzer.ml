@@ -70,19 +70,113 @@ type pair_result = {
 let is_real r = r.race_trials > 0
 let is_harmful r = r.error_trials > 0
 
-let run_trial ?postpone_timeout ~max_steps ~(program : program) (pair : Site.Pair.t)
-    seed : trial =
+(* ------------------------------------------------------------------ *)
+(* The sandboxed trial boundary.
+
+   The programs phase 2 drives are *expected* to misbehave — that is the
+   point of the tool — so anything the engine tracks (program exceptions,
+   deadlocks, step-bound timeouts) comes back inside [Outcome.t] as a
+   [Completed] trial.  [trial_result] classifies the two failure modes
+   that are NOT program behaviour: an exception escaping the engine
+   itself (strategy bug, listener bug, injected chaos) becomes
+   [Harness_crash] instead of tearing down the caller, and a watchdog
+   cancellation ([Engine.deadline]) becomes [Budget_exhausted]. *)
+
+type trial_result =
+  | Completed of trial
+  | Harness_crash of exn * string  (* raw backtrace at the catch point *)
+  | Budget_exhausted of {
+      bx_seed : int;
+      bx_reason : Outcome.cancel_reason;
+      bx_steps : int;
+      bx_wall : float;
+    }
+
+let run_trial ?postpone_timeout ?deadline ?(inject = ignore) ~max_steps
+    ~(program : program) (pair : Site.Pair.t) seed : trial_result =
   let watch =
     Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
   in
   let report = Algo.fresh_report () in
   let strategy = Algo.strategy ?postpone_timeout ~pair ~report () in
-  let outcome =
+  match
+    inject ();
     Engine.run
       ~config:
-        { Engine.default_config with seed; policy = Engine.Sync_and watch; max_steps }
+        {
+          Engine.default_config with
+          seed;
+          policy = Engine.Sync_and watch;
+          max_steps;
+          deadline;
+        }
       ~strategy program
+  with
+  | outcome -> (
+      match outcome.Outcome.cancelled with
+      | Some reason ->
+          Budget_exhausted
+            {
+              bx_seed = seed;
+              bx_reason = reason;
+              bx_steps = outcome.Outcome.steps;
+              bx_wall = outcome.Outcome.wall_time;
+            }
+      | None -> Completed { t_seed = seed; t_outcome = outcome; t_report = report })
+  | exception e -> Harness_crash (e, Printexc.get_backtrace ())
+
+let run_trial_exn ?postpone_timeout ~max_steps ~(program : program)
+    (pair : Site.Pair.t) seed : trial =
+  match run_trial ?postpone_timeout ~max_steps ~program pair seed with
+  | Completed t -> t
+  | Harness_crash (e, _) -> raise e
+  | Budget_exhausted _ -> assert false (* no deadline was passed *)
+
+(* Reconstruct a trial from its journal record ([Rf_campaign.Event_log]
+   Trial_finished) without re-executing: the synthetic outcome and report
+   carry exactly the fields deterministic aggregation and fingerprinting
+   read — seed, race flag, exception count, deadlock flag, steps,
+   switches — never engine internals. *)
+
+exception Journal_replayed
+
+let trial_of_record ~(pair : Site.Pair.t) ~seed ~race ~exns ~deadlock ~steps
+    ~switches ~wall : trial =
+  let outcome =
+    {
+      Outcome.steps;
+      switches;
+      threads_spawned = 0;
+      exceptions =
+        List.init exns (fun i ->
+            {
+              Outcome.xtid = i;
+              xthread = "journal";
+              exn_ = Journal_replayed;
+              raised_at = None;
+            });
+      deadlocked = (if deadlock then [ 0 ] else []);
+      blocked_at = [];
+      timed_out = false;
+      cancelled = None;
+      trace = None;
+      wall_time = wall;
+    }
   in
+  let report = Algo.fresh_report () in
+  if race then
+    report.Algo.hits <-
+      [
+        {
+          Algo.hit_pair = pair;
+          hit_sites = (Site.Pair.fst pair, Site.Pair.snd pair);
+          hit_loc = Loc.global "journal-replay";
+          hit_arriving = -1;
+          hit_postponed = [];
+          hit_step = 0;
+          resolved_arriving = false;
+        };
+      ];
   { t_seed = seed; t_outcome = outcome; t_report = report }
 
 let aggregate_trials ~pair ~wall trials : pair_result =
@@ -116,7 +210,7 @@ let fuzz_pair ?(seeds = List.init 100 Fun.id) ?postpone_timeout
     ?(max_steps = Engine.default_config.max_steps) ~(program : program)
     (pair : Site.Pair.t) : pair_result =
   let t0 = Unix.gettimeofday () in
-  let trials = List.map (run_trial ?postpone_timeout ~max_steps ~program pair) seeds in
+  let trials = List.map (run_trial_exn ?postpone_timeout ~max_steps ~program pair) seeds in
   aggregate_trials ~pair ~wall:(Unix.gettimeofday () -. t0) trials
 
 (** Parallel variant: trials are split across [domains] OCaml domains —
@@ -136,7 +230,7 @@ let fuzz_pair_parallel ?(domains = 4) ?(seeds = List.init 100 Fun.id)
     Array.map
       (fun chunk ->
         Domain.spawn (fun () ->
-            List.map (run_trial ?postpone_timeout ~max_steps ~program pair) chunk))
+            List.map (run_trial_exn ?postpone_timeout ~max_steps ~program pair) chunk))
       chunks
   in
   let trials = Array.to_list workers |> List.concat_map Domain.join in

@@ -57,17 +57,66 @@ val is_harmful : pair_result -> bool
     single-trial function and fold trial lists with the same aggregation,
     which is what makes their results comparable bit-for-bit. *)
 
+(** Sandboxed result of one phase-2 execution.  Program misbehaviour
+    (exceptions, deadlocks, timeouts) is data inside a [Completed] trial's
+    {!Rf_runtime.Outcome.t}; [Harness_crash] is an exception escaping the
+    {e engine} (strategy or listener bug, injected chaos) with its raw
+    backtrace; [Budget_exhausted] is a watchdog cancellation
+    ({!Rf_runtime.Engine.deadline}). *)
+type trial_result =
+  | Completed of trial
+  | Harness_crash of exn * string
+  | Budget_exhausted of {
+      bx_seed : int;
+      bx_reason : Outcome.cancel_reason;
+      bx_steps : int;
+      bx_wall : float;
+    }
+
 val run_trial :
+  ?postpone_timeout:int option ->
+  ?deadline:Engine.deadline ->
+  ?inject:(unit -> unit) ->
+  max_steps:int ->
+  program:program ->
+  Site.Pair.t ->
+  int ->
+  trial_result
+(** One phase-2 execution of [program] against the candidate pair from the
+    given seed, run inside the trial sandbox: no exception escapes.
+    Deterministic: the same (pair, seed, max_steps) yields the same trial
+    on any domain, because the engine resets its domain-local counters per
+    run.  [inject] runs inside the sandbox just before the engine starts
+    (the chaos-injection hook); [deadline] attaches a watchdog. *)
+
+val run_trial_exn :
   ?postpone_timeout:int option ->
   max_steps:int ->
   program:program ->
   Site.Pair.t ->
   int ->
   trial
-(** One phase-2 execution of [program] against the candidate pair from the
-    given seed.  Deterministic: the same (pair, seed, max_steps) yields the
-    same trial on any domain, because the engine resets its domain-local
-    counters per run. *)
+(** Unsandboxed [run_trial]: re-raises a harness crash.  The historical
+    contract of the sequential drivers ({!fuzz_pair} et al.). *)
+
+exception Journal_replayed
+(** Placeholder exception inside trials rebuilt by {!trial_of_record}. *)
+
+val trial_of_record :
+  pair:Site.Pair.t ->
+  seed:int ->
+  race:bool ->
+  exns:int ->
+  deadlock:bool ->
+  steps:int ->
+  switches:int ->
+  wall:float ->
+  trial
+(** Rebuild a trial from its journal record without re-executing — the
+    checkpoint/resume path.  The synthetic trial carries exactly the
+    fields {!aggregate_trials} and the campaign fingerprint read, so a
+    resumed campaign aggregates bit-identically to the run that wrote the
+    journal. *)
 
 val aggregate_trials : pair:Site.Pair.t -> wall:float -> trial list -> pair_result
 (** Fold trials (in seed order) into a {!pair_result}.  Pure: the result

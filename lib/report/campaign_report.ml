@@ -10,6 +10,21 @@ let render ppf (s : C.stats) =
     s.C.s_pairs s.C.s_resolved s.C.s_waves;
   Fmt.pf ppf "trials:   %d run, %d cancelled by cutoff, %d speculative discarded@."
     s.C.s_trials s.C.s_cancelled s.C.s_discarded;
+  if s.C.s_replayed > 0 then
+    Fmt.pf ppf "resume:   %d trial(s) replayed from the journal@." s.C.s_replayed;
+  (* the fault lines only appear when something actually went wrong, so a
+     clean campaign's report is unchanged *)
+  if s.C.s_crashes > 0 || s.C.s_exhausted > 0 then
+    Fmt.pf ppf "faults:   %d harness crash(es) sandboxed, %d trial(s) over deadline@."
+      s.C.s_crashes s.C.s_exhausted;
+  if s.C.s_quarantined > 0 then
+    Fmt.pf ppf "QUARANTINED: %d pair(s) crashed the harness repeatedly (%d trial(s) skipped) — inspect the journal@."
+      s.C.s_quarantined s.C.s_q_skipped;
+  if s.C.s_worker_crashes > 0 then
+    Fmt.pf ppf "workers:  %d crash(es), %d respawn(s), %d slot(s) gave up@."
+      s.C.s_worker_crashes s.C.s_worker_respawns s.C.s_worker_gave_up;
+  if s.C.s_interrupted then
+    Fmt.pf ppf "INTERRUPTED: partial results — resume from the journal with --resume@.";
   Fmt.pf ppf "wall:     %.3fs phase 2 (+ %.3fs phase 1), %.1f trials/s@."
     s.C.s_wall s.C.s_phase1_wall s.C.s_throughput;
   Array.iteri

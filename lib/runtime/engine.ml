@@ -57,12 +57,18 @@ open Rf_events
 
 type switch_policy = Every_op | Sync_and of Site.Set.t
 
+type deadline = { dl_wall : float option; dl_steps : int option; dl_poll : int }
+
+let deadline ?wall ?steps ?(poll = 2048) () =
+  { dl_wall = wall; dl_steps = steps; dl_poll = max 1 poll }
+
 type config = {
   seed : int;
   policy : switch_policy;
   record_trace : bool;
   max_steps : int;
   verbose : bool;
+  deadline : deadline option;
 }
 
 let default_config =
@@ -72,6 +78,7 @@ let default_config =
     record_trace = false;
     max_steps = 2_000_000;
     verbose = false;
+    deadline = None;
   }
 
 type fiber =
@@ -127,6 +134,9 @@ type t = {
   mutable next_msg : int;
   mutable exceptions : Outcome.exn_report list;  (* newest first *)
   mutable timed_out : bool;
+  mutable cancelled : Outcome.cancel_reason option;
+  t_start : float;  (* wall-clock run start; anchor for dl_wall *)
+  mutable next_wall_check : int;  (* step count of the next dl_wall poll *)
   trace : Trace.t option;
 }
 
@@ -588,9 +598,32 @@ let view_of eng =
   done;
   { Strategy.step = eng.steps; enabled = !entries; prng = eng.prng }
 
+(* The watchdog: consulted at every switch point.  The step cap is exact
+   (to switch granularity); the wall clock is polled every [dl_poll] steps,
+   starting {e before} the first step so a run whose budget is already
+   spent (e.g. a stalled harness) is cancelled without executing at all. *)
+let deadline_hit eng =
+  match eng.cfg.deadline with
+  | None -> None
+  | Some dl -> (
+      match dl.dl_steps with
+      | Some cap when eng.steps >= cap -> Some Outcome.Step_deadline
+      | _ -> (
+          match dl.dl_wall with
+          | Some budget when eng.steps >= eng.next_wall_check ->
+              eng.next_wall_check <- eng.steps + dl.dl_poll;
+              if Unix.gettimeofday () -. eng.t_start > budget then
+                Some Outcome.Wall_deadline
+              else None
+          | _ -> None))
+
 let rec loop eng =
   if eng.steps >= eng.cfg.max_steps then eng.timed_out <- true
-  else if eng.enabled_count = 0 then ()
+  else
+    match deadline_hit eng with
+    | Some reason -> eng.cancelled <- Some reason
+    | None ->
+  if eng.enabled_count = 0 then ()
     (* termination or deadlock; classified by [run] *)
   else begin
     let view = view_of eng in
@@ -612,6 +645,7 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
     Outcome.t =
   Loc.reset_counter ();
   Lock.reset_counter ();
+  let t0 = Unix.gettimeofday () in
   let eng =
     {
       cfg = config;
@@ -628,15 +662,17 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
       next_msg = 0;
       exceptions = [];
       timed_out = false;
+      cancelled = None;
+      t_start = t0;
+      next_wall_check = 0;
       trace = (if config.record_trace then Some (Trace.create ()) else None);
     }
   in
-  let t0 = Unix.gettimeofday () in
   let (_ : thread) = new_thread eng ~name:"main" main in
   loop eng;
   let wall = Unix.gettimeofday () -. t0 in
   let blocked =
-    if eng.timed_out then []
+    if eng.timed_out || eng.cancelled <> None then []
     else begin
       let acc = ref [] in
       for i = eng.n_threads - 1 downto 0 do
@@ -667,6 +703,7 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
     deadlocked;
     blocked_at;
     timed_out = eng.timed_out;
+    cancelled = eng.cancelled;
     trace = eng.trace;
     wall_time = wall;
   }

@@ -22,16 +22,31 @@ open Rf_events
     [Every_op]. *)
 type switch_policy = Every_op | Sync_and of Site.Set.t
 
+(** A per-run watchdog, consulted at every switch point.  [dl_steps] caps
+    the number of executed operations (exact to switch granularity);
+    [dl_wall] caps wall-clock seconds, polled every [dl_poll] steps —
+    including once {e before} the first step, so a run whose budget is
+    already spent is cancelled without executing anything.  Hitting either
+    bound stops the run cleanly with [Outcome.cancelled = Some reason]
+    instead of spinning on to [max_steps].  Wall deadlines trade the
+    engine's bit-exact replayability for liveness: use them to sandbox
+    runaway or stalled trials, not in determinism-sensitive runs. *)
+type deadline = { dl_wall : float option; dl_steps : int option; dl_poll : int }
+
+val deadline : ?wall:float -> ?steps:int -> ?poll:int -> unit -> deadline
+(** [poll] defaults to 2048 steps per wall-clock check. *)
+
 type config = {
   seed : int;
   policy : switch_policy;
   record_trace : bool;
   max_steps : int;  (** livelock guard; exceeding it sets [timed_out] *)
   verbose : bool;  (** echo every event to stderr *)
+  deadline : deadline option;  (** optional watchdog; see {!deadline} *)
 }
 
 val default_config : config
-(** seed 0, [Every_op], no trace, 2M steps, quiet. *)
+(** seed 0, [Every_op], no trace, 2M steps, quiet, no deadline. *)
 
 exception Engine_invariant of string
 (** Internal-consistency violation (e.g. a strategy returning a

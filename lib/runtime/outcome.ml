@@ -10,6 +10,12 @@ type exn_report = {
   raised_at : Site.t option;
 }
 
+type cancel_reason = Wall_deadline | Step_deadline
+
+let pp_cancel_reason ppf = function
+  | Wall_deadline -> Fmt.string ppf "wall deadline"
+  | Step_deadline -> Fmt.string ppf "step deadline"
+
 type t = {
   steps : int;  (** operations executed *)
   switches : int;  (** strategy consultations *)
@@ -21,12 +27,14 @@ type t = {
           operation — lets deadlock-directed analyses attribute a deadlock
           to a specific lock-order cycle *)
   timed_out : bool;  (** hit the step bound (livelock guard) *)
+  cancelled : cancel_reason option;
+      (** the run was cut short by a watchdog deadline (engine [config.deadline]) *)
   trace : Trace.t option;
   wall_time : float;  (** seconds *)
 }
 
 let ok t =
-  t.exceptions = [] && t.deadlocked = [] && not t.timed_out
+  t.exceptions = [] && t.deadlocked = [] && (not t.timed_out) && t.cancelled = None
 
 let has_exception t = t.exceptions <> []
 let deadlocked t = t.deadlocked <> []
@@ -42,7 +50,7 @@ let pp_exn_report ppf r =
 
 let pp ppf t =
   Fmt.pf ppf
-    "@[<v>steps: %d; switches: %d; threads: %d; wall: %.4fs%a%a%a@]" t.steps
+    "@[<v>steps: %d; switches: %d; threads: %d; wall: %.4fs%a%a%a%a@]" t.steps
     t.switches t.threads_spawned t.wall_time
     (fun ppf -> function
       | [] -> ()
@@ -59,3 +67,7 @@ let pp ppf t =
     t.deadlocked
     (fun ppf timed_out -> if timed_out then Fmt.pf ppf "@,TIMED OUT (step bound)")
     t.timed_out
+    (fun ppf -> function
+      | Some r -> Fmt.pf ppf "@,CANCELLED (%a)" pp_cancel_reason r
+      | None -> ())
+    t.cancelled

@@ -10,6 +10,11 @@ type exn_report = {
   raised_at : Site.t option;  (** site of the thread's last executed op *)
 }
 
+(** Why a watchdog cancelled the run (engine [config.deadline]). *)
+type cancel_reason = Wall_deadline | Step_deadline
+
+val pp_cancel_reason : Format.formatter -> cancel_reason -> unit
+
 type t = {
   steps : int;  (** operations executed *)
   switches : int;  (** strategy consultations *)
@@ -21,12 +26,14 @@ type t = {
           lets deadlock-directed analyses attribute a deadlock to a
           specific lock-order cycle *)
   timed_out : bool;  (** hit the step bound (livelock guard) *)
+  cancelled : cancel_reason option;
+      (** cut short by a watchdog deadline; the trial budget was exhausted *)
   trace : Trace.t option;
   wall_time : float;  (** seconds *)
 }
 
 val ok : t -> bool
-(** No exceptions, no deadlock, no timeout. *)
+(** No exceptions, no deadlock, no timeout, no cancellation. *)
 
 val has_exception : t -> bool
 val deadlocked : t -> bool

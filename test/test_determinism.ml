@@ -165,16 +165,19 @@ let test_event_log_jsonl_shape () =
       Alcotest.(check bool) "has seq/t/ev fields" true
         (String.length l > 10 && String.sub l 1 6 = "\"seq\":"))
     lines;
-  (* first data events are phase1_finished then campaign_started *)
+  (* the journal opens with a schema header, then phase1_finished and
+     campaign_started *)
   match lines with
-  | l1 :: l2 :: _ ->
+  | l1 :: l2 :: l3 :: _ ->
       let contains s sub =
         let n = String.length sub in
         let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
         go 0
       in
-      Alcotest.(check bool) "phase1 event first" true (contains l1 "phase1_finished");
-      Alcotest.(check bool) "campaign_started second" true (contains l2 "campaign_started")
+      Alcotest.(check bool) "journal_opened header first" true
+        (contains l1 "journal_opened");
+      Alcotest.(check bool) "phase1 event second" true (contains l2 "phase1_finished");
+      Alcotest.(check bool) "campaign_started third" true (contains l3 "campaign_started")
   | _ -> Alcotest.fail "log too short"
 
 let test_stats_accounting () =
