@@ -4,7 +4,8 @@
      run       execute an RFL program under a chosen scheduler
      detect    phase 1: report potential races in an RFL program
      fuzz      full two-phase analysis of an RFL program
-     replay    re-run one phase-2 execution from its seed
+     replay    re-run an execution: recorded schedule file, or RFL seed+pair
+     shrink    minimize a recorded failing schedule by delta debugging
      deadlock  deadlock-directed testing (Goodlock cycles + postponement)
      atomicity atomicity-directed testing (split transactions)
      campaign  parallel whole-program campaign over a domain pool
@@ -191,50 +192,200 @@ let fuzz_cmd =
     Term.(const action $ file_arg $ p1_arg $ seeds_arg 100)
 
 (* ------------------------------------------------------------------ *)
-(* replay                                                              *)
+(* replay / shrink                                                     *)
+
+(* A recorded schedule names its target program; resolve it the same way
+   'campaign' resolves its TARGET argument, so artifacts written by
+   'campaign --repro-dir' replay without extra flags. *)
+let resolve_target target =
+  match Rf_workloads.Registry.find target with
+  | Some w -> Ok w.Rf_workloads.Workload.program
+  | None -> (
+      if target = "" then
+        Error "schedule records no target program (empty \"target\" field)"
+      else
+        match load target with
+        | Ok prog -> Ok (Rf_lang.Lang.program ~print:ignore prog)
+        | Error m ->
+            Error
+              (Fmt.str
+                 "schedule target %S is neither a built-in workload (see \
+                  'racefuzzer list') nor a loadable RFL file:@.%s" target m))
+
+(* A *.sched.json positional is replayed from its recording; anything else
+   is treated as an RFL file for the historical seed-based replay. *)
+let is_schedule_file file =
+  Filename.check_suffix file ".sched.json"
+  ||
+  match open_in_bin file with
+  | ic ->
+      let len = min 256 (in_channel_length ic) in
+      let head = really_input_string ic len in
+      close_in ic;
+      let rec find i =
+        i + 11 <= String.length head
+        && (String.sub head i 11 = "rf-schedule" || find (i + 1))
+      in
+      find 0
+  | exception Sys_error _ -> false
+
+let replay_schedule_action file verbose =
+  match Rf_replay.Schedule.load file with
+  | exception Rf_replay.Schedule.Format_error m ->
+      Fmt.epr "%s: %s@." file m;
+      exit 1
+  | sched -> (
+      let meta = sched.Rf_replay.Schedule.meta in
+      match resolve_target meta.Rf_replay.Schedule.m_target with
+      | Error m ->
+          Fmt.epr "%s@." m;
+          exit 1
+      | Ok program ->
+          Fmt.pr "%a@." Rf_replay.Schedule.pp sched;
+          if verbose then Fmt.pr "@.%a@." Rf_replay.Schedule.pp_narrative sched;
+          let o, status = Racefuzzer.Fuzzer.replay_schedule ~program sched in
+          Fmt.pr "%a@." Rf_runtime.Outcome.pp o;
+          let got = Rf_replay.Schedule.error_fingerprint o in
+          (match status.Rf_replay.Replayer.divergence with
+          | Some d ->
+              Fmt.epr "DIVERGED at %a@." Rf_replay.Replayer.pp_divergence d;
+              exit 4
+          | None -> ());
+          let want = meta.Rf_replay.Schedule.m_error in
+          if got = want then
+            Fmt.pr "reproduced: %s@."
+              (match want with Some e -> e | None -> "clean run (no error recorded)")
+          else begin
+            Fmt.epr "MISMATCH: schedule records %s, replay produced %s@."
+              (match want with Some e -> e | None -> "no error")
+              (match got with Some e -> e | None -> "no error");
+            exit 4
+          end)
 
 let replay_cmd =
   let pair_arg =
     Arg.(
-      required
+      value
       & opt (some (pair ~sep:':' int int)) None
-      & info [ "pair" ] ~docv:"L1:L2" ~doc:"Racing pair as two source line numbers.")
+      & info [ "pair" ] ~docv:"L1:L2"
+          ~doc:"Racing pair as two source line numbers (seed-replay mode).")
   in
-  let action file seed (l1, l2) =
-    match load file with
-    | Error m ->
-        Fmt.epr "%s@." m;
-        exit 1
-    | Ok prog -> (
-        let base = Filename.basename file in
-        (* sites are registered as statements execute: warm the registry
-           with a few throwaway runs so line lookup sees all sites *)
-        let warm = Rf_lang.Lang.program ~print:ignore prog in
-        List.iter
-          (fun s ->
-            ignore
-              (Rf_runtime.Engine.run
-                 ~config:{ Rf_runtime.Engine.default_config with seed = s }
-                 ~strategy:(Rf_runtime.Strategy.random ()) warm))
-          [ 0; 1; 2 ];
-        let sites_at l = Site.find_by_line ~file:base ~line:l in
-        match (sites_at l1, sites_at l2) with
-        | s1 :: _, s2 :: _ ->
-            let main = Rf_lang.Lang.program prog in
-            let pair = Site.Pair.make s1 s2 in
-            let o, report = Racefuzzer.Fuzzer.replay ~seed ~program:main pair in
-            List.iter
-              (fun h -> Fmt.pr "%a@." Racefuzzer.Algo.pp_hit h)
-              (Racefuzzer.Algo.hits report);
-            Fmt.pr "%a@." Rf_runtime.Outcome.pp o
-        | _ ->
-            Fmt.epr "no statement sites found on lines %d/%d of %s@." l1 l2 base;
-            exit 1)
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "narrative" ] ~doc:"Print every scheduling decision before replaying.")
+  in
+  let action file seed pair_opt verbose =
+    if is_schedule_file file then replay_schedule_action file verbose
+    else
+      match load file with
+      | Error m ->
+          Fmt.epr "%s@." m;
+          exit 1
+      | Ok prog -> (
+          let l1, l2 =
+            match pair_opt with
+            | Some p -> p
+            | None ->
+                Fmt.epr "--pair L1:L2 is required to replay an RFL file from a seed \
+                         (schedule files carry their pair)@.";
+                exit 1
+          in
+          let base = Filename.basename file in
+          (* sites are registered as statements execute: warm the registry
+             with a few throwaway runs so line lookup sees all sites *)
+          let warm = Rf_lang.Lang.program ~print:ignore prog in
+          List.iter
+            (fun s ->
+              ignore
+                (Rf_runtime.Engine.run
+                   ~config:{ Rf_runtime.Engine.default_config with seed = s }
+                   ~strategy:(Rf_runtime.Strategy.random ()) warm))
+            [ 0; 1; 2 ];
+          let sites_at l = Site.find_by_line ~file:base ~line:l in
+          match (sites_at l1, sites_at l2) with
+          | s1 :: _, s2 :: _ ->
+              let main = Rf_lang.Lang.program prog in
+              let pair = Site.Pair.make s1 s2 in
+              let o, report = Racefuzzer.Fuzzer.replay ~seed ~program:main pair in
+              List.iter
+                (fun h -> Fmt.pr "%a@." Racefuzzer.Algo.pp_hit h)
+                (Racefuzzer.Algo.hits report);
+              Fmt.pr "%a@." Rf_runtime.Outcome.pp o
+          | _ ->
+              Fmt.epr "no statement sites found on lines %d/%d of %s@." l1 l2 base;
+              exit 1)
   in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Replay one phase-2 execution from its seed (paper §2.2 replay).")
-    Term.(const action $ file_arg $ seed_arg $ pair_arg)
+       ~doc:
+         "Replay an execution: from a recorded *.sched.json schedule (step-exact, \
+          validating each decision), or from an RFL file with --seed/--pair (paper \
+          §2.2 seed replay). Exit status for schedules: 0 when the recorded error \
+          fingerprint is reproduced without divergence, 4 on divergence or \
+          fingerprint mismatch.")
+    Term.(const action $ file_arg $ seed_arg $ pair_arg $ verbose_arg)
+
+let shrink_cmd =
+  let sched_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"SCHEDULE" ~doc:"Recorded *.sched.json schedule to minimize.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the minimized schedule to $(docv) (default: SCHEDULE with a \
+                .min.sched.json suffix).")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "fuel" ] ~docv:"N" ~doc:"Maximum oracle executions spent minimizing.")
+  in
+  let action file out fuel =
+    match Rf_replay.Schedule.load file with
+    | exception Rf_replay.Schedule.Format_error m ->
+        Fmt.epr "%s: %s@." file m;
+        exit 1
+    | sched -> (
+        let meta = sched.Rf_replay.Schedule.meta in
+        match resolve_target meta.Rf_replay.Schedule.m_target with
+        | Error m ->
+            Fmt.epr "%s@." m;
+            exit 1
+        | Ok program -> (
+            match Racefuzzer.Fuzzer.minimize_schedule ~fuel ~program sched with
+            | None ->
+                Fmt.epr "cannot reproduce the schedule's error (%s) — nothing to \
+                         minimize@."
+                  (match meta.Rf_replay.Schedule.m_error with
+                  | Some e -> e
+                  | None -> "none recorded");
+                exit 4
+            | Some (minimized, stats) ->
+                let out =
+                  match out with
+                  | Some o -> o
+                  | None ->
+                      (if Filename.check_suffix file ".sched.json" then
+                         Filename.chop_suffix file ".sched.json"
+                       else file)
+                      ^ ".min.sched.json"
+                in
+                Rf_replay.Schedule.save out minimized;
+                Fmt.pr "%a@." Rf_replay.Shrinker.pp_stats stats;
+                Fmt.pr "minimized schedule: %s@." out))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimize a recorded failing schedule by delta debugging: shortest \
+          reproducing prefix, ddmin chunk deletion and context-switch coalescing, \
+          every candidate validated by re-execution. Exit status: 0 on success, 4 \
+          when the schedule's error cannot be reproduced at all.")
+    Term.(const action $ sched_arg $ out_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* deadlock                                                            *)
@@ -396,8 +547,24 @@ let campaign_cmd =
              already settled are replayed instead of re-executed, and the final \
              report is identical to an uninterrupted run's.")
   in
+  let repro_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "After the campaign, write one minimized reproduction schedule \
+             (repro-*.sched.json, with a human-readable repro-*.txt narrative) per \
+             distinct error fingerprint into $(docv); replay them with 'racefuzzer \
+             replay FILE'.")
+  in
+  let repro_fuel_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "repro-fuel" ] ~docv:"N"
+          ~doc:"Maximum oracle executions per schedule minimization.")
+  in
   let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
-      chaos_stop trial_deadline resume =
+      chaos_stop trial_deadline resume repro_dir repro_fuel =
     let program =
       match Rf_workloads.Registry.find target with
       | Some w -> Ok w.Rf_workloads.Workload.program
@@ -459,12 +626,14 @@ let campaign_cmd =
           Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
             ~phase1_seeds:(List.init p1 Fun.id)
             ~seeds_per_pair:(List.init trials Fun.id)
-            ~log ?chaos ?trial_deadline ?resume ~stop program
+            ~log ?chaos ?trial_deadline ?resume ~stop ?repro_dir ~target
+            ~repro_fuel program
         in
         Rf_campaign.Event_log.close log;
         Sys.set_signal Sys.sigint Sys.Signal_default;
         print_analysis r.Rf_campaign.Campaign.analysis;
         Fmt.pr "@.%a" Rf_report.Campaign_report.render r.Rf_campaign.Campaign.stats;
+        Fmt.pr "%a" Rf_report.Repro_report.render r.Rf_campaign.Campaign.repro;
         Fmt.pr "fingerprint: %s@."
           (Rf_campaign.Campaign.fingerprint r.Rf_campaign.Campaign.analysis);
         Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile;
@@ -491,7 +660,7 @@ let campaign_cmd =
     Term.(
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
       $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
-      $ trial_deadline_arg $ resume_arg)
+      $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)
@@ -555,8 +724,8 @@ let main_cmd =
     (Cmd.info "racefuzzer" ~version:"1.0.0"
        ~doc:"Race-directed random testing of concurrent programs (Sen, PLDI 2008).")
     [
-      run_cmd; detect_cmd; fuzz_cmd; replay_cmd; deadlock_cmd; atomicity_cmd;
-      campaign_cmd; workload_cmd; list_cmd; table1_cmd; figure2_cmd;
+      run_cmd; detect_cmd; fuzz_cmd; replay_cmd; shrink_cmd; deadlock_cmd;
+      atomicity_cmd; campaign_cmd; workload_cmd; list_cmd; table1_cmd; figure2_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,89 @@
+(* Repro tour: fuzz the paper's Figure 2 until it fails, record the
+   failing schedule, shrink it to a minimal counterexample, and replay the
+   minimized artifact — the full record/replay/shrink loop from lib/replay.
+
+   Run with:  dune exec examples/repro_tour.exe *)
+
+module Fuzzer = Racefuzzer.Fuzzer
+module Schedule = Rf_replay.Schedule
+module Replayer = Rf_replay.Replayer
+module Shrinker = Rf_replay.Shrinker
+
+let program () = Rf_workloads.Figure2.program ()
+let pair = Rf_workloads.Figure2.race_pair
+
+let () =
+  Fmt.pr "== Schedule record / shrink / replay tour (Figure 2) ==@.@.";
+
+  (* 1. Fuzz: run phase-2 trials under the race-directed strategy until
+     one ends in the ERROR. *)
+  let rec hunt seed =
+    if seed > 99 then failwith "no erroring seed in 0..99"
+    else
+      let trial, sched =
+        Fuzzer.record_trial ~target:"figure2[k=50]" ~program pair seed
+      in
+      match Schedule.error_fingerprint trial.Fuzzer.t_outcome with
+      | Some fp -> (seed, fp, sched)
+      | None -> hunt (seed + 1)
+  in
+  let seed, fp, sched = hunt 0 in
+  Fmt.pr "1. fuzz:    seed %d fails with@.            %s@." seed fp;
+
+  (* 2. Record: the schedule of that failing run — every scheduling
+     decision, keyed by (thread, op kind, statement site). *)
+  Fmt.pr "2. record:  %a@." Schedule.pp sched;
+
+  (* 3. Shrink: delta-debug the decision sequence against a replay
+     oracle; only edits that still reproduce the fingerprint survive. *)
+  let min_sched, stats =
+    match Fuzzer.minimize_schedule ~program sched with
+    | Some r -> r
+    | None -> failwith "minimization lost the error"
+  in
+  Fmt.pr "3. shrink:  %a@." Shrinker.pp_stats stats;
+
+  (* 4. Save the artifact, then replay it from disk — what
+     `racefuzzer replay foo.sched.json` does. *)
+  let file = Filename.temp_file "repro_tour" ".sched.json" in
+  Schedule.save file min_sched;
+  let reloaded = Schedule.load file in
+  let outcome, status = Fuzzer.replay_schedule ~program reloaded in
+  Fmt.pr "4. replay:  %s (divergence: %s)@."
+    (match Schedule.error_fingerprint outcome with
+    | Some fp' when Some fp' = reloaded.Schedule.meta.Schedule.m_error ->
+        "reproduced " ^ fp'
+    | Some fp' -> "DIFFERENT error " ^ fp'
+    | None -> "error NOT reproduced")
+    (match status.Replayer.divergence with
+    | None -> "none"
+    | Some d -> Fmt.str "%a" Replayer.pp_divergence d);
+  Sys.remove file;
+
+  (* The minimized counterexample, as a human-readable story. *)
+  Fmt.pr "@.minimal counterexample:@.%a@." Schedule.pp_narrative min_sched;
+  if Schedule.length min_sched = 0 then
+    Fmt.pr
+      "@.(an empty schedule is a real verdict: from this seed, plain@.\
+      \ non-preemptive execution already reaches the error — no forced@.\
+      \ preemption is needed at all)@.";
+
+  (* Contrast: Figure 1's ERROR1 needs an actual preemption — its minimal
+     schedule is non-empty and ends right at the forced switch. *)
+  let f1 () = Rf_workloads.Figure1.program () in
+  let f1_pair = Rf_workloads.Figure1.real_pair in
+  let rec hunt1 seed =
+    if seed > 99 then failwith "figure1: no erroring seed in 0..99"
+    else
+      let trial, sched = Fuzzer.record_trial ~target:"figure1" ~program:f1 f1_pair seed in
+      if Schedule.error_fingerprint trial.Fuzzer.t_outcome <> None then sched
+      else hunt1 (seed + 1)
+  in
+  let sched1 = hunt1 0 in
+  let min1, stats1 =
+    match Fuzzer.minimize_schedule ~program:f1 sched1 with
+    | Some r -> r
+    | None -> failwith "figure1: minimization lost the error"
+  in
+  Fmt.pr "@.-- contrast: Figure 1 needs a preemption --@.";
+  Fmt.pr "shrink:  %a@.%a@." Shrinker.pp_stats stats1 Schedule.pp_narrative min1

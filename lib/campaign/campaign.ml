@@ -37,9 +37,17 @@ type stats = {
   s_worker_respawns : int;
   s_worker_gave_up : int;
   s_interrupted : bool;
+  (* reproduction artifacts ([run ~repro_dir]) *)
+  s_repro_written : int;
+  s_repro_failed : int;
+  s_repro_oracle_runs : int;
 }
 
-type result = { analysis : Fuzzer.analysis; stats : stats }
+type result = {
+  analysis : Fuzzer.analysis;
+  stats : stats;
+  repro : Repro.summary;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Per-pair campaign state.
@@ -565,6 +573,9 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_worker_respawns = Atomic.get worker_respawns_n;
       s_worker_gave_up = Atomic.get worker_gave_up_n;
       s_interrupted = interrupted;
+      s_repro_written = 0;
+      s_repro_failed = 0;
+      s_repro_oracle_runs = 0;
     }
   in
   Event_log.emit log
@@ -577,7 +588,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
 let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
-    (program : Fuzzer.program) : result =
+    ?repro_dir ?(target = "") ?repro_fuel (program : Fuzzer.program) : result =
   let p1 = Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps program in
   let potential = Fuzzer.potential_pairs p1 in
   Event_log.emit log
@@ -604,7 +615,48 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
       deadlock_pairs = collect (fun r -> r.Fuzzer.deadlock_trials > 0);
     }
   in
-  ({ analysis; stats = { stats with s_phase1_wall = p1.Fuzzer.p1_wall } } : result)
+  (* Reproduction pass: sequential and after the fact, so it never
+     perturbs the deterministic trial aggregation above. *)
+  let repro =
+    match repro_dir with
+    | None -> Repro.no_summary
+    | Some dir ->
+        let summary =
+          Repro.write_all ?fuel:repro_fuel ~dir ~target ?max_steps ~program
+            results
+        in
+        List.iter
+          (fun (e : Repro.entry) ->
+            let st = e.Repro.r_stats in
+            Event_log.emit log
+              (Event_log.Repro_written
+                 {
+                   pair = Site.Pair.to_string e.Repro.r_pair;
+                   fingerprint = e.Repro.r_fingerprint;
+                   seed = e.Repro.r_seed;
+                   file = e.Repro.r_file;
+                   steps_before = st.Rf_replay.Shrinker.sh_steps_before;
+                   steps_after = st.Rf_replay.Shrinker.sh_steps_after;
+                   switches_before = st.Rf_replay.Shrinker.sh_switches_before;
+                   switches_after = st.Rf_replay.Shrinker.sh_switches_after;
+                   oracle_runs = st.Rf_replay.Shrinker.sh_oracle_runs;
+                 }))
+          summary.Repro.written;
+        summary
+  in
+  ({
+     analysis;
+     stats =
+       {
+         stats with
+         s_phase1_wall = p1.Fuzzer.p1_wall;
+         s_repro_written = List.length repro.Repro.written;
+         s_repro_failed = repro.Repro.failed;
+         s_repro_oracle_runs = repro.Repro.oracle_runs;
+       };
+     repro;
+   }
+    : result)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism fingerprint                                             *)

@@ -89,9 +89,16 @@ type stats = {
   s_worker_respawns : int;
   s_worker_gave_up : int;  (** worker slots that exhausted their respawns *)
   s_interrupted : bool;  (** the campaign was stopped before completion *)
+  s_repro_written : int;  (** minimized reproduction schedules emitted *)
+  s_repro_failed : int;  (** witnesses whose minimization failed to reproduce *)
+  s_repro_oracle_runs : int;  (** engine runs spent minimizing *)
 }
 
-type result = { analysis : Fuzzer.analysis; stats : stats }
+type result = {
+  analysis : Fuzzer.analysis;
+  stats : stats;
+  repro : Repro.summary;  (** {!Repro.no_summary} without [~repro_dir] *)
+}
 
 val fuzz_pairs :
   ?domains:int ->
@@ -137,6 +144,9 @@ val run :
   ?trial_deadline:float ->
   ?resume:string ->
   ?stop:stop_switch ->
+  ?repro_dir:string ->
+  ?target:string ->
+  ?repro_fuel:int ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -144,7 +154,15 @@ val run :
     With [~cutoff:false] (the default) and no faults, the analysis equals
     [Fuzzer.analyze ~phase1_seeds ~seeds_per_pair] exactly — see
     {!fingerprint}.  Phase 1 is deterministic and cheap, so a resumed run
-    re-executes it and replays only phase-2 trials. *)
+    re-executes it and replays only phase-2 trials.
+
+    [repro_dir] enables the {!Repro} pass: after aggregation, a
+    minimized reproduction schedule is written per distinct error
+    fingerprint (one [Repro_written] journal event each).  [target]
+    names the program inside the artifacts so [replay]/[shrink] can
+    resolve it later; [repro_fuel] bounds minimization work per artifact
+    ({!Repro.write_all}).  The pass runs sequentially after the trial
+    queue drains and never affects the analysis or its fingerprint. *)
 
 (** {1 Determinism checking} *)
 

@@ -50,6 +50,17 @@ type event =
   | Worker_respawned of { domain : int; attempt : int; backoff : float }
   | Worker_gave_up of { domain : int }
   | Campaign_interrupted of { executed : int; remaining : int }
+  | Repro_written of {
+      pair : string;
+      fingerprint : string;
+      seed : int;
+      file : string;
+      steps_before : int;
+      steps_after : int;
+      switches_before : int;
+      switches_after : int;
+      oracle_runs : int;
+    }
   | Campaign_finished of {
       wall : float;
       trials : int;
@@ -154,6 +165,30 @@ let fields_of_event = function
   | Campaign_interrupted { executed; remaining } ->
       ( "campaign_interrupted",
         [ ("executed", I executed); ("remaining", I remaining) ] )
+  | Repro_written
+      {
+        pair;
+        fingerprint;
+        seed;
+        file;
+        steps_before;
+        steps_after;
+        switches_before;
+        switches_after;
+        oracle_runs;
+      } ->
+      ( "repro_written",
+        [
+          ("pair", S pair);
+          ("fingerprint", S fingerprint);
+          ("seed", I seed);
+          ("file", S file);
+          ("steps_before", I steps_before);
+          ("steps_after", I steps_after);
+          ("switches_before", I switches_before);
+          ("switches_after", I switches_after);
+          ("oracle_runs", I oracle_runs);
+        ] )
   | Campaign_finished { wall; trials; cancelled; throughput } ->
       ( "campaign_finished",
         [
@@ -391,6 +426,29 @@ let event_of_fields fields : event option =
       let* executed = int_f fields "executed" in
       let* remaining = int_f fields "remaining" in
       Some (Campaign_interrupted { executed; remaining })
+  | Some "repro_written" ->
+      let* pair = str_f fields "pair" in
+      let* fingerprint = str_f fields "fingerprint" in
+      let* seed = int_f fields "seed" in
+      let* file = str_f fields "file" in
+      let* steps_before = int_f fields "steps_before" in
+      let* steps_after = int_f fields "steps_after" in
+      let* switches_before = int_f fields "switches_before" in
+      let* switches_after = int_f fields "switches_after" in
+      let* oracle_runs = int_f fields "oracle_runs" in
+      Some
+        (Repro_written
+           {
+             pair;
+             fingerprint;
+             seed;
+             file;
+             steps_before;
+             steps_after;
+             switches_before;
+             switches_after;
+             oracle_runs;
+           })
   | Some "campaign_finished" ->
       let* wall = float_f fields "wall" in
       let* trials = int_f fields "trials" in

@@ -78,6 +78,19 @@ type event =
       (** respawn budget exhausted; the campaign continues degraded *)
   | Campaign_interrupted of { executed : int; remaining : int }
       (** graceful stop: workers drained, journal flushed, partial report *)
+  | Repro_written of {
+      pair : string;
+      fingerprint : string;  (** error fingerprint the schedule reproduces *)
+      seed : int;  (** witness seed of the emitted schedule *)
+      file : string;  (** the [*.sched.json] path *)
+      steps_before : int;
+      steps_after : int;
+      switches_before : int;
+      switches_after : int;
+      oracle_runs : int;
+    }
+      (** a minimized reproduction schedule was written ([--repro-dir]);
+          before/after counts are the {!Rf_replay.Shrinker} measure *)
   | Campaign_finished of {
       wall : float;
       trials : int;

@@ -262,6 +262,114 @@ let replay ?postpone_timeout ?(record_trace = false)
   (outcome, report)
 
 (* ------------------------------------------------------------------ *)
+(* Schedule record / replay / shrink.
+
+   The strategies below compose the Rf_replay combinators with the
+   phase-2 building blocks: a recorded trial is run_trial with the
+   strategy wrapped in a Recorder; replay rebuilds the engine
+   configuration (seed, Sync_and policy, step budget) from the
+   schedule's own metadata so a *.sched.json file is self-contained;
+   and the shrinker's oracle is "replay leniently, re-record, compare
+   error fingerprints". *)
+
+module Schedule = Rf_replay.Schedule
+module Recorder = Rf_replay.Recorder
+module Replayer = Rf_replay.Replayer
+module Shrinker = Rf_replay.Shrinker
+
+let pair_watch pair =
+  Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
+
+let pair_policy = function
+  | Some pair -> Engine.Sync_and (pair_watch pair)
+  | None -> Engine.Every_op
+
+(* The deterministic fallback that finishes a run once a schedule is
+   exhausted (or, in Exact mode, after a divergence).  Deliberately a
+   *neutral* scheduler, not the Algo strategy the recording was made
+   under: the Algo strategy re-creates the race from the seed alone,
+   which would let the shrinker discard the entire schedule as "already
+   reproducing" — the dejafu lesson is that a minimized prefix is only
+   meaningful against a scheduler that does not steer.  Non-preemptive
+   run-until-block is the least-steering completion: the prefix must
+   contain every preemption the failure needs, and nothing else.  It is
+   deterministic and draws no randomness, so the engine-internal PRNG
+   stream stays exactly where the last replayed step restored it. *)
+let replay_fallback () = Strategy.run_until_block ()
+
+let record_trial ?(target = "") ?postpone_timeout
+    ?(max_steps = Engine.default_config.max_steps) ~(program : program)
+    (pair : Site.Pair.t) seed : trial * Schedule.t =
+  let report = Algo.fresh_report () in
+  let strategy, recorder =
+    Recorder.wrap (Algo.strategy ?postpone_timeout ~pair ~report ())
+  in
+  let outcome =
+    Engine.run
+      ~config:
+        {
+          Engine.default_config with
+          seed;
+          policy = pair_policy (Some pair);
+          max_steps;
+        }
+      ~strategy program
+  in
+  ( { t_seed = seed; t_outcome = outcome; t_report = report },
+    Recorder.schedule ~target ~pair ~seed ~max_steps ~outcome recorder )
+
+let replay_schedule ?mode ~(program : program) (sched : Schedule.t) :
+    Outcome.t * Replayer.status =
+  let strategy, status =
+    Replayer.strategy ?mode sched ~fallback:(replay_fallback ())
+  in
+  let outcome =
+    Engine.run
+      ~config:
+        {
+          Engine.default_config with
+          seed = sched.Schedule.meta.Schedule.m_seed;
+          policy = pair_policy (Schedule.pair sched);
+          max_steps = sched.Schedule.meta.Schedule.m_max_steps;
+        }
+      ~strategy program
+  in
+  (outcome, status)
+
+let schedule_oracle ~(program : program) () : Schedule.t -> Schedule.t option =
+ fun cand ->
+  match cand.Schedule.meta.Schedule.m_error with
+  | None -> None (* nothing to reproduce *)
+  | Some want ->
+      let replaying, _status =
+        Replayer.strategy ~mode:Replayer.Lenient cand
+          ~fallback:(replay_fallback ())
+      in
+      let strategy, recorder = Recorder.wrap replaying in
+      let meta = cand.Schedule.meta in
+      let outcome =
+        Engine.run
+          ~config:
+            {
+              Engine.default_config with
+              seed = meta.Schedule.m_seed;
+              policy = pair_policy (Schedule.pair cand);
+              max_steps = meta.Schedule.m_max_steps;
+            }
+          ~strategy program
+      in
+      if Schedule.error_fingerprint outcome = Some want then
+        Some
+          (Recorder.schedule ~target:meta.Schedule.m_target
+             ?pair:(Schedule.pair cand) ~seed:meta.Schedule.m_seed
+             ~max_steps:meta.Schedule.m_max_steps ~outcome recorder)
+      else None
+
+let minimize_schedule ?fuel ~(program : program) (sched : Schedule.t) :
+    (Schedule.t * Shrinker.stats) option =
+  Shrinker.minimize ?fuel ~oracle:(schedule_oracle ~program ()) sched
+
+(* ------------------------------------------------------------------ *)
 (* Whole-program analysis                                              *)
 
 type analysis = {

@@ -153,6 +153,55 @@ val replay :
   Outcome.t * Algo.report
 (** One phase-2 execution from its seed: the paper's record-free replay. *)
 
+(** {1 Schedule record / replay / shrink}
+
+    Integration of the {!Rf_replay} combinators with the phase-2
+    building blocks.  A schedule file is self-contained: replay
+    rebuilds the engine configuration (seed, [Sync_and] switch policy,
+    step budget) from its metadata. *)
+
+val record_trial :
+  ?target:string ->
+  ?postpone_timeout:int option ->
+  ?max_steps:int ->
+  program:program ->
+  Site.Pair.t ->
+  int ->
+  trial * Rf_replay.Schedule.t
+(** One phase-2 execution with the {!Algo} strategy wrapped in a
+    {!Rf_replay.Recorder}: the trial plus its recorded schedule.
+    Deterministic, and outcome-identical to {!run_trial_exn} on the
+    same (pair, seed, max_steps). *)
+
+val replay_schedule :
+  ?mode:Rf_replay.Replayer.mode ->
+  program:program ->
+  Rf_replay.Schedule.t ->
+  Outcome.t * Rf_replay.Replayer.status
+(** Re-execute a recorded schedule.  After the schedule is exhausted
+    (or after a divergence in [Exact] mode, the default) a {e neutral}
+    deterministic scheduler — non-preemptive run-until-block, never the
+    steering {!Algo} strategy — finishes the run; that is what makes a
+    minimized prefix meaningful rather than "the seed reproduces
+    anyway".  The replay
+    {e reproduces} when the outcome's
+    {!Rf_replay.Schedule.error_fingerprint} equals the schedule's and
+    the status reports no divergence. *)
+
+val schedule_oracle :
+  program:program -> unit -> Rf_replay.Schedule.t -> Rf_replay.Schedule.t option
+(** The shrinking oracle over [program]: leniently replay a candidate
+    (neutral fallback, as in {!replay_schedule}), re-record, and return
+    the exact re-recording iff the run reproduces the candidate's error
+    fingerprint. *)
+
+val minimize_schedule :
+  ?fuel:int ->
+  program:program ->
+  Rf_replay.Schedule.t ->
+  (Rf_replay.Schedule.t * Rf_replay.Shrinker.stats) option
+(** {!Rf_replay.Shrinker.minimize} against {!schedule_oracle}. *)
+
 (** {1 Whole-program analysis} *)
 
 type analysis = {

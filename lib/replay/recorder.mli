@@ -1,0 +1,37 @@
+(** Recording: turn any strategy into one that logs its decisions.
+
+    {!wrap} interposes on the {!Rf_runtime.Strategy.t} seam — the one
+    place all scheduling nondeterminism flows through — so recording
+    needs no engine changes and composes with every strategy, including
+    a {!Replayer} strategy (replay-and-re-record is how the shrinker
+    turns an edited schedule back into an exact one). *)
+
+open Rf_util
+open Rf_runtime
+
+type t
+(** An in-progress recording; grows by one step per strategy
+    consultation of the wrapped strategy. *)
+
+val wrap : Strategy.t -> Strategy.t * t
+(** [wrap inner] delegates every decision to [inner] and logs, per
+    switch point: the chosen tid, the stability key of the chosen
+    thread's pending operation, and the PRNG state after the decision
+    (see {!Rf_replay.Schedule.step}). *)
+
+val length : t -> int
+(** Decisions recorded so far. *)
+
+val schedule :
+  ?target:string ->
+  ?pair:Site.Pair.t ->
+  seed:int ->
+  ?max_steps:int ->
+  outcome:Outcome.t ->
+  t ->
+  Schedule.t
+(** Seal the recording into a schedule.  [seed], [pair] and [max_steps]
+    must be the engine configuration of the recorded run ([max_steps]
+    defaults to [Engine.default_config.max_steps], the drivers'
+    default); the outcome supplies step counts and the error
+    fingerprint. *)

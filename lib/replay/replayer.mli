@@ -1,0 +1,55 @@
+(** Replay: turn a recorded schedule back into a strategy.
+
+    The replayer re-issues the recorded tids step by step, validating
+    each decision against the live engine: the recorded thread must be
+    enabled, and its pending operation must match the recorded stability
+    key.  When the recorded thread is taken, the PRNG is restored to the
+    recorded post-decision state, so engine-internal draws (notify
+    target selection) consume exactly the stream of the original run —
+    replaying an unedited recording is bit-exact.
+
+    Divergence (a schedule that no longer matches the program, e.g.
+    after source changes or schedule edits) is handled per {!mode}:
+    validation either raises, reports and falls back, or — for the
+    shrinker's oracle runs — tolerates mismatches and keeps going. *)
+
+open Rf_runtime
+
+type mode =
+  | Strict  (** raise {!Diverged} at the first mismatch *)
+  | Exact
+      (** record the first mismatch in the status and fall back to the
+          fallback strategy for the rest of the run (default) *)
+  | Lenient
+      (** shrinking mode: a key mismatch still takes the recorded tid
+          (edits shift keys), a disabled recorded tid is skipped; only
+          schedule exhaustion falls back *)
+
+type divergence = {
+  d_step : int;  (** index of the first mismatching schedule step *)
+  d_expected_tid : int;
+  d_expected : Schedule.key;
+  d_got : string;  (** what the live engine offered instead *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type status = {
+  mutable taken : int;  (** schedule steps re-issued *)
+  mutable skipped : int;  (** schedule steps dropped (lenient mode) *)
+  mutable mismatched : int;  (** key mismatches tolerated (lenient mode) *)
+  mutable divergence : divergence option;  (** first mismatch (exact mode) *)
+  mutable fell_back : bool;  (** the fallback strategy took over *)
+}
+
+exception Diverged of divergence
+(** Raised in {!Strict} mode only. *)
+
+val strategy :
+  ?mode:mode -> Schedule.t -> fallback:Strategy.t -> Strategy.t * status
+(** [strategy sched ~fallback] — a strategy replaying [sched], plus the
+    live status to inspect after the run.  Once the schedule is
+    exhausted (every recording ends before the run does: the final
+    steps after an error, or the fallback's share of a shrunk prefix)
+    [fallback] drives the rest; a replay {e reproduces} when the run's
+    error fingerprint matches the schedule's and [divergence = None]. *)

@@ -1,0 +1,496 @@
+(** Recorded schedules: versioned, serializable scheduling-decision logs.
+    See the interface for the model; this file is mostly the JSON codec
+    (hand-rolled, like {!Rf_campaign.Event_log}: the toolchain has no JSON
+    dependency, and the format is small enough that owning it keeps the
+    version gate honest). *)
+
+open Rf_util
+open Rf_runtime
+
+let version = "rf-schedule/1"
+
+(* ------------------------------------------------------------------ *)
+(* Stability keys                                                      *)
+
+type site_key = { sk_file : string; sk_line : int; sk_col : int; sk_label : string }
+
+let site_key s =
+  {
+    sk_file = Site.file s;
+    sk_line = Site.line s;
+    sk_col = Site.col s;
+    sk_label = Site.label s;
+  }
+
+let intern_site k =
+  Site.make ~file:k.sk_file ~line:k.sk_line ~col:k.sk_col k.sk_label
+
+let pp_site_key ppf k =
+  Fmt.pf ppf "%s:%d:%d:%s" k.sk_file k.sk_line k.sk_col k.sk_label
+
+type kind =
+  | Start
+  | Pause
+  | Read
+  | Write
+  | Acquire
+  | Release
+  | Wait
+  | Reacquire
+  | Notify
+  | Notify_all
+  | Fork
+  | Join
+  | Interrupt
+  | Sleep
+
+let kind_to_string = function
+  | Start -> "start"
+  | Pause -> "pause"
+  | Read -> "read"
+  | Write -> "write"
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Wait -> "wait"
+  | Reacquire -> "reacquire"
+  | Notify -> "notify"
+  | Notify_all -> "notifyAll"
+  | Fork -> "fork"
+  | Join -> "join"
+  | Interrupt -> "interrupt"
+  | Sleep -> "sleep"
+
+let kind_of_string = function
+  | "start" -> Some Start
+  | "pause" -> Some Pause
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "acquire" -> Some Acquire
+  | "release" -> Some Release
+  | "wait" -> Some Wait
+  | "reacquire" -> Some Reacquire
+  | "notify" -> Some Notify
+  | "notifyAll" -> Some Notify_all
+  | "fork" -> Some Fork
+  | "join" -> Some Join
+  | "interrupt" -> Some Interrupt
+  | "sleep" -> Some Sleep
+  | _ -> None
+
+type key = { k_kind : kind; k_site : site_key option }
+
+let key_of_pend (p : Op.pend) : key =
+  let kind =
+    match p with
+    | Op.P_start -> Start
+    | Op.P_pause -> Pause
+    | Op.P_mem { access = Rf_events.Event.Read; _ } -> Read
+    | Op.P_mem { access = Rf_events.Event.Write; _ } -> Write
+    | Op.P_acquire _ -> Acquire
+    | Op.P_release _ -> Release
+    | Op.P_wait _ -> Wait
+    | Op.P_reacquire _ -> Reacquire
+    | Op.P_notify { all = false; _ } -> Notify
+    | Op.P_notify { all = true; _ } -> Notify_all
+    | Op.P_fork _ -> Fork
+    | Op.P_join _ -> Join
+    | Op.P_interrupt _ -> Interrupt
+    | Op.P_sleep _ -> Sleep
+  in
+  { k_kind = kind; k_site = Option.map site_key (Op.pend_site p) }
+
+let equal_key a b =
+  a.k_kind = b.k_kind
+  &&
+  match (a.k_site, b.k_site) with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let pp_key ppf k =
+  match k.k_site with
+  | None -> Fmt.string ppf (kind_to_string k.k_kind)
+  | Some s -> Fmt.pf ppf "%s @@ %a" (kind_to_string k.k_kind) pp_site_key s
+
+(* ------------------------------------------------------------------ *)
+(* Steps and schedules                                                 *)
+
+type step = { st_tid : int; st_key : key; st_rng : int64 }
+
+type meta = {
+  m_target : string;
+  m_seed : int;
+  m_pair : (site_key * site_key) option;
+  m_max_steps : int;
+  m_steps : int;
+  m_error : string option;
+}
+
+type t = { meta : meta; steps : step array }
+
+let length t = Array.length t.steps
+
+let switches t =
+  let n = Array.length t.steps in
+  let c = ref 0 in
+  for i = 1 to n - 1 do
+    if t.steps.(i).st_tid <> t.steps.(i - 1).st_tid then incr c
+  done;
+  !c
+
+let with_steps t steps = { t with steps }
+
+let pair t =
+  Option.map
+    (fun (a, b) -> Site.Pair.make (intern_site a) (intern_site b))
+    t.meta.m_pair
+
+let equal a b = a.meta = b.meta && a.steps = b.steps
+
+(* ------------------------------------------------------------------ *)
+(* Error fingerprints                                                  *)
+
+let error_fingerprint (o : Outcome.t) : string option =
+  match o.Outcome.exceptions with
+  | x :: _ ->
+      let where =
+        match x.Outcome.raised_at with
+        | Some s -> Fmt.str "%a" pp_site_key (site_key s)
+        | None -> "?"
+      in
+      Some (Fmt.str "exn:%s@%s" (Printexc.to_string x.Outcome.exn_) where)
+  | [] ->
+      if o.Outcome.deadlocked <> [] then
+        let sites =
+          o.Outcome.blocked_at
+          |> List.filter_map (fun (_, s) -> s)
+          |> List.map (fun s -> Fmt.str "%a" pp_site_key (site_key s))
+          |> List.sort compare
+        in
+        Some (Fmt.str "deadlock:%s" (String.concat ";" sites))
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec.  The writer emits one step object per line so schedules
+   diff and grep cleanly; the reader is a tiny recursive-descent parser
+   for the full JSON subset the writer uses (objects, arrays, strings,
+   ints, bools, null — no floats needed). *)
+
+exception Format_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_site_key buf k =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"label\":\"%s\"}"
+       (escape k.sk_file) k.sk_line k.sk_col (escape k.sk_label))
+
+let to_json t =
+  let buf = Buffer.create (256 + (Array.length t.steps * 64)) in
+  let m = t.meta in
+  Buffer.add_string buf (Printf.sprintf "{\"version\":\"%s\",\n" (escape version));
+  Buffer.add_string buf (Printf.sprintf " \"target\":\"%s\",\n" (escape m.m_target));
+  Buffer.add_string buf (Printf.sprintf " \"seed\":%d,\n" m.m_seed);
+  (match m.m_pair with
+  | None -> Buffer.add_string buf " \"pair\":null,\n"
+  | Some (a, b) ->
+      Buffer.add_string buf " \"pair\":[";
+      json_site_key buf a;
+      Buffer.add_char buf ',';
+      json_site_key buf b;
+      Buffer.add_string buf "],\n");
+  Buffer.add_string buf (Printf.sprintf " \"max_steps\":%d,\n" m.m_max_steps);
+  Buffer.add_string buf (Printf.sprintf " \"steps\":%d,\n" m.m_steps);
+  Buffer.add_string buf
+    (Printf.sprintf " \"error\":%s,\n"
+       (match m.m_error with
+       | Some e -> Printf.sprintf "\"%s\"" (escape e)
+       | None -> "null"));
+  Buffer.add_string buf (Printf.sprintf " \"length\":%d,\n" (Array.length t.steps));
+  Buffer.add_string buf (Printf.sprintf " \"switches\":%d,\n" (switches t));
+  Buffer.add_string buf " \"schedule\":[";
+  Array.iteri
+    (fun i st ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"tid\":%d,\"op\":\"%s\"," st.st_tid
+           (kind_to_string st.st_key.k_kind));
+      (match st.st_key.k_site with
+      | None -> Buffer.add_string buf "\"site\":null,"
+      | Some k ->
+          Buffer.add_string buf "\"site\":";
+          json_site_key buf k;
+          Buffer.add_char buf ',');
+      Buffer.add_string buf (Printf.sprintf "\"rng\":\"%Ld\"}" st.st_rng))
+    t.steps;
+  Buffer.add_string buf "\n ]}\n";
+  Buffer.contents buf
+
+(* --- parser --- *)
+
+type jv =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_string of string
+  | J_list of jv list
+  | J_obj of (string * jv) list
+
+let parse_json (s : string) : jv =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then fail "unexpected end of input" else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () <> c then fail "expected %C at offset %d" c !pos else advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+          | c -> fail "bad escape \\%C" c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> J_string (parse_string ())
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); J_obj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ()
+            | '}' -> advance ()
+            | c -> fail "expected ',' or '}', got %C" c
+          in
+          members ();
+          J_obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); J_list [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements ()
+            | ']' -> advance ()
+            | c -> fail "expected ',' or ']', got %C" c
+          in
+          elements ();
+          J_list (List.rev !items)
+        end
+    | 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then (pos := !pos + 4; J_bool true)
+        else fail "bad literal at offset %d" !pos
+    | 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then (pos := !pos + 5; J_bool false)
+        else fail "bad literal at offset %d" !pos
+    | 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then (pos := !pos + 4; J_null)
+        else fail "bad literal at offset %d" !pos
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && match s.[!pos] with '0' .. '9' | '-' | '+' -> true | _ -> false
+        do
+          advance ()
+        done;
+        let tok = String.sub s start (!pos - start) in
+        J_int (try int_of_string tok with _ -> fail "bad number %S" tok)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let obj_field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let j_int = function J_int i -> i | _ -> fail "expected int"
+let j_string = function J_string s -> s | _ -> fail "expected string"
+
+let j_site_key = function
+  | J_obj fields ->
+      {
+        sk_file = j_string (obj_field fields "file");
+        sk_line = j_int (obj_field fields "line");
+        sk_col = j_int (obj_field fields "col");
+        sk_label = j_string (obj_field fields "label");
+      }
+  | _ -> fail "expected site object"
+
+let of_json text =
+  match parse_json text with
+  | J_obj fields ->
+      let v = j_string (obj_field fields "version") in
+      if v <> version then
+        fail "schedule version %S, this reader speaks %S" v version;
+      let meta =
+        {
+          m_target = j_string (obj_field fields "target");
+          m_seed = j_int (obj_field fields "seed");
+          m_pair =
+            (match obj_field fields "pair" with
+            | J_null -> None
+            | J_list [ a; b ] -> Some (j_site_key a, j_site_key b)
+            | _ -> fail "expected pair as null or a 2-element array");
+          m_max_steps = j_int (obj_field fields "max_steps");
+          m_steps = j_int (obj_field fields "steps");
+          m_error =
+            (match obj_field fields "error" with
+            | J_null -> None
+            | J_string e -> Some e
+            | _ -> fail "expected error as string or null");
+        }
+      in
+      let steps =
+        match obj_field fields "schedule" with
+        | J_list items ->
+            List.map
+              (function
+                | J_obj f ->
+                    let op = j_string (obj_field f "op") in
+                    let kind =
+                      match kind_of_string op with
+                      | Some k -> k
+                      | None -> fail "unknown op kind %S" op
+                    in
+                    {
+                      st_tid = j_int (obj_field f "tid");
+                      st_key =
+                        {
+                          k_kind = kind;
+                          k_site =
+                            (match obj_field f "site" with
+                            | J_null -> None
+                            | site -> Some (j_site_key site));
+                        };
+                      st_rng =
+                        (let raw = j_string (obj_field f "rng") in
+                         try Int64.of_string raw
+                         with _ -> fail "bad rng state %S" raw);
+                    }
+                | _ -> fail "expected step object")
+              items
+        | _ -> fail "expected schedule array"
+      in
+      { meta; steps = Array.of_list steps }
+  | _ -> fail "expected top-level object"
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json text
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let pp ppf t =
+  Fmt.pf ppf "schedule[%s seed=%d len=%d switches=%d%a]"
+    (if t.meta.m_target = "" then "?" else t.meta.m_target)
+    t.meta.m_seed (length t) (switches t)
+    (fun ppf -> function
+      | Some e -> Fmt.pf ppf " error=%s" e
+      | None -> ())
+    t.meta.m_error
+
+let pp_narrative ppf t =
+  let m = t.meta in
+  Fmt.pf ppf "# Reproduction schedule (%s)@." version;
+  Fmt.pf ppf "target:    %s@." (if m.m_target = "" then "<unknown>" else m.m_target);
+  Fmt.pf ppf "seed:      %d@." m.m_seed;
+  (match m.m_pair with
+  | Some (a, b) -> Fmt.pf ppf "race set:  (%a, %a)@." pp_site_key a pp_site_key b
+  | None -> Fmt.pf ppf "race set:  <none — every op is a switch point>@.");
+  (match m.m_error with
+  | Some e -> Fmt.pf ppf "error:     %s@." e
+  | None -> Fmt.pf ppf "error:     <none recorded>@.");
+  Fmt.pf ppf "decisions: %d (%d context switches)@.@." (length t) (switches t);
+  Array.iteri
+    (fun i st ->
+      let switch = i > 0 && st.st_tid <> t.steps.(i - 1).st_tid in
+      Fmt.pf ppf "%4d %s t%d: %a@." i
+        (if switch then ">>" else "  ")
+        st.st_tid pp_key st.st_key)
+    t.steps

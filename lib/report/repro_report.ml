@@ -1,0 +1,33 @@
+open Rf_util
+module R = Rf_campaign.Repro
+module Shrinker = Rf_replay.Shrinker
+
+let ratio (st : Shrinker.stats) =
+  float_of_int st.Shrinker.sh_steps_before
+  /. float_of_int (max 1 st.Shrinker.sh_steps_after)
+
+let render ppf (s : R.summary) =
+  match s.R.written with
+  | [] ->
+      if s.R.failed > 0 then
+        Fmt.pf ppf "repro:    %d witness(es) failed to minimize, nothing written@."
+          s.R.failed
+  | entries ->
+      Fmt.pf ppf
+        "repro:    %d schedule(s) written (%d duplicate witness(es) folded, %d failed, %d oracle runs)@."
+        (List.length entries) s.R.duplicates s.R.failed s.R.oracle_runs;
+      Fmt.pf ppf "  %-28s %5s %14s %14s %7s %6s  %s@." "pair" "seed"
+        "steps" "switches" "ratio" "replay" "file";
+      List.iter
+        (fun (e : R.entry) ->
+          let st = e.R.r_stats in
+          Fmt.pf ppf "  %-28s %5d %6d -> %-5d %6d -> %-5d %6.1fx %6s  %s@."
+            (Site.Pair.to_string e.R.r_pair)
+            e.R.r_seed st.Shrinker.sh_steps_before st.Shrinker.sh_steps_after
+            st.Shrinker.sh_switches_before st.Shrinker.sh_switches_after
+            (ratio st)
+            (if e.R.r_replay_ok then "ok" else "FAIL")
+            (Filename.basename e.R.r_file))
+        entries
+
+let pp = render

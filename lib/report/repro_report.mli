@@ -1,0 +1,9 @@
+(** Render a campaign's reproduction-artifact summary
+    ({!Rf_campaign.Repro.summary}) as the repro table: one line per
+    distinct error fingerprint with its witness seed, shrink measure
+    (steps and context switches before → after), reduction ratio,
+    replay confirmation and artifact file.  Silent when the campaign
+    ran without [--repro-dir] and nothing failed. *)
+
+val render : Format.formatter -> Rf_campaign.Repro.summary -> unit
+val pp : Format.formatter -> Rf_campaign.Repro.summary -> unit

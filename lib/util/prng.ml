@@ -18,6 +18,7 @@ let of_int64 state = { state }
 let copy t = { state = t.state }
 
 let state t = t.state
+let set_state t s = t.state <- s
 
 let next_int64 t =
   t.state <- Int64.add t.state golden;

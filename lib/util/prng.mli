@@ -19,6 +19,12 @@ val copy : t -> t
 val state : t -> int64
 (** Current internal state, for checkpointing. *)
 
+val set_state : t -> int64 -> unit
+(** Rewind/forward the generator to a saved {!state} in place.  Schedule
+    replay ({!Rf_replay}) restores the recorded post-decision state at
+    every switch point so engine-internal draws (notify target selection)
+    consume exactly the stream the recorded run consumed. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output; advances the state. *)
 
