@@ -51,6 +51,44 @@ let load file =
   | Rf_lang.Lang.Error m -> Error m
   | Sys_error m -> Error m
 
+(* Resource-governance flags, shared by 'fuzz' and 'campaign'. *)
+
+let detector_budget_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "detector-budget" ] ~docv:"N"
+        ~doc:
+          "Cap detector analysis state at $(docv) logical entries.  Over budget, \
+           the run steps down the degradation ladder (full -> sampled -> \
+           lockset-only) and completes with explicitly degraded results instead \
+           of growing without bound.  Deterministic: same seed, same ladder \
+           level, same fingerprint, on any --domains.")
+
+let mem_budget_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "mem-budget" ] ~docv:"MB"
+        ~doc:
+          "Heap watermark in megabytes, polled at the engine's watchdog points — \
+           a physical backstop behind --detector-budget.  Crossing it degrades \
+           the run one ladder rung (and cancels the trial once at the bottom \
+           rung).  Unlike --detector-budget this is not determinism-preserving.")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Fail fast instead of degrading: the first budget trip cancels the \
+           trial (campaign phase 2) or aborts the analysis (phase 1, exit 2).")
+
+let pp_p1_degraded (a : Racefuzzer.Fuzzer.analysis) =
+  match a.Racefuzzer.Fuzzer.a_phase1.Racefuzzer.Fuzzer.p1_degraded with
+  | Some s ->
+      Fmt.pr "DEGRADED: phase 1 completed at %s precision (resource budget)@."
+        (Rf_resource.Governor.level_to_string s.Rf_resource.Governor.g_level)
+  | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
@@ -105,7 +143,7 @@ let detect_cmd =
           match detector with
           | "hybrid" -> Rf_detect.Detector.hybrid ~cap:128
           | "hb" | "happens-before" -> Rf_detect.Detector.hb_precise ~cap:128
-          | "fasttrack" -> (fun () -> Rf_detect.Detector.fasttrack ())
+          | "fasttrack" -> Rf_detect.Detector.fasttrack
           | "eraser" -> Rf_detect.Detector.eraser ~site_cap:16
           | s ->
               Fmt.epr "unknown detector %S@." s;
@@ -166,7 +204,7 @@ let fuzz_cmd =
       value & opt int 5
       & info [ "phase1-seeds" ] ~docv:"N" ~doc:"Executions observed by hybrid detection.")
   in
-  let action file p1 trials =
+  let action file p1 trials detector_budget mem_budget no_degrade =
     match load file with
     | Error m ->
         Fmt.epr "%s@." m;
@@ -177,9 +215,15 @@ let fuzz_cmd =
           Racefuzzer.Fuzzer.analyze
             ~phase1_seeds:(List.init p1 Fun.id)
             ~seeds_per_pair:(List.init trials Fun.id)
-            main
+            ?detector_budget ?mem_budget ~no_degrade main
         with
-        | a -> print_analysis a
+        | a ->
+            pp_p1_degraded a;
+            print_analysis a
+        | exception Rf_resource.Governor.Budget_stop trigger ->
+            Fmt.epr "resource budget exhausted (%s) under --no-degrade@."
+              (Rf_resource.Governor.trigger_to_string trigger);
+            exit 2
         | exception e ->
             (* The sequential driver is unsandboxed: a harness crash aborts
                the analysis.  Use 'campaign' for fault-tolerant runs. *)
@@ -188,8 +232,14 @@ let fuzz_cmd =
             exit 2)
   in
   Cmd.v
-    (Cmd.info "fuzz" ~doc:"Full two-phase RaceFuzzer analysis of an RFL program.")
-    Term.(const action $ file_arg $ p1_arg $ seeds_arg 100)
+    (Cmd.info "fuzz"
+       ~doc:
+         "Full two-phase RaceFuzzer analysis of an RFL program. With \
+          --detector-budget/--mem-budget, phase 1 runs resource-governed and \
+          degrades gracefully instead of exhausting memory.")
+    Term.(
+      const action $ file_arg $ p1_arg $ seeds_arg 100 $ detector_budget_arg
+      $ mem_budget_arg $ no_degrade_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay / shrink                                                     *)
@@ -232,8 +282,11 @@ let is_schedule_file file =
 let replay_schedule_action file verbose =
   match Rf_replay.Schedule.load file with
   | exception Rf_replay.Schedule.Format_error m ->
-      Fmt.epr "%s: %s@." file m;
-      exit 1
+      Fmt.epr "%s@." m;
+      exit 4
+  | exception Sys_error m ->
+      Fmt.epr "%s@." m;
+      exit 4
   | sched -> (
       let meta = sched.Rf_replay.Schedule.meta in
       match resolve_target meta.Rf_replay.Schedule.m_target with
@@ -322,8 +375,8 @@ let replay_cmd =
          "Replay an execution: from a recorded *.sched.json schedule (step-exact, \
           validating each decision), or from an RFL file with --seed/--pair (paper \
           §2.2 seed replay). Exit status for schedules: 0 when the recorded error \
-          fingerprint is reproduced without divergence, 4 on divergence or \
-          fingerprint mismatch.")
+          fingerprint is reproduced without divergence, 4 on divergence, \
+          fingerprint mismatch, or an unreadable/corrupt schedule file.")
     Term.(const action $ file_arg $ seed_arg $ pair_arg $ verbose_arg)
 
 let shrink_cmd =
@@ -347,8 +400,11 @@ let shrink_cmd =
   let action file out fuel =
     match Rf_replay.Schedule.load file with
     | exception Rf_replay.Schedule.Format_error m ->
-        Fmt.epr "%s: %s@." file m;
-        exit 1
+        Fmt.epr "%s@." m;
+        exit 4
+    | exception Sys_error m ->
+        Fmt.epr "%s@." m;
+        exit 4
     | sched -> (
         let meta = sched.Rf_replay.Schedule.meta in
         match resolve_target meta.Rf_replay.Schedule.m_target with
@@ -384,7 +440,8 @@ let shrink_cmd =
          "Minimize a recorded failing schedule by delta debugging: shortest \
           reproducing prefix, ddmin chunk deletion and context-switch coalescing, \
           every candidate validated by re-execution. Exit status: 0 on success, 4 \
-          when the schedule's error cannot be reproduced at all.")
+          when the schedule's error cannot be reproduced at all or the schedule \
+          file is unreadable/corrupt.")
     Term.(const action $ sched_arg $ out_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -564,7 +621,8 @@ let campaign_cmd =
           ~doc:"Maximum oracle executions per schedule minimization.")
   in
   let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
-      chaos_stop trial_deadline resume repro_dir repro_fuel =
+      chaos_stop trial_deadline resume repro_dir repro_fuel detector_budget
+      mem_budget no_degrade =
     let program =
       match Rf_workloads.Registry.find target with
       | Some w -> Ok w.Rf_workloads.Workload.program
@@ -597,7 +655,7 @@ let campaign_cmd =
         (match resume with
         | Some path when not (Sys.file_exists path) ->
             Fmt.epr "resume journal %S not found@." path;
-            exit 1
+            exit 4
         | _ -> ());
         let log =
           match logfile with
@@ -623,11 +681,22 @@ let campaign_cmd =
             (Sys.Signal_handle (fun _ -> Rf_campaign.Campaign.request_stop stop))
         in
         let r =
-          Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
-            ~phase1_seeds:(List.init p1 Fun.id)
-            ~seeds_per_pair:(List.init trials Fun.id)
-            ~log ?chaos ?trial_deadline ?resume ~stop ?repro_dir ~target
-            ~repro_fuel program
+          try
+            Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
+              ~phase1_seeds:(List.init p1 Fun.id)
+              ~seeds_per_pair:(List.init trials Fun.id)
+              ~log ?chaos ?trial_deadline ?resume ~stop ?detector_budget
+              ?mem_budget ~no_degrade ?repro_dir ~target ~repro_fuel program
+          with
+          | Rf_resource.Governor.Budget_stop trigger ->
+              Rf_campaign.Event_log.close log;
+              Fmt.epr "resource budget exhausted in phase 1 (%s) under --no-degrade@."
+                (Rf_resource.Governor.trigger_to_string trigger);
+              exit 2
+          | Sys_error m ->
+              Rf_campaign.Event_log.close log;
+              Fmt.epr "cannot load campaign artifact: %s@." m;
+              exit 4
         in
         Rf_campaign.Event_log.close log;
         Sys.set_signal Sys.sigint Sys.Signal_default;
@@ -654,13 +723,17 @@ let campaign_cmd =
        ~doc:
          "Parallel whole-program campaign: schedule all (pair, seed) trials across a \
           domain pool with deterministic aggregation, early cutoff, sandboxed \
-          trials, supervised workers and checkpoint/resume. Exit status: 0 clean, \
-          3 when trials crashed the harness or pairs were quarantined, 130 when \
-          interrupted (SIGINT or --chaos-stop-after).")
+          trials, supervised workers, resource governance \
+          (--detector-budget/--mem-budget) and checkpoint/resume. Exit status: 0 \
+          clean, 2 when phase 1 exhausted its resource budget under --no-degrade, \
+          3 when trials crashed the harness or pairs were quarantined, 4 when a \
+          resume journal or artifact cannot be loaded, 130 when interrupted \
+          (SIGINT or --chaos-stop-after).")
     Term.(
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
       $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
-      $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg)
+      $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg
+      $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)

@@ -3,6 +3,7 @@ module Fuzzer = Racefuzzer.Fuzzer
 module Algo = Racefuzzer.Algo
 module Outcome = Rf_runtime.Outcome
 module Engine = Rf_runtime.Engine
+module Governor = Rf_resource.Governor
 
 (* ------------------------------------------------------------------ *)
 (* Cooperative stop switch.  An atomic flag so it is safe to flip from a
@@ -37,6 +38,10 @@ type stats = {
   s_worker_respawns : int;
   s_worker_gave_up : int;
   s_interrupted : bool;
+  (* resource governance *)
+  s_degraded : int;
+  s_p1_level : string option;
+  s_resume_skipped : int;
   (* reproduction artifacts ([run ~repro_dir]) *)
   s_repro_written : int;
   s_repro_failed : int;
@@ -133,23 +138,56 @@ type replayed =
       r_switches : int;
       r_exns : int;
       r_wall : float;
+      r_degraded : Governor.snapshot option;
     }
   | R_crashed of { r_exn : string }
   | R_exhausted of { r_reason : string; r_steps : int; r_wall : float }
 
+(* Rebuild the journaled degradation summary.  Only the fields that feed
+   the fingerprint and the report (level, trigger, evicted) are
+   journaled; the run-local counters (trips, entries, peak) are not, and
+   replayed trials never read them. *)
+let snapshot_of_record ~degraded ~level ~trigger ~evicted =
+  if not degraded then None
+  else
+    Some
+      {
+        Governor.g_level =
+          Option.value ~default:Governor.Sampled (Governor.level_of_string level);
+        g_trigger = Governor.trigger_of_string trigger;
+        g_trips = 1;
+        g_entries = 0;
+        g_peak = 0;
+        g_evicted = evicted;
+      }
+
 let load_resume path =
   let tbl = Hashtbl.create 512 in
-  let events = Event_log.load path in
+  let events, skipped = Event_log.load_result path in
   let resumable =
     match events with
     | Event_log.Journal_opened { schema } :: _ -> schema = Event_log.schema_version
-    | _ -> false  (* v1 journal: observability only, re-run everything *)
+    | _ -> false  (* old journal: observability only, re-run everything *)
   in
   if resumable then
     List.iter
       (function
         | Event_log.Trial_finished
-            { pair; seed; race; deadlock; steps; switches; exns; wall; _ } ->
+            {
+              pair;
+              seed;
+              race;
+              deadlock;
+              steps;
+              switches;
+              exns;
+              wall;
+              degraded;
+              level;
+              trigger;
+              evicted;
+              _;
+            } ->
             Hashtbl.replace tbl (pair, seed)
               (R_finished
                  {
@@ -159,6 +197,8 @@ let load_resume path =
                    r_switches = switches;
                    r_exns = exns;
                    r_wall = wall;
+                   r_degraded =
+                     snapshot_of_record ~degraded ~level ~trigger ~evicted;
                  })
         | Event_log.Trial_crashed { pair; seed; exn_; _ } ->
             Hashtbl.replace tbl (pair, seed) (R_crashed { r_exn = exn_ })
@@ -167,18 +207,21 @@ let load_resume path =
               (R_exhausted { r_reason = reason; r_steps = steps; r_wall = wall })
         | _ -> ())
       events;
-  tbl
+  (tbl, skipped)
 
 let reason_string = function
   | Outcome.Wall_deadline -> "wall deadline"
   | Outcome.Step_deadline -> "step deadline"
+  | Outcome.Heap_watermark -> "heap watermark"
+  | Outcome.Detector_budget -> "detector budget"
 
 (* ------------------------------------------------------------------ *)
 
 let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
     ?budget ?postpone_timeout ?(max_steps = Engine.default_config.max_steps)
     ?(log = Event_log.null ()) ?(supervision = Supervisor.default_policy) ?chaos
-    ?trial_deadline ?resume ?stop ~(program : Fuzzer.program)
+    ?trial_deadline ?resume ?stop ?detector_budget ?mem_budget
+    ?(no_degrade = false) ~(program : Fuzzer.program)
     (pairs : Site.Pair.t list) : Fuzzer.pair_result list * stats =
   let t0 = Unix.gettimeofday () in
   let npairs = List.length pairs in
@@ -193,17 +236,44 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
   in
   let stop = match stop with Some s -> s | None -> stop_switch () in
   let qn = supervision.Supervisor.quarantine_crashes in
-  let resume_tbl =
-    match resume with Some path -> load_resume path | None -> Hashtbl.create 1
+  let resume_tbl, resume_skipped =
+    match resume with
+    | Some path -> load_resume path
+    | None -> (Hashtbl.create 1, 0)
   in
   let chaos_state = Option.map (fun plan -> (plan, Chaos.state ())) chaos in
-  let deadline =
-    let wall =
-      match trial_deadline with
-      | Some _ as w -> w
-      | None -> Option.bind chaos (fun c -> c.Chaos.c_trial_deadline)
-    in
-    Option.map (fun w -> Engine.deadline ~wall:w ()) wall
+  let trial_wall =
+    match trial_deadline with
+    | Some _ as w -> w
+    | None -> Option.bind chaos (fun c -> c.Chaos.c_trial_deadline)
+  in
+  (* Per-trial governor: fresh state for each trial keeps degradation a
+     pure function of (pair, seed), never of which domain ran what
+     before.  A governor exists only when some budget (or a deterministic
+     chaos trip) is in play; otherwise trials run exactly as before. *)
+  let governor_for ~tripped =
+    if detector_budget = None && mem_budget = None && not tripped then None
+    else Some (Governor.create ?max_entries:detector_budget ~no_degrade ())
+  in
+  (* The heap watermark is a physical backstop: when it fires we first
+     ride the ladder down (absorb the trip, keep going lighter), and only
+     cancel the trial once the bottom rung is reached.  Without a
+     governor there is no ladder, so the watermark cancels directly. *)
+  let heap_hook governor =
+    Option.map
+      (fun g () ->
+        if Governor.level g = Governor.Lockset_only then false
+        else begin
+          Governor.trip g Governor.Heap_watermark;
+          true
+        end)
+      governor
+  in
+  let make_deadline governor =
+    match (trial_wall, mem_budget) with
+    | None, None -> None
+    | wall, heap_mb ->
+        Some (Engine.deadline ?wall ?heap_mb ?heap_hook:(heap_hook governor) ())
   in
   Event_log.emit log
     (Event_log.Campaign_started { domains; base_trials = nbase; budget; cutoff });
@@ -248,6 +318,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
   let domain_busy = Array.make ndomains 0.0 in
   let executed_n = Atomic.make 0 in
   let replayed_n = Atomic.make 0 in
+  let degraded_n = Atomic.make 0 in
   let crashes_n = Atomic.make 0 in
   let worker_crashes_n = Atomic.make 0 in
   let worker_respawns_n = Atomic.make 0 in
@@ -270,6 +341,8 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
           if error && idx < ps.ps_first_error then ps.ps_first_error <- idx;
           match (before, resolution ps) with None, Some k -> Some k | _ -> None)
     in
+    let dg = tr.Fuzzer.t_degraded in
+    if dg <> None then Atomic.incr degraded_n;
     Event_log.emit log
       (Event_log.Trial_finished
          {
@@ -283,6 +356,18 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
            switches = o.Outcome.switches;
            exns = List.length o.Outcome.exceptions;
            wall = o.Outcome.wall_time;
+           degraded = dg <> None;
+           level =
+             (match dg with
+             | Some s -> Governor.level_to_string s.Governor.g_level
+             | None -> "full");
+           trigger =
+             (match dg with
+             | Some { Governor.g_trigger = Some tg; _ } ->
+                 Governor.trigger_to_string tg
+             | _ -> "");
+           evicted =
+             (match dg with Some s -> s.Governor.g_evicted | None -> 0);
          });
     Option.iter
       (fun k ->
@@ -335,7 +420,8 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       | Some (R_finished r) ->
           Atomic.incr replayed_n;
           let tr =
-            Fuzzer.trial_of_record ~pair:ps.ps_pair ~seed ~race:r.r_race
+            Fuzzer.trial_of_record ~degraded:r.r_degraded ~pair:ps.ps_pair ~seed
+              ~race:r.r_race
               ~exns:r.r_exns ~deadlock:r.r_deadlock ~steps:r.r_steps
               ~switches:r.r_switches ~wall:r.r_wall
           in
@@ -349,15 +435,33 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       | None ->
           Event_log.emit log
             (Event_log.Trial_started { pair = ps.ps_label; seed; domain = d });
-          let inject =
+          let tripped =
+            match chaos with
+            | Some plan -> Chaos.trips_budget plan ~label:ps.ps_label ~seed
+            | None -> false
+          in
+          let governor = governor_for ~tripped in
+          let deadline = make_deadline governor in
+          let chaos_inject =
             match chaos with
             | Some plan -> Chaos.inject plan ~label:ps.ps_label ~seed
             | None -> ignore
           in
+          (* The injected trip runs inside the sandbox so that, under
+             [no_degrade], the resulting [Budget_stop] is converted to a
+             Budget_exhausted result rather than killing the worker. *)
+          let inject =
+            match governor with
+            | Some g when tripped ->
+                fun () ->
+                  chaos_inject ();
+                  Governor.trip g Governor.Injected
+            | _ -> chaos_inject
+          in
           let w0 = Unix.gettimeofday () in
           let res =
-            Fuzzer.run_trial ?postpone_timeout ?deadline ~inject ~max_steps
-              ~program ps.ps_pair seed
+            Fuzzer.run_trial ?postpone_timeout ?deadline ?governor ~inject
+              ~max_steps ~program ps.ps_pair seed
           in
           let wall = Unix.gettimeofday () -. w0 in
           domain_trials.(d) <- domain_trials.(d) + 1;
@@ -573,6 +677,9 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_worker_respawns = Atomic.get worker_respawns_n;
       s_worker_gave_up = Atomic.get worker_gave_up_n;
       s_interrupted = interrupted;
+      s_degraded = Atomic.get degraded_n;
+      s_p1_level = None;
+      s_resume_skipped = resume_skipped;
       s_repro_written = 0;
       s_repro_failed = 0;
       s_repro_oracle_runs = 0;
@@ -588,17 +695,56 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
 let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
-    ?repro_dir ?(target = "") ?repro_fuel (program : Fuzzer.program) : result =
-  let p1 = Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps program in
+    ?detector_budget ?mem_budget ?(no_degrade = false) ?repro_dir ?(target = "")
+    ?repro_fuel (program : Fuzzer.program) : result =
+  (* Phase 1 is where detector state lives (phase-2 trials attach no
+     detector), so this is where the entry budget really bites.  The
+     governor is shared across the phase-1 seeds: detection precision is
+     a whole-phase property, and the entry budget is a cap on detector
+     state, which persists across seeds. *)
+  let p1_gov =
+    if detector_budget = None && mem_budget = None then None
+    else Some (Governor.create ?max_entries:detector_budget ~no_degrade ())
+  in
+  let p1_deadline =
+    Option.map
+      (fun mb ->
+        let heap_hook =
+          Option.map
+            (fun g () ->
+              if Governor.level g = Governor.Lockset_only then false
+              else begin
+                Governor.trip g Governor.Heap_watermark;
+                true
+              end)
+            p1_gov
+        in
+        Engine.deadline ~heap_mb:mb ?heap_hook ())
+      mem_budget
+  in
+  let p1 =
+    Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
+      ?governor:p1_gov program
+  in
+  let p1_level =
+    Option.map
+      (fun s -> Governor.level_to_string s.Governor.g_level)
+      p1.Fuzzer.p1_degraded
+  in
   let potential = Fuzzer.potential_pairs p1 in
   Event_log.emit log
     (Event_log.Phase1_finished
-       { potential = Site.Pair.Set.cardinal potential; wall = p1.Fuzzer.p1_wall });
+       {
+         potential = Site.Pair.Set.cardinal potential;
+         wall = p1.Fuzzer.p1_wall;
+         degraded = p1_level <> None;
+         level = Option.value ~default:"full" p1_level;
+       });
   let pairs = Site.Pair.Set.elements potential in
   let results, stats =
     fuzz_pairs ~domains ~seeds:seeds_per_pair ~cutoff ?budget ?postpone_timeout
-      ?max_steps ~log ?supervision ?chaos ?trial_deadline ?resume ?stop ~program
-      pairs
+      ?max_steps ~log ?supervision ?chaos ?trial_deadline ?resume ?stop
+      ?detector_budget ?mem_budget ~no_degrade ~program pairs
   in
   let collect p =
     List.fold_left
@@ -650,6 +796,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
        {
          stats with
          s_phase1_wall = p1.Fuzzer.p1_wall;
+         s_p1_level = p1_level;
          s_repro_written = List.length repro.Repro.written;
          s_repro_failed = repro.Repro.failed;
          s_repro_oracle_runs = repro.Repro.oracle_runs;
@@ -670,6 +817,16 @@ let fingerprint (a : Fuzzer.analysis) : string =
     add "\n"
   in
   add_pair_set "potential" (Fuzzer.potential_pairs a.Fuzzer.a_phase1);
+  (* Degradation is part of the verdict: a degraded run must fingerprint
+     identically to the same degraded run elsewhere, and differently from
+     a full-precision run.  Non-degraded runs add no bytes here, so their
+     fingerprints are unchanged from earlier schema. *)
+  (match a.Fuzzer.a_phase1.Fuzzer.p1_degraded with
+  | Some s ->
+      add "p1-degraded:%s ev=%d\n"
+        (Governor.level_to_string s.Governor.g_level)
+        s.Governor.g_evicted
+  | None -> ());
   List.iter
     (fun (r : Fuzzer.pair_result) ->
       add "pair %s race=%d err=%d dead=%d n=%d p=%.17g rs=%s es=%s\n"
@@ -682,10 +839,16 @@ let fingerprint (a : Fuzzer.analysis) : string =
       List.iter
         (fun (t : Fuzzer.trial) ->
           let o = t.Fuzzer.t_outcome in
-          add "  t%d race=%b exn=%d dead=%b steps=%d sw=%d\n" t.Fuzzer.t_seed
+          add "  t%d race=%b exn=%d dead=%b steps=%d sw=%d%s\n" t.Fuzzer.t_seed
             (Algo.race_created t.Fuzzer.t_report)
             (List.length o.Outcome.exceptions)
-            (Outcome.deadlocked o) o.Outcome.steps o.Outcome.switches)
+            (Outcome.deadlocked o) o.Outcome.steps o.Outcome.switches
+            (match t.Fuzzer.t_degraded with
+            | Some s ->
+                Printf.sprintf " degraded=%s ev=%d"
+                  (Governor.level_to_string s.Governor.g_level)
+                  s.Governor.g_evicted
+            | None -> ""))
         r.Fuzzer.trials)
     a.Fuzzer.results;
   add_pair_set "real" a.Fuzzer.real_pairs;

@@ -89,6 +89,13 @@ type stats = {
   s_worker_respawns : int;
   s_worker_gave_up : int;  (** worker slots that exhausted their respawns *)
   s_interrupted : bool;  (** the campaign was stopped before completion *)
+  s_degraded : int;
+      (** trials that completed under a tripped resource governor
+          (degraded precision, explicitly labeled) *)
+  s_p1_level : string option;
+      (** phase-1 final ladder level when phase 1 degraded ({!run} only) *)
+  s_resume_skipped : int;
+      (** checksum-bad journal lines skipped while loading [~resume] *)
   s_repro_written : int;  (** minimized reproduction schedules emitted *)
   s_repro_failed : int;  (** witnesses whose minimization failed to reproduce *)
   s_repro_oracle_runs : int;  (** engine runs spent minimizing *)
@@ -113,6 +120,9 @@ val fuzz_pairs :
   ?trial_deadline:float ->
   ?resume:string ->
   ?stop:stop_switch ->
+  ?detector_budget:int ->
+  ?mem_budget:float ->
+  ?no_degrade:bool ->
   program:Fuzzer.program ->
   Site.Pair.t list ->
   Fuzzer.pair_result list * stats
@@ -127,8 +137,20 @@ val fuzz_pairs :
     injects deterministic faults ({!Chaos}).  [trial_deadline] attaches a
     wall-clock watchdog to every trial (seconds; chaos plans can also
     carry one).  [resume] replays the [Trial_*] records of an existing
-    journal instead of re-executing those trials.  [stop] is polled by
-    workers and the wave loop for graceful interruption. *)
+    journal instead of re-executing those trials; checksum-bad journal
+    lines are skipped and counted in [s_resume_skipped].  [stop] is
+    polled by workers and the wave loop for graceful interruption.
+
+    [detector_budget] caps logical detector-state entries per trial;
+    [mem_budget] (MB) arms the heap-watermark backstop at the engine's
+    watchdog poll points.  Either gives each trial a fresh
+    {!Rf_resource.Governor.t}: on a trip the trial degrades down the
+    ladder and completes with [s_degraded]-counted, journal-labeled
+    results; with [~no_degrade:true] it is cancelled instead (a
+    [Trial_exhausted] record).  Degradation from the entry budget or from
+    chaos budget trips is a pure function of (pair, seed), preserving
+    cross-domain and resume determinism; the heap watermark is a
+    physical backstop and is documented as not determinism-preserving. *)
 
 val run :
   ?domains:int ->
@@ -144,6 +166,9 @@ val run :
   ?trial_deadline:float ->
   ?resume:string ->
   ?stop:stop_switch ->
+  ?detector_budget:int ->
+  ?mem_budget:float ->
+  ?no_degrade:bool ->
   ?repro_dir:string ->
   ?target:string ->
   ?repro_fuel:int ->
@@ -162,7 +187,15 @@ val run :
     names the program inside the artifacts so [replay]/[shrink] can
     resolve it later; [repro_fuel] bounds minimization work per artifact
     ({!Repro.write_all}).  The pass runs sequentially after the trial
-    queue drains and never affects the analysis or its fingerprint. *)
+    queue drains and never affects the analysis or its fingerprint.
+
+    [detector_budget]/[mem_budget]/[no_degrade] govern resources as in
+    {!fuzz_pairs}; in addition phase 1 — where the detector (and hence
+    the OOM risk) actually lives — runs under a governor shared across
+    the phase-1 seeds, and its final ladder level is reported in
+    [s_p1_level] and the [Phase1_finished] journal record.  Under
+    [~no_degrade:true] a phase-1 budget trip raises
+    {!Rf_resource.Governor.Budget_stop} out of [run]. *)
 
 (** {1 Determinism checking} *)
 
@@ -170,8 +203,12 @@ val fingerprint : Fuzzer.analysis -> string
 (** Digest of every deterministic field of an analysis: potential pairs,
     per-pair trial outcomes (seed, race, exceptions, deadlock, steps,
     switches), aggregate counts, seeds and verdict sets — everything
-    except wall-clock times.  Two analyses of the same program with the
-    same seed lists fingerprint identically iff they agree. *)
+    except wall-clock times.  Degradation is part of the verdict: a
+    degraded trial (or degraded phase 1) adds its ladder level and
+    eviction count, while non-degraded analyses fingerprint exactly as
+    they did before resource governance existed.  Two analyses of the
+    same program with the same seed lists fingerprint identically iff
+    they agree. *)
 
 val equal_verdicts : Fuzzer.analysis -> Fuzzer.analysis -> bool
 (** [fingerprint a = fingerprint b]. *)

@@ -19,6 +19,7 @@ type plan = {
   c_crash_rate : float;
   c_stall_rate : float;
   c_stall_seconds : float;
+  c_budget_rate : float;
   c_trial_deadline : float option;
   c_death_every : int option;
   c_max_deaths : int;
@@ -26,12 +27,14 @@ type plan = {
 }
 
 let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
-    ?trial_deadline ?death_every ?(max_deaths = 2) ?stop_after seed =
+    ?(budget_rate = 0.0) ?trial_deadline ?death_every ?(max_deaths = 2)
+    ?stop_after seed =
   {
     c_seed = seed;
     c_crash_rate = crash_rate;
     c_stall_rate = stall_rate;
     c_stall_seconds = stall_seconds;
+    c_budget_rate = budget_rate;
     c_trial_deadline = trial_deadline;
     c_death_every = (match death_every with Some n when n <= 0 -> None | d -> d);
     c_max_deaths = max_deaths;
@@ -39,7 +42,7 @@ let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
   }
 
 let default seed =
-  plan ~crash_rate:0.08 ~stall_rate:0.04 ~stall_seconds:0.05
+  plan ~crash_rate:0.08 ~stall_rate:0.04 ~stall_seconds:0.05 ~budget_rate:0.05
     ~trial_deadline:2.0 ~death_every:25 seed
 
 exception Injected_crash of string
@@ -73,6 +76,14 @@ let crashes plan ~label ~seed =
 let stalls plan ~label ~seed =
   plan.c_stall_rate > 0.0
   && unit_float (hash plan ~salt:0x2 ~label ~seed) < plan.c_stall_rate
+
+(* Budget trips share the crash/stall determinism contract: whether a
+   trial's governor is forced down the degradation ladder is a pure
+   function of (chaos seed, pair label, trial seed), so kill/resume and
+   cross-domain fingerprints cover degraded trials reproducibly. *)
+let trips_budget plan ~label ~seed =
+  plan.c_budget_rate > 0.0
+  && unit_float (hash plan ~salt:0x3 ~label ~seed) < plan.c_budget_rate
 
 let inject plan ~label ~seed () =
   if stalls plan ~label ~seed then Unix.sleepf plan.c_stall_seconds;

@@ -16,6 +16,9 @@ type plan = {
   c_crash_rate : float;  (** probability a trial raises {!Injected_crash} *)
   c_stall_rate : float;  (** probability a trial sleeps before starting *)
   c_stall_seconds : float;
+  c_budget_rate : float;
+      (** probability a trial's resource governor is tripped down one
+          degradation rung at start ({!trips_budget}) *)
   c_trial_deadline : float option;
       (** per-trial wall watchdog to apply campaign-wide, so stalls are
           cancelled rather than waited out *)
@@ -30,6 +33,7 @@ val plan :
   ?crash_rate:float ->
   ?stall_rate:float ->
   ?stall_seconds:float ->
+  ?budget_rate:float ->
   ?trial_deadline:float ->
   ?death_every:int ->
   ?max_deaths:int ->
@@ -39,8 +43,8 @@ val plan :
 (** [plan seed] with everything off by default; enable faults explicitly. *)
 
 val default : int -> plan
-(** The [--chaos] preset: 8% crashes, 4% stalls, a 2s trial deadline, a
-    worker death every 25 pops (max 2). *)
+(** The [--chaos] preset: 8% crashes, 4% stalls, 5% budget trips, a 2s
+    trial deadline, a worker death every 25 pops (max 2). *)
 
 exception Injected_crash of string
 (** Raised inside the trial sandbox; surfaces as
@@ -52,6 +56,12 @@ exception Injected_death
 
 val crashes : plan -> label:string -> seed:int -> bool
 val stalls : plan -> label:string -> seed:int -> bool
+
+val trips_budget : plan -> label:string -> seed:int -> bool
+(** Whether this trial's governor is forced one rung down the degradation
+    ladder before the engine starts — deterministic per (plan, label,
+    seed), so degraded trials land identically across domain counts and
+    kill/resume boundaries. *)
 
 val inject : plan -> label:string -> seed:int -> unit -> unit
 (** The [?inject] hook for [Fuzzer.run_trial]: sleep if the trial stalls,

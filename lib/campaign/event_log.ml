@@ -1,8 +1,9 @@
-(* Journal schema v2: v1 (PR 1) had no header and a Trial_finished without
-   the steps/switches/exns fields the resume path replays.  The reader
-   skips records it cannot parse, so a v1 journal degrades to "nothing to
+(* Journal schema v3: v1 (PR 1) had no header and a Trial_finished without
+   the steps/switches/exns fields the resume path replays; v2 (PR 3) had
+   no degradation fields and no per-line checksum.  The reader skips
+   records it cannot parse, so an old journal degrades to "nothing to
    resume" instead of failing. *)
-let schema_version = 2
+let schema_version = 3
 
 type event =
   | Journal_opened of { schema : int }
@@ -12,7 +13,12 @@ type event =
       budget : int option;
       cutoff : bool;
     }
-  | Phase1_finished of { potential : int; wall : float }
+  | Phase1_finished of {
+      potential : int;
+      wall : float;
+      degraded : bool;
+      level : string;
+    }
   | Wave_started of { wave : int; tasks : int }
   | Trial_started of { pair : string; seed : int; domain : int }
   | Trial_finished of {
@@ -26,6 +32,10 @@ type event =
       switches : int;
       exns : int;
       wall : float;
+      degraded : bool;
+      level : string;
+      trigger : string;
+      evicted : int;
     }
   | Trial_crashed of {
       pair : string;
@@ -106,14 +116,35 @@ let fields_of_event = function
           ("budget", (match budget with Some b -> I b | None -> Null));
           ("cutoff", B cutoff);
         ] )
-  | Phase1_finished { potential; wall } ->
-      ("phase1_finished", [ ("potential", I potential); ("wall", F wall) ])
+  | Phase1_finished { potential; wall; degraded; level } ->
+      ( "phase1_finished",
+        [
+          ("potential", I potential);
+          ("wall", F wall);
+          ("degraded", B degraded);
+          ("level", S level);
+        ] )
   | Wave_started { wave; tasks } ->
       ("wave_started", [ ("wave", I wave); ("tasks", I tasks) ])
   | Trial_started { pair; seed; domain } ->
       ("trial_started", [ ("pair", S pair); ("seed", I seed); ("domain", I domain) ])
-  | Trial_finished { pair; seed; domain; race; error; deadlock; steps; switches; exns; wall }
-    ->
+  | Trial_finished
+      {
+        pair;
+        seed;
+        domain;
+        race;
+        error;
+        deadlock;
+        steps;
+        switches;
+        exns;
+        wall;
+        degraded;
+        level;
+        trigger;
+        evicted;
+      } ->
       ( "trial_finished",
         [
           ("pair", S pair);
@@ -126,6 +157,10 @@ let fields_of_event = function
           ("switches", I switches);
           ("exns", I exns);
           ("wall", F wall);
+          ("degraded", B degraded);
+          ("level", S level);
+          ("trigger", S trigger);
+          ("evicted", I evicted);
         ] )
   | Trial_crashed { pair; seed; domain; exn_; backtrace } ->
       ( "trial_crashed",
@@ -353,7 +388,10 @@ let event_of_fields fields : event option =
   | Some "phase1_finished" ->
       let* potential = int_f fields "potential" in
       let* wall = float_f fields "wall" in
-      Some (Phase1_finished { potential; wall })
+      (* degradation fields arrived in v3; default for older journals *)
+      let degraded = Option.value ~default:false (bool_f fields "degraded") in
+      let level = Option.value ~default:"full" (str_f fields "level") in
+      Some (Phase1_finished { potential; wall; degraded; level })
   | Some "wave_started" ->
       let* wave = int_f fields "wave" in
       let* tasks = int_f fields "tasks" in
@@ -374,9 +412,28 @@ let event_of_fields fields : event option =
       let* switches = int_f fields "switches" in
       let* exns = int_f fields "exns" in
       let* wall = float_f fields "wall" in
+      let degraded = Option.value ~default:false (bool_f fields "degraded") in
+      let level = Option.value ~default:"full" (str_f fields "level") in
+      let trigger = Option.value ~default:"" (str_f fields "trigger") in
+      let evicted = Option.value ~default:0 (int_f fields "evicted") in
       Some
         (Trial_finished
-           { pair; seed; domain; race; error; deadlock; steps; switches; exns; wall })
+           {
+             pair;
+             seed;
+             domain;
+             race;
+             error;
+             deadlock;
+             steps;
+             switches;
+             exns;
+             wall;
+             degraded;
+             level;
+             trigger;
+             evicted;
+           })
   | Some "trial_crashed" ->
       let* pair = str_f fields "pair" in
       let* seed = int_f fields "seed" in
@@ -462,9 +519,52 @@ let event_of_json line =
   | fields -> event_of_fields fields
   | exception Parse_error -> None
 
-let load path =
+(* ------------------------------------------------------------------ *)
+(* Per-line checksums.
+
+   Each journal line is sealed with an FNV-1a-64 hex digest of the line
+   as rendered *without* the checksum, appended as a final "crc" field.
+   Detects the silent-corruption cases a torn-tail check cannot: a
+   partially overwritten middle line, filesystem bit rot, a hand-edited
+   journal.  Unsealed lines (v2 and earlier journals) verify as absent,
+   not bad, so old journals still load as observability streams. *)
+
+let fnv_hex s =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
+  Printf.sprintf "%016x" (!h land max_int)
+
+let crc_marker = ",\"crc\":\""
+(* marker + 16 hex digits + closing quote and brace *)
+let crc_suffix_len = String.length crc_marker + 16 + 2
+
+let seal line =
+  let n = String.length line in
+  if n = 0 || line.[n - 1] <> '}' then line
+  else
+    String.sub line 0 (n - 1) ^ crc_marker ^ fnv_hex line ^ "\"}"
+
+type seal_status = Sealed_ok | Sealed_bad | Unsealed
+
+let check_seal line =
+  let n = String.length line in
+  if n < crc_suffix_len + 2 then Unsealed
+  else if
+    String.sub line (n - crc_suffix_len) (String.length crc_marker)
+    <> crc_marker
+    || line.[n - 1] <> '}'
+    || line.[n - 2] <> '"'
+  then Unsealed
+  else
+    let crc = String.sub line (n - 18) 16 in
+    let original = String.sub line 0 (n - crc_suffix_len) ^ "}" in
+    if fnv_hex original = crc then Sealed_ok else Sealed_bad
+
+let load_result path =
   let ic = open_in path in
   let events = ref [] in
+  let skipped = ref 0 in
   (try
      let torn = ref false in
      while not !torn do
@@ -474,19 +574,27 @@ let load path =
           whole object ends the useful journal prefix *)
        if String.length line = 0 then ()
        else
-         match event_of_json line with
-         | Some ev -> events := ev :: !events
-         | None ->
-             if
-               String.length line < 2
-               || line.[0] <> '{'
-               || line.[String.length line - 1] <> '}'
-             then torn := true
-             (* else: well-formed object of an unknown/newer event — skip *)
+         match check_seal line with
+         | Sealed_bad ->
+             (* checksum mismatch: corrupted in place, not torn — skip
+                the record, keep reading, and let the caller warn *)
+             incr skipped
+         | Sealed_ok | Unsealed -> (
+             match event_of_json line with
+             | Some ev -> events := ev :: !events
+             | None ->
+                 if
+                   String.length line < 2
+                   || line.[0] <> '{'
+                   || line.[String.length line - 1] <> '}'
+                 then torn := true
+                 (* else: well-formed object of an unknown/newer event — skip *))
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !events
+  (List.rev !events, !skipped)
+
+let load path = fst (load_result path)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -532,7 +640,9 @@ let emit t ev =
       Mutex.protect t.mutex (fun () ->
           if not t.closed then begin
             t.seq <- t.seq + 1;
-            let line = to_json ~seq:t.seq ~elapsed:(Unix.gettimeofday () -. t.started) ev in
+            let line =
+              seal (to_json ~seq:t.seq ~elapsed:(Unix.gettimeofday () -. t.started) ev)
+            in
             output_string oc line;
             output_char oc '\n';
             flush oc

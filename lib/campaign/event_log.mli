@@ -17,9 +17,11 @@
     ([Campaign.fuzz_pairs ~resume]) possible. *)
 
 val schema_version : int
-(** Journal schema of this writer (2).  Version 1 journals (no header,
-    leaner [Trial_finished]) load as observability events only: their trial
-    records are skipped, so resuming from one simply re-runs everything. *)
+(** Journal schema of this writer (3: per-line checksums + degradation
+    fields).  Older journals (v1: no header, leaner [Trial_finished]; v2:
+    no checksums or degradation fields) load as observability events
+    only — the resume gate compares schemas, so resuming from one simply
+    re-runs everything. *)
 
 type event =
   | Journal_opened of { schema : int }  (** first line of a file journal *)
@@ -29,7 +31,12 @@ type event =
       budget : int option;  (** total trial budget; [None] = pairs * base *)
       cutoff : bool;
     }
-  | Phase1_finished of { potential : int; wall : float }
+  | Phase1_finished of {
+      potential : int;
+      wall : float;
+      degraded : bool;  (** detection ran under a tripped governor *)
+      level : string;  (** final ladder level ("full" when not degraded) *)
+    }
   | Wave_started of { wave : int; tasks : int }
   | Trial_started of { pair : string; seed : int; domain : int }
   | Trial_finished of {
@@ -43,6 +50,10 @@ type event =
       switches : int;
       exns : int;  (** uncaught program exceptions in the trial *)
       wall : float;
+      degraded : bool;  (** the trial's governor tripped at least once *)
+      level : string;  (** final {!Rf_resource.Governor.level} as string *)
+      trigger : string;  (** first trip trigger; [""] when not degraded *)
+      evicted : int;  (** state entries shed by degradation *)
     }
       (** Carries every field deterministic aggregation and the campaign
           fingerprint read, so resume can replay it without re-executing. *)
@@ -59,7 +70,9 @@ type event =
       pair : string;
       seed : int;
       domain : int;
-      reason : string;  (** "wall deadline" or "step deadline" *)
+      reason : string;
+          (** "wall deadline", "step deadline", "heap watermark" or
+              "detector budget" *)
       steps : int;
       wall : float;
     }  (** A watchdog cancelled the trial ({!Rf_runtime.Engine.deadline}). *)
@@ -109,11 +122,28 @@ val event_of_json : string -> event option
 (** Parse one journal line.  [None] for torn lines, non-JSON, or unknown
     event shapes. *)
 
+val seal : string -> string
+(** Append a ["crc"] field (FNV-1a-64 hex of the unsealed line) before
+    the closing brace.  {!emit} seals every line it writes. *)
+
+type seal_status =
+  | Sealed_ok  (** checksum present and matching *)
+  | Sealed_bad  (** checksum present but wrong: corrupted in place *)
+  | Unsealed  (** no checksum (pre-v3 journal line) *)
+
+val check_seal : string -> seal_status
+
+val load_result : string -> event list * int
+(** Read a JSONL journal; also count the checksum-bad lines that were
+    skipped.  Unknown-but-well-formed lines are skipped (forward
+    compatibility); a torn trailing line — the signature of a crashed
+    writer — ends the journal without error; a checksum-bad line is
+    skipped and counted, and reading continues (in-place corruption does
+    not invalidate the rest of the journal).  Raises [Sys_error] if the
+    file cannot be opened. *)
+
 val load : string -> event list
-(** Read a JSONL journal.  Unknown-but-well-formed lines are skipped
-    (forward compatibility); a torn trailing line — the signature of a
-    crashed writer — ends the journal without error.  Raises [Sys_error]
-    if the file cannot be opened. *)
+(** {!load_result} without the skip count. *)
 
 (** {1 Sinks} *)
 

@@ -57,10 +57,7 @@ let mkdir_p dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 
 let write_narrative path ~(sched : Schedule.t) ~(stats : Shrinker.stats) =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write path (fun oc ->
       let ppf = Format.formatter_of_out_channel oc in
       Format.fprintf ppf "shrink: %a@.@." Shrinker.pp_stats stats;
       Format.fprintf ppf "%a" Schedule.pp_narrative sched;

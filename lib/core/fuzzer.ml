@@ -11,6 +11,7 @@
 
 open Rf_util
 open Rf_runtime
+open Rf_resource
 
 type program = unit -> unit
 
@@ -21,6 +22,8 @@ type phase1_result = {
   potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
   p1_outcomes : Outcome.t list;
   p1_wall : float;
+  p1_degraded : Governor.snapshot option;
+      (** the governor's final state when it tripped during detection *)
 }
 
 let potential_pairs r =
@@ -29,22 +32,33 @@ let potential_pairs r =
     Site.Pair.Set.empty r.potential
 
 (** Run hybrid race detection over [seeds] executions (the paper uses one;
-    more executions can only widen the candidate set). *)
+    more executions can only widen the candidate set).  [governor] meters
+    the detector's state; a [Budget_stop] (no-degrade governor) escapes to
+    the caller — phase 1 has no sandbox, running out of budget there is a
+    campaign-level failure. *)
 let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
-    (program : program) : phase1_result =
-  let detector = Rf_detect.Detector.hybrid () in
+    ?deadline ?governor (program : program) : phase1_result =
+  let detector = Rf_detect.Detector.hybrid ?governor () in
   let t0 = Unix.gettimeofday () in
   let outcomes =
     List.map
       (fun seed ->
         Engine.run
-          ~config:{ Engine.default_config with seed; max_steps }
+          ~config:{ Engine.default_config with seed; max_steps; deadline }
           ~listeners:[ Rf_detect.Detector.feed detector ]
           ~strategy:(Strategy.random ()) program)
       seeds
   in
   let wall = Unix.gettimeofday () -. t0 in
-  { potential = Rf_detect.Detector.races detector; p1_outcomes = outcomes; p1_wall = wall }
+  {
+    potential = Rf_detect.Detector.races detector;
+    p1_outcomes = outcomes;
+    p1_wall = wall;
+    p1_degraded =
+      (match governor with
+      | Some g when Governor.degraded g -> Some (Governor.snapshot g)
+      | _ -> None);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
@@ -53,6 +67,8 @@ type trial = {
   t_seed : int;
   t_outcome : Outcome.t;
   t_report : Algo.report;
+  t_degraded : Governor.snapshot option;
+      (** filled when a governor degraded detector state during the trial *)
 }
 
 type pair_result = {
@@ -92,8 +108,9 @@ type trial_result =
       bx_wall : float;
     }
 
-let run_trial ?postpone_timeout ?deadline ?(inject = ignore) ~max_steps
-    ~(program : program) (pair : Site.Pair.t) seed : trial_result =
+let run_trial ?postpone_timeout ?deadline ?governor ?(listeners = [])
+    ?(inject = ignore) ~max_steps ~(program : program) (pair : Site.Pair.t)
+    seed : trial_result =
   let watch =
     Site.Set.add (Site.Pair.fst pair) (Site.Set.singleton (Site.Pair.snd pair))
   in
@@ -110,7 +127,7 @@ let run_trial ?postpone_timeout ?deadline ?(inject = ignore) ~max_steps
           max_steps;
           deadline;
         }
-      ~strategy program
+      ~listeners ~strategy program
   with
   | outcome -> (
       match outcome.Outcome.cancelled with
@@ -122,7 +139,31 @@ let run_trial ?postpone_timeout ?deadline ?(inject = ignore) ~max_steps
               bx_steps = outcome.Outcome.steps;
               bx_wall = outcome.Outcome.wall_time;
             }
-      | None -> Completed { t_seed = seed; t_outcome = outcome; t_report = report })
+      | None ->
+          Completed
+            {
+              t_seed = seed;
+              t_outcome = outcome;
+              t_report = report;
+              t_degraded =
+                (match governor with
+                | Some g when Governor.degraded g -> Some (Governor.snapshot g)
+                | _ -> None);
+            })
+  | exception Governor.Budget_stop trigger ->
+      (* A no-degrade governor refused to shed state: the trial budget is
+         spent, same contract as a watchdog cancellation. *)
+      Budget_exhausted
+        {
+          bx_seed = seed;
+          bx_reason =
+            (match trigger with
+            | Governor.Heap_watermark -> Outcome.Heap_watermark
+            | Governor.Entry_budget | Governor.Injected ->
+                Outcome.Detector_budget);
+          bx_steps = 0;
+          bx_wall = 0.0;
+        }
   | exception e -> Harness_crash (e, Printexc.get_backtrace ())
 
 let run_trial_exn ?postpone_timeout ~max_steps ~(program : program)
@@ -140,8 +181,8 @@ let run_trial_exn ?postpone_timeout ~max_steps ~(program : program)
 
 exception Journal_replayed
 
-let trial_of_record ~(pair : Site.Pair.t) ~seed ~race ~exns ~deadlock ~steps
-    ~switches ~wall : trial =
+let trial_of_record ~degraded ~(pair : Site.Pair.t) ~seed ~race ~exns
+    ~deadlock ~steps ~switches ~wall : trial =
   let outcome =
     {
       Outcome.steps;
@@ -177,7 +218,7 @@ let trial_of_record ~(pair : Site.Pair.t) ~seed ~race ~exns ~deadlock ~steps
           resolved_arriving = false;
         };
       ];
-  { t_seed = seed; t_outcome = outcome; t_report = report }
+  { t_seed = seed; t_outcome = outcome; t_report = report; t_degraded = degraded }
 
 let aggregate_trials ~pair ~wall trials : pair_result =
   let race_trials = List.filter (fun t -> Algo.race_created t.t_report) trials in
@@ -315,7 +356,7 @@ let record_trial ?(target = "") ?postpone_timeout
         }
       ~strategy program
   in
-  ( { t_seed = seed; t_outcome = outcome; t_report = report },
+  ( { t_seed = seed; t_outcome = outcome; t_report = report; t_degraded = None },
     Recorder.schedule ~target ~pair ~seed ~max_steps ~outcome recorder )
 
 let replay_schedule ?mode ~(program : program) (sched : Schedule.t) :
@@ -381,8 +422,33 @@ type analysis = {
 }
 
 let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
-    ?postpone_timeout ?max_steps (program : program) : analysis =
-  let p1 = phase1 ~seeds:phase1_seeds ?max_steps program in
+    ?postpone_timeout ?max_steps ?detector_budget ?mem_budget
+    ?(no_degrade = false) (program : program) : analysis =
+  (* Resource governance lives in phase 1: that is where the detector —
+     and hence the unbounded analysis state — is.  Phase-2 trials carry
+     no detector, so they run ungoverned here (the campaign orchestrator
+     additionally governs trials for its chaos/watermark paths). *)
+  let governor =
+    if detector_budget = None && mem_budget = None then None
+    else Some (Governor.create ?max_entries:detector_budget ~no_degrade ())
+  in
+  let deadline =
+    Option.map
+      (fun mb ->
+        let heap_hook =
+          Option.map
+            (fun g () ->
+              if Governor.level g = Governor.Lockset_only then false
+              else begin
+                Governor.trip g Governor.Heap_watermark;
+                true
+              end)
+            governor
+        in
+        Engine.deadline ~heap_mb:mb ?heap_hook ())
+      mem_budget
+  in
+  let p1 = phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor program in
   let pairs = Site.Pair.Set.elements (potential_pairs p1) in
   let results =
     List.map

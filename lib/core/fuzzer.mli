@@ -22,17 +22,35 @@ type phase1_result = {
   potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
   p1_outcomes : Outcome.t list;
   p1_wall : float;
+  p1_degraded : Rf_resource.Governor.snapshot option;
+      (** governor state when detection ran degraded; [None] otherwise *)
 }
 
-val phase1 : ?seeds:int list -> ?max_steps:int -> program -> phase1_result
+val phase1 :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  ?deadline:Engine.deadline ->
+  ?governor:Rf_resource.Governor.t ->
+  program ->
+  phase1_result
 (** Default: one execution (seed 0), like the paper; more seeds widen the
-    candidate set. *)
+    candidate set.  [governor] meters the hybrid detector's state budget
+    (degradation ladder; see {!Rf_resource.Governor}); [deadline] attaches
+    the engine watchdog, including its heap watermark.  With a no-degrade
+    governor, {!Rf_resource.Governor.Budget_stop} escapes: phase 1 has no
+    sandbox, so an unshed budget overrun is the caller's failure. *)
 
 val potential_pairs : phase1_result -> Site.Pair.Set.t
 
 (** {1 Phase 2} *)
 
-type trial = { t_seed : int; t_outcome : Outcome.t; t_report : Algo.report }
+type trial = {
+  t_seed : int;
+  t_outcome : Outcome.t;
+  t_report : Algo.report;
+  t_degraded : Rf_resource.Governor.snapshot option;
+      (** governor state when the trial ran degraded; [None] otherwise *)
+}
 
 type pair_result = {
   pr_pair : Site.Pair.t;
@@ -76,6 +94,8 @@ type trial_result =
 val run_trial :
   ?postpone_timeout:int option ->
   ?deadline:Engine.deadline ->
+  ?governor:Rf_resource.Governor.t ->
+  ?listeners:(Rf_events.Event.t -> unit) list ->
   ?inject:(unit -> unit) ->
   max_steps:int ->
   program:program ->
@@ -87,7 +107,15 @@ val run_trial :
     Deterministic: the same (pair, seed, max_steps) yields the same trial
     on any domain, because the engine resets its domain-local counters per
     run.  [inject] runs inside the sandbox just before the engine starts
-    (the chaos-injection hook); [deadline] attaches a watchdog. *)
+    (the chaos-injection hook); [deadline] attaches a watchdog.
+
+    [governor] is the trial's resource governor: if it degraded by the
+    time the engine returns, the snapshot lands in [t_degraded]; if it
+    raises {!Rf_resource.Governor.Budget_stop} (no-degrade mode), the
+    sandbox converts it to [Budget_exhausted] with reason
+    [Detector_budget] or [Heap_watermark].  [listeners] attach extra
+    event observers (e.g. a governed detector) to the trial's engine
+    run — phase 2 normally runs detector-free. *)
 
 val run_trial_exn :
   ?postpone_timeout:int option ->
@@ -103,6 +131,7 @@ exception Journal_replayed
 (** Placeholder exception inside trials rebuilt by {!trial_of_record}. *)
 
 val trial_of_record :
+  degraded:Rf_resource.Governor.snapshot option ->
   pair:Site.Pair.t ->
   seed:int ->
   race:bool ->
@@ -217,8 +246,18 @@ val analyze :
   ?seeds_per_pair:int list ->
   ?postpone_timeout:int option ->
   ?max_steps:int ->
+  ?detector_budget:int ->
+  ?mem_budget:float ->
+  ?no_degrade:bool ->
   program ->
   analysis
+(** [detector_budget] caps phase-1 detector-state entries; [mem_budget]
+    (MB) arms the heap-watermark backstop.  Either makes phase 1 run
+    under a {!Rf_resource.Governor.t} — over budget, it degrades down
+    the ladder and completes with [p1_degraded] set.  With
+    [~no_degrade:true] the first trip raises
+    {!Rf_resource.Governor.Budget_stop} instead.  Phase-2 trials carry
+    no detector and run ungoverned here. *)
 
 (** {1 Baselines} *)
 

@@ -20,8 +20,8 @@ let races t = t.races ()
 let pairs t = t.pairs ()
 let race_count t = Site.Pair.Set.cardinal (t.pairs ())
 
-let hybrid ?cap () =
-  let d = Hybrid.create ?cap () in
+let hybrid ?cap ?governor () =
+  let d = Hybrid.create ?cap ?governor () in
   {
     dname = "hybrid";
     feed = Hybrid.feed d;
@@ -29,8 +29,8 @@ let hybrid ?cap () =
     pairs = (fun () -> Hybrid.pairs d);
   }
 
-let hb_precise ?cap () =
-  let d = Hb_precise.create ?cap () in
+let hb_precise ?cap ?governor () =
+  let d = Hb_precise.create ?cap ?governor () in
   {
     dname = "happens-before";
     feed = Hb_precise.feed d;
@@ -38,8 +38,8 @@ let hb_precise ?cap () =
     pairs = (fun () -> Hb_precise.pairs d);
   }
 
-let fasttrack () =
-  let d = Fasttrack.create () in
+let fasttrack ?governor () =
+  let d = Fasttrack.create ?governor () in
   {
     dname = "fasttrack";
     feed = Fasttrack.feed d;
@@ -47,8 +47,8 @@ let fasttrack () =
     pairs = (fun () -> Fasttrack.pairs d);
   }
 
-let eraser ?site_cap () =
-  let d = Eraser.create ?site_cap () in
+let eraser ?site_cap ?governor () =
+  let d = Eraser.create ?site_cap ?governor () in
   {
     dname = "eraser";
     feed = Eraser.feed d;

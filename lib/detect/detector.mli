@@ -18,22 +18,29 @@ val races : t -> Race.t list
 val pairs : t -> Site.Pair.Set.t
 val race_count : t -> int
 
-val hybrid : ?cap:int -> unit -> t
+val hybrid : ?cap:int -> ?governor:Rf_resource.Governor.t -> unit -> t
 (** O'Callahan–Choi hybrid detection [37] — the paper's phase 1: disjoint
     locksets + weak happens-before.  Predictive, imprecise.  [cap] bounds
     the per-location access history. *)
 
-val hb_precise : ?cap:int -> unit -> t
+val hb_precise : ?cap:int -> ?governor:Rf_resource.Governor.t -> unit -> t
 (** Classical happens-before detection [44]: precise on the observed
     execution, not predictive, tracks everything (the expensive baseline
     the paper contrasts with). *)
 
-val fasttrack : unit -> t
+val fasttrack : ?governor:Rf_resource.Governor.t -> unit -> t
 (** Epoch-optimized precise happens-before (FastTrack-style): same racy
     locations as {!hb_precise} at a fraction of the bookkeeping. *)
 
-val eraser : ?site_cap:int -> unit -> t
+val eraser : ?site_cap:int -> ?governor:Rf_resource.Governor.t -> unit -> t
 (** Eraser lockset discipline checking [43]: no happens-before at all, the
-    noisiest baseline. *)
+    noisiest baseline.
+
+    All four constructors accept a {!Rf_resource.Governor}: detector
+    state (access summaries, clock tables, location cells) is then
+    metered against the trial's entry budget and shed down the
+    degradation ladder instead of growing without bound.  Degradation is
+    driven by logical counters only, so a governed run's reports are a
+    deterministic function of the event stream and the budget. *)
 
 val run_on_trace : t -> Trace.t -> Race.t list

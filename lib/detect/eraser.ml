@@ -23,6 +23,7 @@
 
 open Rf_util
 open Rf_events
+open Rf_resource
 
 type state =
   | Virgin
@@ -39,20 +40,65 @@ type cell = {
 type t = {
   cells : cell Loc.Tbl.t;
   site_cap : int;
+  governor : Governor.t option;
   mutable races : Race.t list;
   mutable reported : Site.Pair.Set.t;
 }
 
-let create ?(site_cap = 16) () =
-  { cells = Loc.Tbl.create 256; site_cap; races = []; reported = Site.Pair.Set.empty }
+let charge t n = match t.governor with Some g -> Governor.charge g n | None -> ()
+let credit t n = match t.governor with Some g -> Governor.credit g n | None -> ()
+let evict t n = match t.governor with Some g -> Governor.evict g n | None -> ()
 
+let level t =
+  match t.governor with Some g -> Governor.level g | None -> Governor.Full
+
+(* Effective per-location site cap: shrinks at Sampled and below. *)
+let site_cap_at t = function
+  | Governor.Full -> t.site_cap
+  | Governor.Sampled -> min t.site_cap 4
+  | Governor.Lockset_only -> min t.site_cap 2
+
+(* Governor hook: truncate every site list to the new (smaller) cap.
+   Per-cell truncation is independent of iteration order. *)
+let truncate_sites t lv =
+  let cap = site_cap_at t lv in
+  Loc.Tbl.iter
+    (fun _loc c ->
+      let n = List.length c.sites in
+      if n > cap then begin
+        c.sites <- List.filteri (fun i _ -> i < cap) c.sites;
+        evict t (n - cap)
+      end)
+    t.cells
+
+let create ?(site_cap = 16) ?governor () =
+  let t =
+    {
+      cells = Loc.Tbl.create 256;
+      site_cap;
+      governor;
+      races = [];
+      reported = Site.Pair.Set.empty;
+    }
+  in
+  (match governor with
+  | Some g -> Governor.subscribe g (fun lv -> truncate_sites t lv)
+  | None -> ());
+  t
+
+(* At the bottom rung the cell table is frozen: unseen locations go
+   untracked. *)
 let cell t loc =
   match Loc.Tbl.find_opt t.cells loc with
-  | Some c -> c
+  | Some c -> Some c
   | None ->
-      let c = { st = Virgin; sites = []; racy = false } in
-      Loc.Tbl.add t.cells loc c;
-      c
+      if level t = Governor.Lockset_only then None
+      else begin
+        let c = { st = Virgin; sites = []; racy = false } in
+        Loc.Tbl.add t.cells loc c;
+        charge t 1;
+        Some c
+      end
 
 let report t ~loc ~site ~access ~tid (prior : (Site.t * Event.access * int) list) =
   List.iter
@@ -72,8 +118,10 @@ let report t ~loc ~site ~access ~tid (prior : (Site.t * Event.access * int) list
 
 let feed t ev =
   match ev with
-  | Event.Mem { tid; site; loc; access; lockset } ->
-      let c = cell t loc in
+  | Event.Mem { tid; site; loc; access; lockset } -> (
+      match cell t loc with
+      | None -> ()
+      | Some c ->
       let next_state =
         match (c.st, access) with
         | Virgin, _ -> Exclusive (tid, lockset)
@@ -91,9 +139,13 @@ let feed t ev =
           if not c.racy then c.racy <- true;
           report t ~loc ~site ~access ~tid c.sites
       | _ -> ());
-      c.sites <-
-        (site, access, tid)
-        :: List.filteri (fun i _ -> i < t.site_cap - 1) c.sites
+      let cap = site_cap_at t (level t) in
+      let before = List.length c.sites in
+      let kept = List.filteri (fun i _ -> i < cap - 1) c.sites in
+      let dropped = before - List.length kept in
+      if dropped > 0 then credit t dropped;
+      charge t 1;
+      c.sites <- (site, access, tid) :: kept)
   | _ -> ()
 
 let races t = List.rev t.races

@@ -16,11 +16,22 @@
     doing asymptotically less work.
 
     Analysis state is driven by the same happens-before clocks as the other
-    detectors ({!Hbclock} with lock edges). *)
+    detectors ({!Hbclock} with lock edges).
+
+    Under a resource governor each location cell and each slot of an
+    inflated read vector is one charged entry.  Degradation semantics:
+    at {b Sampled} and below, inflated read vectors are collapsed back
+    to the epoch fast path (keeping only the newest read — concurrent
+    older reads may be forgotten, trading recall for bounded state); at
+    {b Lockset-only} the cell table is frozen — accesses to locations
+    not yet tracked are ignored outright, so state stops growing
+    entirely.  A trip also sweeps existing cells, deflating every
+    [Rshared] table (order-independent, hence deterministic). *)
 
 open Rf_util
 open Rf_events
 open Rf_vclock
+open Rf_resource
 
 type epoch = { etid : int; eclock : int }
 
@@ -41,6 +52,7 @@ type cell = {
 
 type t = {
   clocks : Hbclock.t;
+  governor : Governor.t option;
   cells : cell Loc.Tbl.t;
   mutable races : Race.t list;
   mutable reported : Site.Pair.Set.t;
@@ -48,23 +60,56 @@ type t = {
   mutable vc_ops : int;  (** slow-path full-clock operations *)
 }
 
-let create () =
-  {
-    clocks = Hbclock.create ~lock_edges:true ();
-    cells = Loc.Tbl.create 256;
-    races = [];
-    reported = Site.Pair.Set.empty;
-    epoch_hits = 0;
-    vc_ops = 0;
-  }
+let charge t n = match t.governor with Some g -> Governor.charge g n | None -> ()
+let credit t n = match t.governor with Some g -> Governor.credit g n | None -> ()
+let evict t n = match t.governor with Some g -> Governor.evict g n | None -> ()
 
+let level t =
+  match t.governor with Some g -> Governor.level g | None -> Governor.Full
+
+(* Deflate every inflated read vector back to the epoch fast path.
+   Collapsing all of them is independent of hashtable iteration order,
+   so this is safe to run from a governor hook. *)
+let deflate_reads t =
+  Loc.Tbl.iter
+    (fun _loc c ->
+      match c.rd with
+      | Rshared tbl ->
+          evict t (Hashtbl.length tbl);
+          c.rd <- Rnone
+      | Rnone | Repoch _ -> ())
+    t.cells
+
+let create ?governor () =
+  let t =
+    {
+      clocks = Hbclock.create ?governor ~lock_edges:true ();
+      governor;
+      cells = Loc.Tbl.create 256;
+      races = [];
+      reported = Site.Pair.Set.empty;
+      epoch_hits = 0;
+      vc_ops = 0;
+    }
+  in
+  (match governor with
+  | Some g -> Governor.subscribe g (fun _level -> deflate_reads t)
+  | None -> ());
+  t
+
+(* At the bottom rung the cell table is frozen: unseen locations return
+   no cell and their accesses go untracked. *)
 let cell t loc =
   match Loc.Tbl.find_opt t.cells loc with
-  | Some c -> c
+  | Some c -> Some c
   | None ->
-      let c = { wr = None; rd = Rnone } in
-      Loc.Tbl.add t.cells loc c;
-      c
+      if level t = Governor.Lockset_only then None
+      else begin
+        let c = { wr = None; rd = Rnone } in
+        Loc.Tbl.add t.cells loc c;
+        charge t 1;
+        Some c
+      end
 
 let report t ~loc ~tids ~accesses s1 s2 =
   let pair = Site.Pair.make s1 s2 in
@@ -73,39 +118,56 @@ let report t ~loc ~tids ~accesses s1 s2 =
     t.races <- Race.make ~pair ~loc ~tids ~accesses :: t.races
   end
 
-let feed t ev =
+let rec feed t ev =
   let vc = Hbclock.feed t.clocks ev in
   match ev with
   | Event.Mem { tid; site; loc; access = Event.Read; _ } -> (
-      let c = cell t loc in
-      (* write-read race? *)
-      (match c.wr with
-      | Some (we, wsite) when we.etid <> tid && not (epoch_leq we vc) ->
-          report t ~loc ~tids:(we.etid, tid) ~accesses:(Event.Write, Event.Read) wsite
-            site
-      | _ -> t.epoch_hits <- t.epoch_hits + 1);
-      let my = epoch_of_vc tid vc in
-      match c.rd with
-      | Rnone -> c.rd <- Repoch (my, site)
-      | Repoch (prev, psite) ->
-          if prev.etid = tid || epoch_leq prev vc then begin
-            (* previous read ordered before us: stay in epoch state *)
-            t.epoch_hits <- t.epoch_hits + 1;
-            c.rd <- Repoch (my, site)
-          end
-          else begin
-            (* concurrent reads: inflate to read vector *)
-            t.vc_ops <- t.vc_ops + 1;
-            let tbl = Hashtbl.create 4 in
-            Hashtbl.replace tbl prev.etid (prev.eclock, psite);
-            Hashtbl.replace tbl tid (my.eclock, site);
-            c.rd <- Rshared tbl
-          end
-      | Rshared tbl ->
-          t.vc_ops <- t.vc_ops + 1;
-          Hashtbl.replace tbl tid (my.eclock, site))
-  | Event.Mem { tid; site; loc; access = Event.Write; _ } ->
-      let c = cell t loc in
+      match cell t loc with
+      | None -> ()
+      | Some c -> (
+          (* write-read race? *)
+          (match c.wr with
+          | Some (we, wsite) when we.etid <> tid && not (epoch_leq we vc) ->
+              report t ~loc ~tids:(we.etid, tid)
+                ~accesses:(Event.Write, Event.Read) wsite site
+          | _ -> t.epoch_hits <- t.epoch_hits + 1);
+          let my = epoch_of_vc tid vc in
+          match c.rd with
+          | Rnone -> c.rd <- Repoch (my, site)
+          | Repoch (prev, psite) ->
+              if prev.etid = tid || epoch_leq prev vc then begin
+                (* previous read ordered before us: stay in epoch state *)
+                t.epoch_hits <- t.epoch_hits + 1;
+                c.rd <- Repoch (my, site)
+              end
+              else if level t <> Governor.Full then begin
+                (* degraded: keep only the newest read instead of
+                   inflating — bounded state, possible missed
+                   read-write races *)
+                t.epoch_hits <- t.epoch_hits + 1;
+                c.rd <- Repoch (my, site)
+              end
+              else begin
+                (* concurrent reads: inflate to read vector *)
+                t.vc_ops <- t.vc_ops + 1;
+                let tbl = Hashtbl.create 4 in
+                Hashtbl.replace tbl prev.etid (prev.eclock, psite);
+                Hashtbl.replace tbl tid (my.eclock, site);
+                charge t 2;
+                c.rd <- Rshared tbl
+              end
+          | Rshared tbl ->
+              t.vc_ops <- t.vc_ops + 1;
+              if not (Hashtbl.mem tbl tid) then charge t 1;
+              Hashtbl.replace tbl tid (my.eclock, site)))
+  | Event.Mem { tid; site; loc; access = Event.Write; _ } -> (
+      match cell t loc with
+      | None -> ()
+      | Some c ->
+          feed_write t vc ~tid ~site ~loc c)
+  | _ -> ()
+
+and feed_write t vc ~tid ~site ~loc c =
       (* write-write race? *)
       (match c.wr with
       | Some (we, wsite) when we.etid <> tid && not (epoch_leq we vc) ->
@@ -132,9 +194,11 @@ let feed t ev =
             Hashtbl.fold
               (fun rtid (rclock, _) acc -> acc && rclock <= Vclock.get vc rtid)
               tbl true
-          then c.rd <- Rnone);
+          then begin
+            credit t (Hashtbl.length tbl);
+            c.rd <- Rnone
+          end);
       c.wr <- Some (epoch_of_vc tid vc, site)
-  | _ -> ()
 
 let races t = List.rev t.races
 let pairs t = t.reported

@@ -9,7 +9,12 @@ open Rf_events
 
 type t
 
-val create : unit -> t
+val create : ?governor:Rf_resource.Governor.t -> unit -> t
+(** [governor] meters location cells and inflated read-vector slots.
+    At [Sampled] and below, read vectors deflate to single epochs
+    (newest read wins); at [Lockset_only] the cell table freezes and
+    accesses to unseen locations are ignored. *)
+
 val feed : t -> Event.t -> unit
 val races : t -> Race.t list
 val pairs : t -> Site.Pair.Set.t

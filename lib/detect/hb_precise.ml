@@ -10,9 +10,9 @@
 
 type t = Access_detector.t
 
-let create ?cap () =
-  Access_detector.create ?cap ~name:"happens-before" ~lock_edges:true
-    ~require_disjoint_locksets:false ()
+let create ?cap ?governor () =
+  Access_detector.create ?cap ?governor ~name:"happens-before"
+    ~lock_edges:true ~require_disjoint_locksets:false ()
 
 let feed = Access_detector.feed
 let races = Access_detector.races

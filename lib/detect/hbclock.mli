@@ -12,7 +12,14 @@ open Rf_vclock
 
 type t
 
-val create : lock_edges:bool -> unit -> t
+val create : ?governor:Rf_resource.Governor.t -> lock_edges:bool -> unit -> t
+(** [governor] meters the clock tables (one logical entry per thread,
+    per pending SND message, and per lock-release clock) against the
+    shared trial budget.  On degradation the oldest (lowest-id) half of
+    the pending message clocks is evicted; a matching RCV then simply
+    contributes no edge, which can only weaken the happens-before
+    relation — degraded runs over-approximate concurrency, never
+    invent false orderings. *)
 
 val feed : t -> Event.t -> Vclock.t
 (** Process one event (in trace order) and return its clock: for events
@@ -21,3 +28,6 @@ val feed : t -> Event.t -> Vclock.t
 
 val thread_clock : t -> int -> Vclock.t
 (** Current clock of a thread (bottom if unseen). *)
+
+val msg_evictions : t -> int
+(** Pending message clocks dropped by governor compaction. *)

@@ -19,8 +19,8 @@
 
 type t = Access_detector.t
 
-let create ?cap () =
-  Access_detector.create ?cap ~name:"hybrid" ~lock_edges:false
+let create ?cap ?governor () =
+  Access_detector.create ?cap ?governor ~name:"hybrid" ~lock_edges:false
     ~require_disjoint_locksets:true ()
 
 let feed = Access_detector.feed

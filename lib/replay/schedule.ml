@@ -448,20 +448,21 @@ let of_json text =
       { meta; steps = Array.of_list steps }
   | _ -> fail "expected top-level object"
 
-let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json t))
+(* Atomic save: a kill mid-write must leave either the previous artifact
+   or the complete new one, never a torn file a later [load] chokes on. *)
+let save path t = Atomic_file.write_string path (to_json t)
 
 let load path =
   let ic = open_in_bin path in
   let text =
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with End_of_file -> fail "%s: truncated schedule file" path)
   in
-  of_json text
+  try of_json text
+  with Format_error msg -> fail "%s: %s" path msg
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

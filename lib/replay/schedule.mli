@@ -112,8 +112,12 @@ val of_json : string -> t
 (** Raises {!Format_error}. *)
 
 val save : string -> t -> unit
+(** Atomic: writes [path.tmp] then renames, so a crash mid-write leaves
+    the previous artifact (or none), never a torn file. *)
+
 val load : string -> t
-(** Raises {!Format_error} and [Sys_error]. *)
+(** Raises {!Format_error} (message prefixed with the file path, covering
+    truncation and corruption) and [Sys_error] (unreadable file). *)
 
 (** {1 Rendering} *)
 

@@ -12,6 +12,20 @@ let render ppf (s : C.stats) =
     s.C.s_trials s.C.s_cancelled s.C.s_discarded;
   if s.C.s_replayed > 0 then
     Fmt.pf ppf "resume:   %d trial(s) replayed from the journal@." s.C.s_replayed;
+  if s.C.s_resume_skipped > 0 then
+    Fmt.pf ppf
+      "WARNING:  %d corrupt journal line(s) skipped on resume — those trials re-ran@."
+      s.C.s_resume_skipped;
+  (* degradation lines only appear when a governor actually tripped, so an
+     ungoverned (or never-over-budget) campaign's report is unchanged *)
+  (match s.C.s_p1_level with
+  | Some level ->
+      Fmt.pf ppf "DEGRADED: phase 1 completed at %s precision (resource budget)@."
+        level
+  | None -> ());
+  if s.C.s_degraded > 0 then
+    Fmt.pf ppf "DEGRADED: %d trial(s) completed at reduced precision (resource budget)@."
+      s.C.s_degraded;
   (* the fault lines only appear when something actually went wrong, so a
      clean campaign's report is unchanged *)
   if s.C.s_crashes > 0 || s.C.s_exhausted > 0 then

@@ -57,10 +57,26 @@ open Rf_events
 
 type switch_policy = Every_op | Sync_and of Site.Set.t
 
-type deadline = { dl_wall : float option; dl_steps : int option; dl_poll : int }
+type deadline = {
+  dl_wall : float option;
+  dl_steps : int option;
+  dl_heap_mb : float option;
+  dl_heap_hook : (unit -> bool) option;
+  dl_poll : int;
+}
 
-let deadline ?wall ?steps ?(poll = 2048) () =
-  { dl_wall = wall; dl_steps = steps; dl_poll = max 1 poll }
+let deadline ?wall ?steps ?heap_mb ?heap_hook ?(poll = 2048) () =
+  {
+    dl_wall = wall;
+    dl_steps = steps;
+    dl_heap_mb = heap_mb;
+    dl_heap_hook = heap_hook;
+    dl_poll = max 1 poll;
+  }
+
+let heap_mb_now () =
+  let st = Gc.quick_stat () in
+  float_of_int (st.Gc.heap_words * (Sys.word_size / 8)) /. 1e6
 
 type config = {
   seed : int;
@@ -599,23 +615,39 @@ let view_of eng =
   { Strategy.step = eng.steps; enabled = !entries; prng = eng.prng }
 
 (* The watchdog: consulted at every switch point.  The step cap is exact
-   (to switch granularity); the wall clock is polled every [dl_poll] steps,
-   starting {e before} the first step so a run whose budget is already
-   spent (e.g. a stalled harness) is cancelled without executing at all. *)
+   (to switch granularity); the wall clock and heap watermark are polled
+   every [dl_poll] steps, starting {e before} the first step so a run
+   whose budget is already spent (e.g. a stalled harness) is cancelled
+   without executing at all.  A tripped heap watermark first offers the
+   overage to [dl_heap_hook] (a resource governor's degradation ladder);
+   only if the hook is absent or declines does the run cancel. *)
 let deadline_hit eng =
   match eng.cfg.deadline with
   | None -> None
   | Some dl -> (
       match dl.dl_steps with
       | Some cap when eng.steps >= cap -> Some Outcome.Step_deadline
-      | _ -> (
-          match dl.dl_wall with
-          | Some budget when eng.steps >= eng.next_wall_check ->
-              eng.next_wall_check <- eng.steps + dl.dl_poll;
-              if Unix.gettimeofday () -. eng.t_start > budget then
-                Some Outcome.Wall_deadline
-              else None
-          | _ -> None))
+      | _ ->
+          if
+            (dl.dl_wall <> None || dl.dl_heap_mb <> None)
+            && eng.steps >= eng.next_wall_check
+          then begin
+            eng.next_wall_check <- eng.steps + dl.dl_poll;
+            let wall_hit =
+              match dl.dl_wall with
+              | Some budget -> Unix.gettimeofday () -. eng.t_start > budget
+              | None -> false
+            in
+            if wall_hit then Some Outcome.Wall_deadline
+            else
+              match dl.dl_heap_mb with
+              | Some mb when heap_mb_now () > mb -> (
+                  match dl.dl_heap_hook with
+                  | Some absorb when absorb () -> None
+                  | _ -> Some Outcome.Heap_watermark)
+              | _ -> None
+          end
+          else None)
 
 let rec loop eng =
   if eng.steps >= eng.cfg.max_steps then eng.timed_out <- true

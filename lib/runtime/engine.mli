@@ -30,11 +30,33 @@ type switch_policy = Every_op | Sync_and of Site.Set.t
     bound stops the run cleanly with [Outcome.cancelled = Some reason]
     instead of spinning on to [max_steps].  Wall deadlines trade the
     engine's bit-exact replayability for liveness: use them to sandbox
-    runaway or stalled trials, not in determinism-sensitive runs. *)
-type deadline = { dl_wall : float option; dl_steps : int option; dl_poll : int }
+    runaway or stalled trials, not in determinism-sensitive runs.
 
-val deadline : ?wall:float -> ?steps:int -> ?poll:int -> unit -> deadline
-(** [poll] defaults to 2048 steps per wall-clock check. *)
+    [dl_heap_mb] caps the process major-heap size ([Gc.quick_stat],
+    polled at the same [dl_poll] cadence as the wall clock).  The heap
+    is shared across domains, so like the wall clock this bound is a
+    non-deterministic backstop, not a per-trial meter.  When the
+    watermark trips, [dl_heap_hook] (if any) is consulted first: a hook
+    returning [true] has absorbed the overage (typically by stepping a
+    resource governor down its degradation ladder) and the run
+    continues; otherwise the run cancels with [Heap_watermark]. *)
+type deadline = {
+  dl_wall : float option;
+  dl_steps : int option;
+  dl_heap_mb : float option;
+  dl_heap_hook : (unit -> bool) option;
+  dl_poll : int;
+}
+
+val deadline :
+  ?wall:float ->
+  ?steps:int ->
+  ?heap_mb:float ->
+  ?heap_hook:(unit -> bool) ->
+  ?poll:int ->
+  unit ->
+  deadline
+(** [poll] defaults to 2048 steps per wall-clock/heap check. *)
 
 type config = {
   seed : int;

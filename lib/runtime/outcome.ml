@@ -10,11 +10,17 @@ type exn_report = {
   raised_at : Site.t option;
 }
 
-type cancel_reason = Wall_deadline | Step_deadline
+type cancel_reason =
+  | Wall_deadline
+  | Step_deadline
+  | Heap_watermark
+  | Detector_budget
 
 let pp_cancel_reason ppf = function
   | Wall_deadline -> Fmt.string ppf "wall deadline"
   | Step_deadline -> Fmt.string ppf "step deadline"
+  | Heap_watermark -> Fmt.string ppf "heap watermark"
+  | Detector_budget -> Fmt.string ppf "detector budget"
 
 type t = {
   steps : int;  (** operations executed *)

@@ -10,8 +10,16 @@ type exn_report = {
   raised_at : Site.t option;  (** site of the thread's last executed op *)
 }
 
-(** Why a watchdog cancelled the run (engine [config.deadline]). *)
-type cancel_reason = Wall_deadline | Step_deadline
+(** Why a watchdog cancelled the run.  [Wall_deadline] / [Step_deadline]
+    / [Heap_watermark] come from the engine watchdog
+    ([config.deadline]); [Detector_budget] is synthesized by the trial
+    sandbox when a resource governor refuses to degrade
+    ([Rf_resource.Governor.Budget_stop] under [--no-degrade]). *)
+type cancel_reason =
+  | Wall_deadline
+  | Step_deadline
+  | Heap_watermark
+  | Detector_budget
 
 val pp_cancel_reason : Format.formatter -> cancel_reason -> unit
 

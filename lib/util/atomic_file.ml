@@ -1,0 +1,14 @@
+let write path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     f oc;
+     flush oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let write_string path s = write path (fun oc -> output_string oc s)

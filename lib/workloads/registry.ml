@@ -25,9 +25,14 @@ let litmus : Workload.t list = [ Figure1.workload; Figure2.workload ]
     termination-asserting suites. *)
 let extras : Workload.t list = [ Extras.tsp; Extras.elevator; Extras.philosophers ]
 
+(** Adversarial resource-stress programs ({!Stress}); excluded from the
+    Table 1 suites, addressable by name for governed campaigns and the
+    [@stress] test tier. *)
+let stress : Workload.t list = Stress.workloads @ Stress.small
+
 let find name =
   List.find_opt
     (fun w -> String.lowercase_ascii w.Workload.name = String.lowercase_ascii name)
-    (all @ litmus @ extras)
+    (all @ litmus @ extras @ stress)
 
-let names () = List.map (fun w -> w.Workload.name) (all @ litmus @ extras)
+let names () = List.map (fun w -> w.Workload.name) (all @ litmus @ extras @ stress)

@@ -1,0 +1,166 @@
+(** Adversarial resource-stress workloads: programs built to blow up
+    detector state, not to model any benchmark.
+
+    Each one attacks a different axis of analysis-state growth, so
+    together they exercise every rung of the degradation ladder
+    ({!Rf_resource.Governor}):
+
+    - {b stress-threads}: a storm of short-lived threads inflates the
+      vector-clock tables (one clock per thread, each O(threads) wide).
+    - {b stress-locks}: two threads churning through thousands of locks
+      inflate the happens-before message table (one entry per release).
+    - {b stress-hotloc}: many threads hammering one location from
+      distinct sites grow a single access-history bucket to its cap,
+      exercising per-bucket reservoir sampling.
+    - {b stress-sweep}: two threads sweeping a ~1.2M-element shared
+      array create one access-history bucket, one clock and one lockset
+      {e per element} — several hundred bytes each, comfortably past a
+      256MB address-space limit when ungoverned.  Under an entry budget
+      the governor compacts the history to a bounded working set and the
+      sweep completes degraded in tens of MB.
+
+    All four are deterministic programs of the usual kind — state growth
+    is a pure function of the schedule, so governed runs fingerprint
+    identically on any domain count. *)
+
+open Rf_util
+open Rf_runtime
+
+let file = "stress"
+let s line label = Site.make ~file ~line label
+
+(* ------------------------------------------------------------------ *)
+(* Thread storm: clock-table pressure.                                 *)
+
+let thread_storm ?(threads = 48) ?(writes = 4) () =
+  let mine =
+    Array.init threads (fun i ->
+        Api.Cell.make ~name:(Printf.sprintf "storm.%d" i) 0)
+  in
+  let shared = Api.Cell.global "storm.shared" 0 in
+  let worker i () =
+    for w = 1 to writes do
+      Api.Cell.write ~site:(s 10 "storm.mine(write)") mine.(i) w
+    done;
+    (* unsynchronized rmw: every pair of storm threads conflicts here *)
+    Api.Cell.update ~rsite:(s 11 "storm.shared(read)")
+      ~wsite:(s 12 "storm.shared(write)") shared succ
+  in
+  let hs =
+    List.init threads (fun i ->
+        Api.fork ~name:(Printf.sprintf "storm%d" i) (worker i))
+  in
+  List.iter Api.join hs
+
+(* ------------------------------------------------------------------ *)
+(* Lock churn: happens-before message-table pressure.                  *)
+
+let lock_churn ?(locks = 2000) ?(rounds = 2) () =
+  let ls =
+    Array.init locks (fun i -> Lock.create ~name:(Printf.sprintf "churn.%d" i) ())
+  in
+  let x = Api.Cell.global "churn.x" 0 in
+  let worker rsite wsite () =
+    for _ = 1 to rounds do
+      Array.iter
+        (fun l ->
+          Api.sync ~site:(s 20 "churn.sync") l (fun () ->
+              Api.Cell.update ~rsite ~wsite x succ))
+        ls
+    done
+  in
+  let h1 =
+    Api.fork ~name:"churn-a"
+      (worker (s 21 "churn.x(read,a)") (s 22 "churn.x(write,a)"))
+  in
+  let h2 =
+    Api.fork ~name:"churn-b"
+      (worker (s 23 "churn.x(read,b)") (s 24 "churn.x(write,b)"))
+  in
+  Api.join h1;
+  Api.join h2
+
+(* ------------------------------------------------------------------ *)
+(* Hot location: single-bucket access-history pressure.                *)
+
+let hot_location ?(threads = 16) ?(rounds = 32) () =
+  let hot = Api.Cell.global "hot" 0 in
+  let worker i () =
+    (* distinct site per thread: every access is history-worthy, none
+       supersedes another, so the bucket grows to whatever cap the
+       current ladder rung allows *)
+    let site = Site.make ~file ~line:(100 + i) (Printf.sprintf "hot.t%d" i) in
+    for r = 1 to rounds do
+      Api.Cell.write ~site hot ((i * rounds) + r)
+    done
+  in
+  let hs =
+    List.init threads (fun i ->
+        Api.fork ~name:(Printf.sprintf "hot%d" i) (worker i))
+  in
+  List.iter Api.join hs
+
+(* ------------------------------------------------------------------ *)
+(* Address sweep: one-location-per-entry state explosion.              *)
+
+let address_sweep ?(locs = 1_200_000) ?(overlap = 256) () =
+  let arr = Api.Sarray.make locs 0 in
+  let half = locs / 2 in
+  let overlap = min overlap half in
+  (* Private ranges first, the shared overlap window last: both threads
+     reach the racy region at about the same time, so even a governed
+     run whose compaction keeps only the newest buckets still has one
+     side's accesses in history when the other side arrives. *)
+  let sweep site lo hi () =
+    for i = lo to hi - 1 do
+      Api.Sarray.set ~site arr i i
+    done;
+    for i = half to half + overlap - 1 do
+      Api.Sarray.set ~site arr i (i + 1)
+    done
+  in
+  let h1 = Api.fork ~name:"sweep-lo" (sweep (s 200 "sweep(lo)") 0 half) in
+  let h2 =
+    Api.fork ~name:"sweep-hi" (sweep (s 201 "sweep(hi)") (half + overlap) locs)
+  in
+  Api.join h1;
+  Api.join h2
+
+(* ------------------------------------------------------------------ *)
+
+let workloads =
+  [
+    Workload.make ~name:"stress-threads"
+      ~descr:"thread storm: clock-table pressure (48 threads)" ~sloc:30
+      (thread_storm ?threads:None ?writes:None);
+    Workload.make ~name:"stress-locks"
+      ~descr:"lock churn: happens-before message-table pressure (2000 locks)"
+      ~sloc:30
+      (lock_churn ?locks:None ?rounds:None);
+    Workload.make ~name:"stress-hotloc"
+      ~descr:"hot location: single-bucket history pressure (16 writers)"
+      ~sloc:25
+      (hot_location ?threads:None ?rounds:None);
+    Workload.make ~name:"stress-sweep"
+      ~descr:"address sweep: per-element detector state, OOMs ungoverned (1.2M locations)"
+      ~sloc:25
+      (address_sweep ?locs:None ?overlap:None);
+  ]
+
+(* Small variants for tests: same shapes, budgets of a few hundred still
+   trip, but a whole trial finishes in milliseconds. *)
+let small =
+  [
+    Workload.make ~name:"stress-threads-small" ~descr:"thread storm (12 threads)"
+      ~sloc:30
+      (thread_storm ~threads:12 ~writes:2);
+    Workload.make ~name:"stress-locks-small" ~descr:"lock churn (64 locks)"
+      ~sloc:30
+      (lock_churn ~locks:64 ~rounds:1);
+    Workload.make ~name:"stress-hotloc-small" ~descr:"hot location (8 writers)"
+      ~sloc:25
+      (hot_location ~threads:8 ~rounds:8);
+    Workload.make ~name:"stress-sweep-small" ~descr:"address sweep (4096 locations)"
+      ~sloc:25
+      (address_sweep ~locs:4096 ~overlap:64);
+  ]

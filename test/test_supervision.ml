@@ -109,7 +109,7 @@ let sample_events =
   Event_log.
     [
       Campaign_started { domains = 2; base_trials = 10; budget = Some 40; cutoff = true };
-      Phase1_finished { potential = 3; wall = 0.25 };
+      Phase1_finished { potential = 3; wall = 0.25; degraded = false; level = "full" };
       Wave_started { wave = 0; tasks = 20 };
       Trial_started { pair = "(a, b)"; seed = 7; domain = 1 };
       Trial_finished
@@ -124,6 +124,27 @@ let sample_events =
           switches = 9;
           exns = 0;
           wall = 0.5;
+          degraded = false;
+          level = "full";
+          trigger = "";
+          evicted = 0;
+        };
+      Trial_finished
+        {
+          pair = "(a, b)";
+          seed = 11;
+          domain = 0;
+          race = true;
+          error = true;
+          deadlock = false;
+          steps = 77;
+          switches = 14;
+          exns = 1;
+          wall = 0.75;
+          degraded = true;
+          level = "sampled";
+          trigger = "entry-budget";
+          evicted = 512;
         };
       Trial_crashed
         { pair = "(a, b)"; seed = 8; domain = 0; exn_ = "Failure(\"boom\")"; backtrace = "" };
