@@ -204,21 +204,36 @@ let fuzz_cmd =
       value & opt int 5
       & info [ "phase1-seeds" ] ~docv:"N" ~doc:"Executions observed by hybrid detection.")
   in
-  let action file p1 trials detector_budget mem_budget no_degrade =
+  let static_filter_arg =
+    Arg.(
+      value & flag
+      & info [ "static-filter" ]
+          ~doc:
+            "Statically analyze the program first and skip phase-2 fuzzing of \
+             candidate pairs proved unable to race; surviving pairs are fuzzed \
+             Likely-first.")
+  in
+  let action file p1 trials static_filter detector_budget mem_budget no_degrade =
     match load file with
     | Error m ->
         Fmt.epr "%s@." m;
         exit 1
     | Ok prog -> (
         let main = Rf_lang.Lang.program ~print:ignore prog in
+        let static = Rf_static.Static.of_program prog in
         match
           Racefuzzer.Fuzzer.analyze
             ~phase1_seeds:(List.init p1 Fun.id)
             ~seeds_per_pair:(List.init trials Fun.id)
-            ?detector_budget ?mem_budget ~no_degrade main
+            ~static ~static_filter ?detector_budget ?mem_budget ~no_degrade main
         with
         | a ->
             pp_p1_degraded a;
+            List.iter
+              (fun (p, v) ->
+                Fmt.pr "filtered: %a — %s@." Site.Pair.pp p
+                  (Rf_static.Static.verdict_to_string v))
+              a.Racefuzzer.Fuzzer.a_filtered;
             print_analysis a
         | exception Rf_resource.Governor.Budget_stop trigger ->
             Fmt.epr "resource budget exhausted (%s) under --no-degrade@."
@@ -238,8 +253,8 @@ let fuzz_cmd =
           --detector-budget/--mem-budget, phase 1 runs resource-governed and \
           degrades gracefully instead of exhausting memory.")
     Term.(
-      const action $ file_arg $ p1_arg $ seeds_arg 100 $ detector_budget_arg
-      $ mem_budget_arg $ no_degrade_arg)
+      const action $ file_arg $ p1_arg $ seeds_arg 100 $ static_filter_arg
+      $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay / shrink                                                     *)
@@ -620,15 +635,32 @@ let campaign_cmd =
       & info [ "repro-fuel" ] ~docv:"N"
           ~doc:"Maximum oracle executions per schedule minimization.")
   in
+  let static_filter_arg =
+    Arg.(
+      value & flag
+      & info [ "static-filter" ]
+          ~doc:
+            "Skip phase-2 fuzzing of candidate pairs the static pre-filter proves \
+             cannot race (consistent common lock, single thread, read-read, or \
+             fork/join ordering).  Filtered pairs are journaled with their proof \
+             reason; confirmed-race results are unchanged — the filter is sound \
+             and only removes work.  Requires a static model: built-in workloads \
+             carry one, RFL files are analyzed directly; without one the flag \
+             warns and is a no-op.")
+  in
   let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
-      chaos_stop trial_deadline resume repro_dir repro_fuel detector_budget
-      mem_budget no_degrade =
+      chaos_stop trial_deadline resume repro_dir repro_fuel static_filter
+      detector_budget mem_budget no_degrade =
     let program =
       match Rf_workloads.Registry.find target with
-      | Some w -> Ok w.Rf_workloads.Workload.program
+      | Some w ->
+          Ok (w.Rf_workloads.Workload.program, w.Rf_workloads.Workload.static)
       | None -> (
           match load target with
-          | Ok prog -> Ok (Rf_lang.Lang.program ~print:ignore prog)
+          | Ok prog ->
+              Ok
+                ( Rf_lang.Lang.program ~print:ignore prog,
+                  Some (Rf_static.Static.of_program prog) )
           | Error m ->
               Error
                 (Fmt.str "%S is neither a built-in workload (see 'racefuzzer list') nor a \
@@ -638,7 +670,7 @@ let campaign_cmd =
     | Error m ->
         Fmt.epr "%s@." m;
         exit 1
-    | Ok program ->
+    | Ok (program, static) ->
         (* Resuming from the very file we are about to (re)write would
            truncate the journal before it can be read: move it aside. *)
         let resume =
@@ -672,6 +704,15 @@ let campaign_cmd =
             let base = Rf_campaign.Chaos.default chaos_seed in
             Some { base with Rf_campaign.Chaos.c_stop_after = chaos_stop }
         in
+        let static_filter =
+          if static_filter && static = None then begin
+            Fmt.epr
+              "WARNING: --static-filter ignored — %S has no static model@."
+              target;
+            false
+          end
+          else static_filter
+        in
         let stop = Rf_campaign.Campaign.stop_switch () in
         let (_ : Sys.signal_behavior) =
           (* Graceful SIGINT: workers drain, the journal is flushed, and a
@@ -686,7 +727,8 @@ let campaign_cmd =
               ~phase1_seeds:(List.init p1 Fun.id)
               ~seeds_per_pair:(List.init trials Fun.id)
               ~log ?chaos ?trial_deadline ?resume ~stop ?detector_budget
-              ?mem_budget ~no_degrade ?repro_dir ~target ~repro_fuel program
+              ?mem_budget ~no_degrade ?repro_dir ~target ~repro_fuel ?static
+              ~static_filter program
           with
           | Rf_resource.Governor.Budget_stop trigger ->
               Rf_campaign.Event_log.close log;
@@ -702,9 +744,13 @@ let campaign_cmd =
         Sys.set_signal Sys.sigint Sys.Signal_default;
         print_analysis r.Rf_campaign.Campaign.analysis;
         Fmt.pr "@.%a" Rf_report.Campaign_report.render r.Rf_campaign.Campaign.stats;
+        Fmt.pr "%a" Rf_report.Campaign_report.precision r;
         Fmt.pr "%a" Rf_report.Repro_report.render r.Rf_campaign.Campaign.repro;
         Fmt.pr "fingerprint: %s@."
           (Rf_campaign.Campaign.fingerprint r.Rf_campaign.Campaign.analysis);
+        Fmt.pr "confirmed:   %s@."
+          (Rf_campaign.Campaign.confirmed_fingerprint
+             r.Rf_campaign.Campaign.analysis);
         Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile;
         let s = r.Rf_campaign.Campaign.stats in
         if s.Rf_campaign.Campaign.s_interrupted then begin
@@ -733,7 +779,7 @@ let campaign_cmd =
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
       $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
       $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg
-      $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg)
+      $ static_filter_arg $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)

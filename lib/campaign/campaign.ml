@@ -4,6 +4,7 @@ module Algo = Racefuzzer.Algo
 module Outcome = Rf_runtime.Outcome
 module Engine = Rf_runtime.Engine
 module Governor = Rf_resource.Governor
+module Static = Rf_static.Static
 
 (* ------------------------------------------------------------------ *)
 (* Cooperative stop switch.  An atomic flag so it is safe to flip from a
@@ -46,6 +47,23 @@ type stats = {
   s_repro_written : int;
   s_repro_failed : int;
   s_repro_oracle_runs : int;
+  (* static pre-filter ([run ~static]) *)
+  s_static : static_summary option;
+}
+
+(** Accounting for one static pre-filter pass: the syntactic candidate
+    universe, the phase-1 frontier classification, and how many frontier
+    pairs [--static-filter] actually skipped (each saving a full per-pair
+    trial budget). *)
+and static_summary = {
+  st_universe : int;  (** same-location site pairs before any execution *)
+  st_universe_impossible : int;  (** universe pairs refuted statically *)
+  st_frontier : int;  (** phase-1 candidate pairs *)
+  st_likely : int;  (** frontier pairs classified Likely *)
+  st_unknown : int;
+  st_impossible : int;
+  st_filtered : int;  (** frontier pairs skipped (0 unless filtering on) *)
+  st_wall : float;  (** classification time, seconds *)
 }
 
 type result = {
@@ -683,6 +701,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_repro_written = 0;
       s_repro_failed = 0;
       s_repro_oracle_runs = 0;
+      s_static = None;
     }
   in
   Event_log.emit log
@@ -696,7 +715,8 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
     ?detector_budget ?mem_budget ?(no_degrade = false) ?repro_dir ?(target = "")
-    ?repro_fuel (program : Fuzzer.program) : result =
+    ?repro_fuel ?static ?(static_filter = false) (program : Fuzzer.program) :
+    result =
   (* Phase 1 is where detector state lives (phase-2 trials attach no
      detector), so this is where the entry budget really bites.  The
      governor is shared across the phase-1 seeds: detection precision is
@@ -741,6 +761,64 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
          level = Option.value ~default:"full" p1_level;
        });
   let pairs = Site.Pair.Set.elements potential in
+  (* Static pre-filter: classify the frontier, journal every skipped pair
+     with its reason, order the survivors Likely-first.  The classification
+     is a pure function of the program's AST/model, so a resumed campaign
+     given the same summary recomputes the same filtered set and the same
+     wave order — journals and fingerprints stay deterministic. *)
+  let static_sum, pairs, filtered =
+    match static with
+    | None -> (None, pairs, [])
+    | Some st ->
+        let t0 = Unix.gettimeofday () in
+        let uni = Static.universe st in
+        let ucounts = Static.count st uni in
+        let fcounts =
+          List.fold_left
+            (fun c p -> Static.count_verdict c (Static.classify st p))
+            Static.no_counts pairs
+        in
+        let surviving, filtered =
+          if static_filter then Fuzzer.partition_frontier ~static:st pairs
+          else (pairs, [])
+        in
+        let ordered = Fuzzer.order_pairs ~static:st surviving in
+        let st_wall = Unix.gettimeofday () -. t0 in
+        List.iter
+          (fun (p, v) ->
+            Event_log.emit log
+              (Event_log.Pair_filtered
+                 {
+                   pair = Site.Pair.to_string p;
+                   reason = Static.verdict_to_string v;
+                 }))
+          filtered;
+        let sum =
+          {
+            st_universe = Site.Pair.Set.cardinal uni;
+            st_universe_impossible = ucounts.Static.n_impossible;
+            st_frontier = List.length pairs;
+            st_likely = fcounts.Static.n_likely;
+            st_unknown = fcounts.Static.n_unknown;
+            st_impossible = fcounts.Static.n_impossible;
+            st_filtered = List.length filtered;
+            st_wall;
+          }
+        in
+        Event_log.emit log
+          (Event_log.Static_classified
+             {
+               universe = sum.st_universe;
+               universe_impossible = sum.st_universe_impossible;
+               frontier = sum.st_frontier;
+               likely = sum.st_likely;
+               unknown = sum.st_unknown;
+               impossible = sum.st_impossible;
+               filtered = sum.st_filtered;
+               wall = st_wall;
+             });
+        (Some sum, ordered, filtered)
+  in
   let results, stats =
     fuzz_pairs ~domains ~seeds:seeds_per_pair ~cutoff ?budget ?postpone_timeout
       ?max_steps ~log ?supervision ?chaos ?trial_deadline ?resume ?stop
@@ -759,6 +837,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
       real_pairs = collect Fuzzer.is_real;
       error_pairs = collect Fuzzer.is_harmful;
       deadlock_pairs = collect (fun r -> r.Fuzzer.deadlock_trials > 0);
+      a_filtered = filtered;
     }
   in
   (* Reproduction pass: sequential and after the fact, so it never
@@ -797,6 +876,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
          stats with
          s_phase1_wall = p1.Fuzzer.p1_wall;
          s_p1_level = p1_level;
+         s_static = static_sum;
          s_repro_written = List.length repro.Repro.written;
          s_repro_failed = repro.Repro.failed;
          s_repro_oracle_runs = repro.Repro.oracle_runs;
@@ -807,6 +887,39 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
 
 (* ------------------------------------------------------------------ *)
 (* Determinism fingerprint                                             *)
+
+let add_pair_record buf (r : Fuzzer.pair_result) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "pair %s race=%d err=%d dead=%d n=%d p=%.17g rs=%s es=%s\n"
+    (Site.Pair.to_string r.Fuzzer.pr_pair)
+    r.Fuzzer.race_trials r.Fuzzer.error_trials r.Fuzzer.deadlock_trials
+    (List.length r.Fuzzer.trials)
+    r.Fuzzer.probability
+    (match r.Fuzzer.race_seed with Some s -> string_of_int s | None -> "-")
+    (match r.Fuzzer.error_seed with Some s -> string_of_int s | None -> "-");
+  List.iter
+    (fun (t : Fuzzer.trial) ->
+      let o = t.Fuzzer.t_outcome in
+      add "  t%d race=%b exn=%d dead=%b steps=%d sw=%d%s\n" t.Fuzzer.t_seed
+        (Algo.race_created t.Fuzzer.t_report)
+        (List.length o.Outcome.exceptions)
+        (Outcome.deadlocked o) o.Outcome.steps o.Outcome.switches
+        (match t.Fuzzer.t_degraded with
+        | Some s ->
+            Printf.sprintf " degraded=%s ev=%d"
+              (Governor.level_to_string s.Governor.g_level)
+              s.Governor.g_evicted
+        | None -> ""))
+    r.Fuzzer.trials
+
+(* Results are canonicalized by pair before hashing, so the fingerprint is
+   independent of wave scheduling order (in particular of the Likely-first
+   reordering the static pre-filter applies). *)
+let sorted_results (a : Fuzzer.analysis) =
+  List.sort
+    (fun (x : Fuzzer.pair_result) (y : Fuzzer.pair_result) ->
+      Site.Pair.compare x.Fuzzer.pr_pair y.Fuzzer.pr_pair)
+    a.Fuzzer.results
 
 let fingerprint (a : Fuzzer.analysis) : string =
   let buf = Buffer.create 4096 in
@@ -827,33 +940,37 @@ let fingerprint (a : Fuzzer.analysis) : string =
         (Governor.level_to_string s.Governor.g_level)
         s.Governor.g_evicted
   | None -> ());
-  List.iter
-    (fun (r : Fuzzer.pair_result) ->
-      add "pair %s race=%d err=%d dead=%d n=%d p=%.17g rs=%s es=%s\n"
-        (Site.Pair.to_string r.Fuzzer.pr_pair)
-        r.Fuzzer.race_trials r.Fuzzer.error_trials r.Fuzzer.deadlock_trials
-        (List.length r.Fuzzer.trials)
-        r.Fuzzer.probability
-        (match r.Fuzzer.race_seed with Some s -> string_of_int s | None -> "-")
-        (match r.Fuzzer.error_seed with Some s -> string_of_int s | None -> "-");
-      List.iter
-        (fun (t : Fuzzer.trial) ->
-          let o = t.Fuzzer.t_outcome in
-          add "  t%d race=%b exn=%d dead=%b steps=%d sw=%d%s\n" t.Fuzzer.t_seed
-            (Algo.race_created t.Fuzzer.t_report)
-            (List.length o.Outcome.exceptions)
-            (Outcome.deadlocked o) o.Outcome.steps o.Outcome.switches
-            (match t.Fuzzer.t_degraded with
-            | Some s ->
-                Printf.sprintf " degraded=%s ev=%d"
-                  (Governor.level_to_string s.Governor.g_level)
-                  s.Governor.g_evicted
-            | None -> ""))
-        r.Fuzzer.trials)
-    a.Fuzzer.results;
+  List.iter (add_pair_record buf) (sorted_results a);
   add_pair_set "real" a.Fuzzer.real_pairs;
   add_pair_set "error" a.Fuzzer.error_pairs;
   add_pair_set "deadlock" a.Fuzzer.deadlock_pairs;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let equal_verdicts a b = String.equal (fingerprint a) (fingerprint b)
+
+(** Fingerprint of the {e confirmed} verdicts only: the real/error/deadlock
+    pair sets plus the full per-trial records of every pair in them.
+    Filtering Impossible pairs must not change this digest — that is the
+    CI gate for [--static-filter]: all the filter may do is skip pairs that
+    confirm nothing. *)
+let confirmed_fingerprint (a : Fuzzer.analysis) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_pair_set tag set =
+    add "%s:" tag;
+    Site.Pair.Set.iter (fun p -> add "%s;" (Site.Pair.to_string p)) set;
+    add "\n"
+  in
+  add_pair_set "real" a.Fuzzer.real_pairs;
+  add_pair_set "error" a.Fuzzer.error_pairs;
+  add_pair_set "deadlock" a.Fuzzer.deadlock_pairs;
+  let confirmed =
+    Site.Pair.Set.union a.Fuzzer.real_pairs
+      (Site.Pair.Set.union a.Fuzzer.error_pairs a.Fuzzer.deadlock_pairs)
+  in
+  List.iter
+    (fun (r : Fuzzer.pair_result) ->
+      if Site.Pair.Set.mem r.Fuzzer.pr_pair confirmed then
+        add_pair_record buf r)
+    (sorted_results a);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -99,6 +99,19 @@ type stats = {
   s_repro_written : int;  (** minimized reproduction schedules emitted *)
   s_repro_failed : int;  (** witnesses whose minimization failed to reproduce *)
   s_repro_oracle_runs : int;  (** engine runs spent minimizing *)
+  s_static : static_summary option;
+      (** static pre-filter precision summary ({!run} with [~static]) *)
+}
+
+and static_summary = {
+  st_universe : int;  (** same-variable site pairs in the whole program *)
+  st_universe_impossible : int;  (** universe pairs proved [Impossible] *)
+  st_frontier : int;  (** phase-1 candidate pairs handed to the filter *)
+  st_likely : int;
+  st_unknown : int;
+  st_impossible : int;  (** frontier pairs classified [Impossible] *)
+  st_filtered : int;  (** pairs actually skipped (0 unless filtering) *)
+  st_wall : float;  (** classification wall-clock seconds *)
 }
 
 type result = {
@@ -172,6 +185,8 @@ val run :
   ?repro_dir:string ->
   ?target:string ->
   ?repro_fuel:int ->
+  ?static:Rf_static.Static.t ->
+  ?static_filter:bool ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -195,7 +210,16 @@ val run :
     the phase-1 seeds, and its final ladder level is reported in
     [s_p1_level] and the [Phase1_finished] journal record.  Under
     [~no_degrade:true] a phase-1 budget trip raises
-    {!Rf_resource.Governor.Budget_stop} out of [run]. *)
+    {!Rf_resource.Governor.Budget_stop} out of [run].
+
+    [static] attaches a {!Rf_static.Static} model of the program: the
+    phase-1 frontier is classified (a [Static_classified] journal record
+    and [s_static] summary), surviving pairs are fuzzed Likely-first,
+    and with [~static_filter:true] pairs proved [Impossible] are skipped
+    before any trial runs (one [Pair_filtered] record each, and the
+    skipped pairs land in [analysis.a_filtered]).  Filtering composes
+    with resume: the surviving pair list is deterministic, so a filtered
+    campaign's journal replays exactly like any other. *)
 
 (** {1 Determinism checking} *)
 
@@ -212,3 +236,10 @@ val fingerprint : Fuzzer.analysis -> string
 
 val equal_verdicts : Fuzzer.analysis -> Fuzzer.analysis -> bool
 (** [fingerprint a = fingerprint b]. *)
+
+val confirmed_fingerprint : Fuzzer.analysis -> string
+(** Digest of the {e confirmed} verdicts only: the real/error/deadlock
+    pair sets plus the full trial records of every pair in them.  This is
+    the [--static-filter] soundness gate — a filtered campaign must
+    produce the same confirmed fingerprint as the unfiltered campaign,
+    because a sound filter only skips pairs that confirm nothing. *)

@@ -1,9 +1,10 @@
-(* Journal schema v3: v1 (PR 1) had no header and a Trial_finished without
+(* Journal schema v4: v1 (PR 1) had no header and a Trial_finished without
    the steps/switches/exns fields the resume path replays; v2 (PR 3) had
-   no degradation fields and no per-line checksum.  The reader skips
-   records it cannot parse, so an old journal degrades to "nothing to
-   resume" instead of failing. *)
-let schema_version = 3
+   no degradation fields and no per-line checksum; v3 (PR 5) added both;
+   v4 adds the static pre-filter events (Pair_filtered,
+   Static_classified).  The reader skips records it cannot parse, so an
+   old journal degrades to "nothing to resume" instead of failing. *)
+let schema_version = 4
 
 type event =
   | Journal_opened of { schema : int }
@@ -50,6 +51,17 @@ type event =
       domain : int;
       reason : string;
       steps : int;
+      wall : float;
+    }
+  | Pair_filtered of { pair : string; reason : string }
+  | Static_classified of {
+      universe : int;
+      universe_impossible : int;
+      frontier : int;
+      likely : int;
+      unknown : int;
+      impossible : int;
+      filtered : int;
       wall : float;
     }
   | Pair_resolved of { pair : string; at_trial : int }
@@ -179,6 +191,30 @@ let fields_of_event = function
           ("domain", I domain);
           ("reason", S reason);
           ("steps", I steps);
+          ("wall", F wall);
+        ] )
+  | Pair_filtered { pair; reason } ->
+      ("pair_filtered", [ ("pair", S pair); ("reason", S reason) ])
+  | Static_classified
+      {
+        universe;
+        universe_impossible;
+        frontier;
+        likely;
+        unknown;
+        impossible;
+        filtered;
+        wall;
+      } ->
+      ( "static_classified",
+        [
+          ("universe", I universe);
+          ("universe_impossible", I universe_impossible);
+          ("frontier", I frontier);
+          ("likely", I likely);
+          ("unknown", I unknown);
+          ("impossible", I impossible);
+          ("filtered", I filtered);
           ("wall", F wall);
         ] )
   | Pair_resolved { pair; at_trial } ->
@@ -449,6 +485,31 @@ let event_of_fields fields : event option =
       let* steps = int_f fields "steps" in
       let* wall = float_f fields "wall" in
       Some (Trial_exhausted { pair; seed; domain; reason; steps; wall })
+  | Some "pair_filtered" ->
+      let* pair = str_f fields "pair" in
+      let* reason = str_f fields "reason" in
+      Some (Pair_filtered { pair; reason })
+  | Some "static_classified" ->
+      let* universe = int_f fields "universe" in
+      let* universe_impossible = int_f fields "universe_impossible" in
+      let* frontier = int_f fields "frontier" in
+      let* likely = int_f fields "likely" in
+      let* unknown = int_f fields "unknown" in
+      let* impossible = int_f fields "impossible" in
+      let* filtered = int_f fields "filtered" in
+      let* wall = float_f fields "wall" in
+      Some
+        (Static_classified
+           {
+             universe;
+             universe_impossible;
+             frontier;
+             likely;
+             unknown;
+             impossible;
+             filtered;
+             wall;
+           })
   | Some "pair_resolved" ->
       let* pair = str_f fields "pair" in
       let* at_trial = int_f fields "at_trial" in

@@ -17,11 +17,11 @@
     ([Campaign.fuzz_pairs ~resume]) possible. *)
 
 val schema_version : int
-(** Journal schema of this writer (3: per-line checksums + degradation
-    fields).  Older journals (v1: no header, leaner [Trial_finished]; v2:
-    no checksums or degradation fields) load as observability events
-    only — the resume gate compares schemas, so resuming from one simply
-    re-runs everything. *)
+(** Journal schema of this writer (4: static pre-filter events).  Older
+    journals (v1: no header, leaner [Trial_finished]; v2: no checksums or
+    degradation fields; v3: no [Pair_filtered] / [Static_classified])
+    load as observability events only — the resume gate compares schemas,
+    so resuming from one simply re-runs everything. *)
 
 type event =
   | Journal_opened of { schema : int }  (** first line of a file journal *)
@@ -76,6 +76,23 @@ type event =
       steps : int;
       wall : float;
     }  (** A watchdog cancelled the trial ({!Rf_runtime.Engine.deadline}). *)
+  | Pair_filtered of { pair : string; reason : string }
+      (** the static pre-filter proved the pair [Impossible] ([reason] is
+          the {!Rf_static.Static.verdict} rendering); no phase-2 trial
+          will run for it *)
+  | Static_classified of {
+      universe : int;  (** same-variable site pairs in the whole program *)
+      universe_impossible : int;
+      frontier : int;  (** phase-1 candidate pairs handed to the filter *)
+      likely : int;
+      unknown : int;
+      impossible : int;  (** frontier pairs classified [Impossible] *)
+      filtered : int;  (** pairs actually skipped (0 unless filtering) *)
+      wall : float;  (** classification time, seconds *)
+    }
+      (** summary of one {!Rf_static.Static.classify} pass over the
+          phase-1 frontier, emitted whether or not [--static-filter]
+          actually skips anything *)
   | Pair_resolved of { pair : string; at_trial : int }
       (** the pair is classified real and harmful by its trial prefix
           [0..at_trial]; queued trials past that index will be cancelled *)

@@ -411,6 +411,40 @@ let minimize_schedule ?fuel ~(program : program) (sched : Schedule.t) :
   Shrinker.minimize ?fuel ~oracle:(schedule_oracle ~program ()) sched
 
 (* ------------------------------------------------------------------ *)
+(* Static pre-filtering of the candidate frontier                      *)
+
+(** Likely pairs first, then Unknown, then Impossible: the campaign fuzzes
+    the pairs the static analysis believes in before spending trials on
+    the rest.  Stable within a rank (pairs keep their canonical order), so
+    the wave schedule is a pure function of the frontier + the summary. *)
+let verdict_rank = function
+  | Rf_static.Static.Likely -> 0
+  | Rf_static.Static.Unknown _ -> 1
+  | Rf_static.Static.Impossible _ -> 2
+
+let order_pairs ~static pairs =
+  List.stable_sort
+    (fun a b ->
+      Int.compare
+        (verdict_rank (Rf_static.Static.classify static a))
+        (verdict_rank (Rf_static.Static.classify static b)))
+    pairs
+
+(** Split a frontier into (surviving, filtered-with-verdicts): only
+    [Impossible] pairs are filtered — the analysis is sound in exactly
+    that direction, so skipping them loses no confirmable race. *)
+let partition_frontier ~static pairs =
+  let filtered, surviving =
+    List.partition_map
+      (fun pair ->
+        match Rf_static.Static.classify static pair with
+        | Rf_static.Static.Impossible _ as v -> Either.Left (pair, v)
+        | _ -> Either.Right pair)
+      pairs
+  in
+  (surviving, filtered)
+
+(* ------------------------------------------------------------------ *)
 (* Whole-program analysis                                              *)
 
 type analysis = {
@@ -419,11 +453,28 @@ type analysis = {
   real_pairs : Site.Pair.Set.t;
   error_pairs : Site.Pair.Set.t;
   deadlock_pairs : Site.Pair.Set.t;
+  a_filtered : (Site.Pair.t * Rf_static.Static.verdict) list;
+      (** phase-1 candidates refuted statically and never fuzzed *)
 }
+
+(** Project an unfiltered analysis onto the pairs [keep] accepts, as if the
+    others had been filtered before phase 2: used by the integration tests
+    to state that filtering only ever *removes* per-pair records. *)
+let restrict_analysis ~keep (a : analysis) : analysis =
+  let results = List.filter (fun r -> keep r.pr_pair) a.results in
+  let restrict = Site.Pair.Set.filter keep in
+  {
+    a with
+    results;
+    real_pairs = restrict a.real_pairs;
+    error_pairs = restrict a.error_pairs;
+    deadlock_pairs = restrict a.deadlock_pairs;
+  }
 
 let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?postpone_timeout ?max_steps ?detector_budget ?mem_budget
-    ?(no_degrade = false) (program : program) : analysis =
+    ?(no_degrade = false) ?static ?(static_filter = false)
+    (program : program) : analysis =
   (* Resource governance lives in phase 1: that is where the detector —
      and hence the unbounded analysis state — is.  Phase-2 trials carry
      no detector, so they run ungoverned here (the campaign orchestrator
@@ -450,6 +501,15 @@ let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
   in
   let p1 = phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor program in
   let pairs = Site.Pair.Set.elements (potential_pairs p1) in
+  let pairs, filtered =
+    match static with
+    | None -> (pairs, [])
+    | Some st ->
+        if static_filter then
+          let surviving, filtered = partition_frontier ~static:st pairs in
+          (order_pairs ~static:st surviving, filtered)
+        else (order_pairs ~static:st pairs, [])
+  in
   let results =
     List.map
       (fun pair -> fuzz_pair ~seeds:seeds_per_pair ?postpone_timeout ?max_steps ~program pair)
@@ -466,6 +526,7 @@ let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     real_pairs = collect is_real;
     error_pairs = collect is_harmful;
     deadlock_pairs = collect (fun r -> r.deadlock_trials > 0);
+    a_filtered = filtered;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -231,6 +231,27 @@ val minimize_schedule :
   (Rf_replay.Schedule.t * Rf_replay.Shrinker.stats) option
 (** {!Rf_replay.Shrinker.minimize} against {!schedule_oracle}. *)
 
+(** {1 Static pre-filtering}
+
+    Hooks for the {!Rf_static.Static} pre-filter: candidate pairs the
+    analysis proves [Impossible] are skipped before any phase-2 trial, and
+    surviving pairs are fuzzed [Likely]-first.  Soundness (an [Impossible]
+    verdict never hides a phase-2-confirmable race) is established by the
+    differential QCheck harness in [test/test_static.ml]. *)
+
+val verdict_rank : Rf_static.Static.verdict -> int
+(** [Likely] = 0, [Unknown] = 1, [Impossible] = 2. *)
+
+val order_pairs :
+  static:Rf_static.Static.t -> Site.Pair.t list -> Site.Pair.t list
+(** Stable sort by {!verdict_rank}: Likely-first wave scheduling. *)
+
+val partition_frontier :
+  static:Rf_static.Static.t ->
+  Site.Pair.t list ->
+  Site.Pair.t list * (Site.Pair.t * Rf_static.Static.verdict) list
+(** [(surviving, filtered)]: only [Impossible] pairs are filtered. *)
+
 (** {1 Whole-program analysis} *)
 
 type analysis = {
@@ -239,7 +260,14 @@ type analysis = {
   real_pairs : Site.Pair.Set.t;
   error_pairs : Site.Pair.Set.t;
   deadlock_pairs : Site.Pair.Set.t;
+  a_filtered : (Site.Pair.t * Rf_static.Static.verdict) list;
+      (** phase-1 candidates refuted statically and never fuzzed *)
 }
+
+val restrict_analysis : keep:(Site.Pair.t -> bool) -> analysis -> analysis
+(** Drop per-pair results (and their membership in the verdict sets) for
+    pairs [keep] rejects, leaving phase 1 untouched: the unfiltered run
+    projected onto a surviving-pair set. *)
 
 val analyze :
   ?phase1_seeds:int list ->
@@ -249,6 +277,8 @@ val analyze :
   ?detector_budget:int ->
   ?mem_budget:float ->
   ?no_degrade:bool ->
+  ?static:Rf_static.Static.t ->
+  ?static_filter:bool ->
   program ->
   analysis
 (** [detector_budget] caps phase-1 detector-state entries; [mem_budget]

@@ -105,7 +105,15 @@ type shared_decl = {
   gpos : pos;
 }
 
-type thread_decl = { tname : string; tbody : block; tpos : pos }
+type thread_decl = {
+  tname : string;
+  tafter : string list;
+      (** names of earlier-declared threads that must be joined before this
+          one is forked — [thread t2 after t0, t1 {...}].  Empty for the
+          default all-parallel fork. *)
+  tbody : block;
+  tpos : pos;
+}
 
 type program = {
   file : string;

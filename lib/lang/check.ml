@@ -221,6 +221,23 @@ let check (prog : Ast.program) : unit =
     (fun (t : Ast.thread_decl) ->
       if Hashtbl.mem thread_names t.Ast.tname then
         err t.Ast.tpos "duplicate thread %s" t.Ast.tname;
+      (* 'after' dependencies must name earlier-declared threads, so the
+         dependency graph is a DAG by construction and the interpreter can
+         join each dependency before forking the dependent. *)
+      let seen_dep = Hashtbl.create 4 in
+      List.iter
+        (fun dep ->
+          if String.equal dep t.Ast.tname then
+            err t.Ast.tpos "thread %s cannot run after itself" t.Ast.tname;
+          if not (Hashtbl.mem thread_names dep) then
+            err t.Ast.tpos
+              "thread %s runs after %s, which is not declared earlier" t.Ast.tname
+              dep;
+          if Hashtbl.mem seen_dep dep then
+            err t.Ast.tpos "thread %s lists %s twice in its after clause"
+              t.Ast.tname dep;
+          Hashtbl.add seen_dep dep ())
+        t.Ast.tafter;
       Hashtbl.add thread_names t.Ast.tname ())
     prog.Ast.threads;
   if prog.Ast.threads = [] then

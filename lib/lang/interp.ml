@@ -232,7 +232,12 @@ and exec_block ctx block =
 
 (** Build the [unit -> unit] main for one run: allocates globals and locks,
     forks every declared thread, and joins them all.  Each thread gets its
-    own [ctx] copy so frame stacks don't interfere. *)
+    own [ctx] copy so frame stacks don't interfere.
+
+    Threads with an [after] clause are forked only once every dependency
+    has been joined, so the declared fork/join DAG induces real
+    happens-before edges: statements of a dependent thread can never run
+    concurrently with statements of its (transitive) dependencies. *)
 let main_of ?(print = print_endline) (prog : Ast.program) () : unit =
   let globals = Hashtbl.create 16 in
   let locks = Hashtbl.create 8 in
@@ -251,12 +256,29 @@ let main_of ?(print = print_endline) (prog : Ast.program) () : unit =
   List.iter
     (fun (name, _) -> Hashtbl.replace locks name (Lock.create ~name ()))
     prog.Ast.locks;
+  let handle_of = Hashtbl.create 8 in
+  let joined = Hashtbl.create 8 in
   let handles =
     List.map
       (fun (t : Ast.thread_decl) ->
-        Api.fork ~name:t.Ast.tname (fun () ->
-            let ctx = { prog; globals; locks; print; frames = [] } in
-            exec_block ctx t.Ast.tbody))
+        (* dependencies are declared (and hence forked) earlier: join each
+           one not yet joined before forking the dependent *)
+        List.iter
+          (fun dep ->
+            if not (Hashtbl.mem joined dep) then begin
+              Api.join (Hashtbl.find handle_of dep);
+              Hashtbl.add joined dep ()
+            end)
+          t.Ast.tafter;
+        let h =
+          Api.fork ~name:t.Ast.tname (fun () ->
+              let ctx = { prog; globals; locks; print; frames = [] } in
+              exec_block ctx t.Ast.tbody)
+        in
+        Hashtbl.replace handle_of t.Ast.tname h;
+        (t.Ast.tname, h))
       prog.Ast.threads
   in
-  List.iter Api.join handles
+  List.iter
+    (fun (name, h) -> if not (Hashtbl.mem joined name) then Api.join h)
+    handles

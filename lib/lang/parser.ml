@@ -7,7 +7,7 @@
       decl      ::= 'shared' ty ('[' INT ']')? IDENT ('=' expr)? ';'
                   | 'lock' IDENT ';'
                   | 'def' IDENT '(' params ')' ('->' ty)? block
-                  | 'thread' IDENT block
+                  | 'thread' IDENT ('after' IDENT (',' IDENT)... )? block
       stmt      ::= IDENT '=' expr ';'            | IDENT '[' expr ']' '=' expr ';'
                   | 'let' IDENT '=' expr ';'      | 'if' '(' expr ')' block ('else' (block|if-stmt))?
                   | 'while' '(' expr ')' block    | 'for' '(' simple ';' expr ';' simple ')' block
@@ -411,8 +411,24 @@ let parse_program ~file src : Ast.program =
         let pos = peek_pos p in
         advance p;
         let name = expect_ident p in
+        let after =
+          if peek p = Token.AFTER then begin
+            advance p;
+            let rec deps acc =
+              let d = expect_ident p in
+              if peek p = Token.COMMA then begin
+                advance p;
+                deps (d :: acc)
+              end
+              else List.rev (d :: acc)
+            in
+            deps []
+          end
+          else []
+        in
         let body = parse_block p in
-        threads := { Ast.tname = name; tbody = body; tpos = pos } :: !threads;
+        threads :=
+          { Ast.tname = name; tafter = after; tbody = body; tpos = pos } :: !threads;
         go ()
     | t -> error p "expected a declaration but found %s" (Token.to_string t)
   in

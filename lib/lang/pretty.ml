@@ -117,7 +117,12 @@ let pp_program ppf (p : Ast.program) =
     p.Ast.funcs;
   List.iter
     (fun (t : Ast.thread_decl) ->
-      Fmt.pf ppf "thread %s %a@." t.Ast.tname (pp_block 0) t.Ast.tbody)
+      match t.Ast.tafter with
+      | [] -> Fmt.pf ppf "thread %s %a@." t.Ast.tname (pp_block 0) t.Ast.tbody
+      | deps ->
+          Fmt.pf ppf "thread %s after %a %a@." t.Ast.tname
+            (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+            deps (pp_block 0) t.Ast.tbody)
     p.Ast.threads
 
 let program_to_string p = Fmt.str "%a" pp_program p
@@ -199,5 +204,7 @@ let program_equal (a : Ast.program) (b : Ast.program) =
   && List.length a.Ast.threads = List.length b.Ast.threads
   && List.for_all2
        (fun (t : Ast.thread_decl) (u : Ast.thread_decl) ->
-         String.equal t.Ast.tname u.Ast.tname && block_equal t.Ast.tbody u.Ast.tbody)
+         String.equal t.Ast.tname u.Ast.tname
+         && t.Ast.tafter = u.Ast.tafter
+         && block_equal t.Ast.tbody u.Ast.tbody)
        a.Ast.threads b.Ast.threads

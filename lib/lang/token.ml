@@ -14,6 +14,7 @@ type t =
   (* keywords *)
   | SHARED
   | THREAD
+  | AFTER
   | DEF
   | LET
   | IF
@@ -67,6 +68,7 @@ type t =
 let keyword_of_string = function
   | "shared" -> Some SHARED
   | "thread" -> Some THREAD
+  | "after" -> Some AFTER
   | "def" -> Some DEF
   | "let" -> Some LET
   | "if" -> Some IF
@@ -97,6 +99,7 @@ let pp ppf = function
   | IDENT s -> Fmt.pf ppf "IDENT(%s)" s
   | SHARED -> Fmt.string ppf "shared"
   | THREAD -> Fmt.string ppf "thread"
+  | AFTER -> Fmt.string ppf "after"
   | DEF -> Fmt.string ppf "def"
   | LET -> Fmt.string ppf "let"
   | IF -> Fmt.string ppf "if"

@@ -39,6 +39,20 @@ let render ppf (s : C.stats) =
       s.C.s_worker_crashes s.C.s_worker_respawns s.C.s_worker_gave_up;
   if s.C.s_interrupted then
     Fmt.pf ppf "INTERRUPTED: partial results — resume from the journal with --resume@.";
+  (match s.C.s_static with
+  | Some st ->
+      Fmt.pf ppf
+        "static:   universe %d pair(s), %d provably race-free; frontier %d \
+         = %d likely + %d unknown + %d impossible@."
+        st.C.st_universe st.C.st_universe_impossible st.C.st_frontier
+        st.C.st_likely st.C.st_unknown st.C.st_impossible;
+      Fmt.pf ppf "          %d pair(s) filtered before phase 2 (%.1f%% of frontier), %.3fs classification@."
+        st.C.st_filtered
+        (if st.C.st_frontier > 0 then
+           100.0 *. float_of_int st.C.st_filtered /. float_of_int st.C.st_frontier
+         else 0.0)
+        st.C.st_wall
+  | None -> ());
   Fmt.pf ppf "wall:     %.3fs phase 2 (+ %.3fs phase 1), %.1f trials/s@."
     s.C.s_wall s.C.s_phase1_wall s.C.s_throughput;
   Array.iteri
@@ -50,3 +64,39 @@ let render ppf (s : C.stats) =
     s.C.s_domain_trials
 
 let pp = render
+
+module Fuzzer = Racefuzzer.Fuzzer
+open Rf_util
+
+(* The pre-filter precision table: how much of the candidate frontier the
+   static analysis removed, against what phase 2 actually confirmed.  A
+   sound filter never filters a confirmed pair, so the last row is always
+   0 — the table prints it anyway as the visible soundness check. *)
+let precision ppf (r : C.result) =
+  match r.C.stats.C.s_static with
+  | None -> ()
+  | Some st ->
+      let a = r.C.analysis in
+      let confirmed =
+        Site.Pair.Set.union a.Fuzzer.real_pairs
+          (Site.Pair.Set.union a.Fuzzer.error_pairs a.Fuzzer.deadlock_pairs)
+      in
+      let filtered_confirmed =
+        List.length
+          (List.filter
+             (fun (p, _) -> Site.Pair.Set.mem p confirmed)
+             a.Fuzzer.a_filtered)
+      in
+      Fmt.pf ppf "static pre-filter precision@.";
+      Fmt.pf ppf "  candidate pairs      %6d@." st.C.st_frontier;
+      Fmt.pf ppf "  filtered (impossible)%6d@." st.C.st_filtered;
+      Fmt.pf ppf "  fuzzed               %6d@." (st.C.st_frontier - st.C.st_filtered);
+      Fmt.pf ppf "  confirmed by phase 2 %6d@." (Site.Pair.Set.cardinal confirmed);
+      Fmt.pf ppf "  filtered ∩ confirmed %6d%s@." filtered_confirmed
+        (if filtered_confirmed > 0 then "  <-- UNSOUND FILTER" else "");
+      Fmt.pf ppf "  filter time          %9.3fs@." st.C.st_wall;
+      List.iter
+        (fun (p, v) ->
+          Fmt.pf ppf "  - %s: %s@." (Site.Pair.to_string p)
+            (Rf_static.Static.verdict_to_string v))
+        a.Fuzzer.a_filtered

@@ -3,3 +3,10 @@
 
 val render : Format.formatter -> Rf_campaign.Campaign.stats -> unit
 val pp : Format.formatter -> Rf_campaign.Campaign.stats -> unit
+
+val precision : Format.formatter -> Rf_campaign.Campaign.result -> unit
+(** The static pre-filter precision table: frontier size, pairs filtered,
+    pairs confirmed by phase 2, the (always-zero-when-sound) overlap
+    between the two, classification time, and the per-pair filter
+    verdicts.  Prints nothing when the campaign ran without a static
+    model. *)

@@ -115,7 +115,50 @@ let program ?(ncycles = 3) ?(nops = 10) () =
   Common.Farm.consume_rounds farm 20;
   Api.join h
 
+(* Ground-truth static model.  The cache map is consistently protected by
+   the "cache" lock — provably race-free.  The [_sleep] pairs are the real
+   bug: writes carry no lock, the read holds only the cleaner monitor, so
+   no common must-lock and they survive as Likely.  The handshake farm's
+   data accesses are lock-free on both sides (their synchronization is the
+   implicit flag protocol, invisible to a lockset analysis) and survive
+   too — phase 2 is what refutes them.  The shared flag sites live in
+   [wl_common] and each occurrence holds a {e different} per-handshake
+   lock, so their must-intersection is empty. *)
+let static_model =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  Model.access b ~site:site_sleep_w_true ~var:"_sleep" ~write:true
+    ~thread:"CacheCleaner" ~locks:[];
+  Model.access b ~site:site_sleep_w_false ~var:"_sleep" ~write:true
+    ~thread:"CacheCleaner" ~locks:[];
+  Model.access b ~site:site_sleep_r ~var:"_sleep" ~write:false ~thread:"main"
+    ~locks:[ "cleaner" ];
+  List.iter
+    (fun thread ->
+      Model.access b ~site:site_map_r ~var:"cache.buckets" ~write:false ~thread
+        ~locks:[ "cache" ];
+      Model.access b ~site:site_map_w ~var:"cache.buckets" ~write:true ~thread
+        ~locks:[ "cache" ])
+    [ "main"; "CacheCleaner" ];
+  for i = 0 to 7 do
+    let var = Printf.sprintf "hs%d.data" i in
+    Model.access b
+      ~site:(Site.make ~file ~line:(100 + (2 * i)) (Printf.sprintf "hs%d.data(write)" i))
+      ~var ~write:true ~thread:"CacheCleaner" ~locks:[];
+    Model.access b
+      ~site:(Site.make ~file ~line:(100 + (2 * i) + 1) (Printf.sprintf "hs%d.data(read)" i))
+      ~var ~write:false ~thread:"main" ~locks:[]
+  done;
+  Model.access b
+    ~site:(Site.make ~file:"wl_common" ~line:20 "hs.flag=1")
+    ~var:"hs.flag" ~write:true ~thread:"CacheCleaner" ~locks:[];
+  Model.access b
+    ~site:(Site.make ~file:"wl_common" ~line:21 "hs.flag?")
+    ~var:"hs.flag" ~write:false ~thread:"main" ~locks:[];
+  Model.build b
+
 let workload =
   Workload.make ~name:"cache4j"
     ~descr:"cache4j analogue: _sleep/interrupt race crashes the cleaner (paper §5.3)"
-    ~sloc:96 ~expected_real:(Some 2) (fun () -> program ())
+    ~sloc:96 ~expected_real:(Some 2) ~static:(Some static_model)
+    (fun () -> program ())

@@ -64,6 +64,26 @@ let program () =
   Api.join h1;
   Api.join h2
 
+(* Ground-truth static model.  The soundness directions matter: [y] is
+   consistently protected by [L] (both accesses carry the must-lock), so
+   its pair is provably race-free; the [x] pair survives as Likely — the
+   read side holds [L] but the write side does not, and implicit
+   synchronization through [y] is exactly what a lockset analysis cannot
+   see.  Phase 2, not the filter, refutes it. *)
+let static_model =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  Model.access b ~site:s1_write_x ~var:"x" ~write:true ~thread:"thread1" ~locks:[];
+  Model.access b ~site:s3_write_y ~var:"y" ~write:true ~thread:"thread1"
+    ~locks:[ "L" ];
+  Model.access b ~site:s5_read_z ~var:"z" ~write:false ~thread:"thread1" ~locks:[];
+  Model.access b ~site:s7_write_z ~var:"z" ~write:true ~thread:"thread2" ~locks:[];
+  Model.access b ~site:s9_read_y ~var:"y" ~write:false ~thread:"thread2"
+    ~locks:[ "L" ];
+  Model.access b ~site:s10_read_x ~var:"x" ~write:false ~thread:"thread2"
+    ~locks:[ "L" ];
+  Model.build b
+
 let workload =
   Workload.make ~name:"figure1" ~descr:"paper Figure 1: one real race on z, one false alarm on x"
-    ~sloc:14 ~expected_real:(Some 1) program
+    ~sloc:14 ~expected_real:(Some 1) ~static:(Some static_model) program

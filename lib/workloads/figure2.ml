@@ -56,11 +56,28 @@ let program ?(k = 50) () =
   Api.join h1;
   Api.join h2
 
+(* Ground-truth static model.  The scratch cells are single-thread (and
+   lock-protected) — provably race-free; the x pair is the real race and
+   survives.  Independent of [k]: the loop reuses one site. *)
+let static_model =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  Model.access b ~site:s8_read_x ~var:"x" ~write:false ~thread:"thread1" ~locks:[];
+  Model.access b ~site:s10_write_x ~var:"x" ~write:true ~thread:"thread2" ~locks:[];
+  Model.access b
+    ~site:(Site.make ~file ~line:2 "f_i()")
+    ~var:"scratch" ~write:true ~thread:"thread1" ~locks:[ "L" ];
+  Model.access b
+    ~site:(Site.make ~file ~line:12 "f6()")
+    ~var:"scratch2" ~write:true ~thread:"thread2" ~locks:[ "L" ];
+  Model.build b
+
 let workload_of_k k =
   Workload.make ~name:(Printf.sprintf "figure2[k=%d]" k)
     ~descr:"paper Figure 2: hard-to-reproduce real race on x"
     ~sloc:14
     ~expected_real:(Some 1)
+    ~static:(Some static_model)
     (fun () -> program ~k ())
 
 let workload = workload_of_k 50

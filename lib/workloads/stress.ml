@@ -127,23 +127,84 @@ let address_sweep ?(locs = 1_200_000) ?(overlap = 256) () =
   Api.join h2
 
 (* ------------------------------------------------------------------ *)
+(* Static models.
+
+   Coarse but sound: the storm's per-thread [mine] cells share one site,
+   so the model merges them into one over-approximated shared variable
+   (Likely, never fuzzed into a confirmation — an accepted imprecision);
+   the churn accesses hold a different lock on every occurrence, so the
+   must-intersection is empty and the real cross-lock race survives.  The
+   reflexive single-thread and read-read pairs are what the filter can
+   actually prove Impossible here. *)
+
+let storm_model ~threads =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  for i = 0 to threads - 1 do
+    let thread = Printf.sprintf "storm%d" i in
+    Model.access b ~site:(s 10 "storm.mine(write)") ~var:"storm.mine"
+      ~write:true ~thread ~locks:[];
+    Model.access b ~site:(s 11 "storm.shared(read)") ~var:"storm.shared"
+      ~write:false ~thread ~locks:[];
+    Model.access b ~site:(s 12 "storm.shared(write)") ~var:"storm.shared"
+      ~write:true ~thread ~locks:[]
+  done;
+  Model.build b
+
+let churn_model =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  Model.access b ~site:(s 21 "churn.x(read,a)") ~var:"churn.x" ~write:false
+    ~thread:"churn-a" ~locks:[];
+  Model.access b ~site:(s 22 "churn.x(write,a)") ~var:"churn.x" ~write:true
+    ~thread:"churn-a" ~locks:[];
+  Model.access b ~site:(s 23 "churn.x(read,b)") ~var:"churn.x" ~write:false
+    ~thread:"churn-b" ~locks:[];
+  Model.access b ~site:(s 24 "churn.x(write,b)") ~var:"churn.x" ~write:true
+    ~thread:"churn-b" ~locks:[];
+  Model.build b
+
+let hotloc_model ~threads =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  for i = 0 to threads - 1 do
+    Model.access b
+      ~site:(Site.make ~file ~line:(100 + i) (Printf.sprintf "hot.t%d" i))
+      ~var:"hot" ~write:true
+      ~thread:(Printf.sprintf "hot%d" i)
+      ~locks:[]
+  done;
+  Model.build b
+
+let sweep_model =
+  let open Rf_static.Static in
+  let b = Model.create () in
+  Model.access b ~site:(s 200 "sweep(lo)") ~var:"sweep.arr" ~write:true
+    ~thread:"sweep-lo" ~locks:[];
+  Model.access b ~site:(s 201 "sweep(hi)") ~var:"sweep.arr" ~write:true
+    ~thread:"sweep-hi" ~locks:[];
+  Model.build b
+
+(* ------------------------------------------------------------------ *)
 
 let workloads =
   [
     Workload.make ~name:"stress-threads"
       ~descr:"thread storm: clock-table pressure (48 threads)" ~sloc:30
+      ~static:(Some (storm_model ~threads:48))
       (thread_storm ?threads:None ?writes:None);
     Workload.make ~name:"stress-locks"
       ~descr:"lock churn: happens-before message-table pressure (2000 locks)"
-      ~sloc:30
+      ~sloc:30 ~static:(Some churn_model)
       (lock_churn ?locks:None ?rounds:None);
     Workload.make ~name:"stress-hotloc"
       ~descr:"hot location: single-bucket history pressure (16 writers)"
       ~sloc:25
+      ~static:(Some (hotloc_model ~threads:16))
       (hot_location ?threads:None ?rounds:None);
     Workload.make ~name:"stress-sweep"
       ~descr:"address sweep: per-element detector state, OOMs ungoverned (1.2M locations)"
-      ~sloc:25
+      ~sloc:25 ~static:(Some sweep_model)
       (address_sweep ?locs:None ?overlap:None);
   ]
 
@@ -153,14 +214,16 @@ let small =
   [
     Workload.make ~name:"stress-threads-small" ~descr:"thread storm (12 threads)"
       ~sloc:30
+      ~static:(Some (storm_model ~threads:12))
       (thread_storm ~threads:12 ~writes:2);
     Workload.make ~name:"stress-locks-small" ~descr:"lock churn (64 locks)"
-      ~sloc:30
+      ~sloc:30 ~static:(Some churn_model)
       (lock_churn ~locks:64 ~rounds:1);
     Workload.make ~name:"stress-hotloc-small" ~descr:"hot location (8 writers)"
       ~sloc:25
+      ~static:(Some (hotloc_model ~threads:8))
       (hot_location ~threads:8 ~rounds:8);
     Workload.make ~name:"stress-sweep-small" ~descr:"address sweep (4096 locations)"
-      ~sloc:25
+      ~sloc:25 ~static:(Some sweep_model)
       (address_sweep ~locs:4096 ~overlap:64);
   ]

@@ -12,10 +12,14 @@ type t = {
       (** planted real races in our analogue (for tests); [None] = unknown *)
   interactive : bool;
       (** paper skips runtime columns for jigsaw; mirrored here *)
+  static : Rf_static.Static.t option;
+      (** hand-built {!Rf_static.Static.Model} of the workload's shared
+          accesses, for the [--static-filter] pre-filter; [None] = the
+          workload has no model and campaigns run unfiltered *)
 }
 
 let make ?(known_real_races = None) ?(expected_real = None) ?(interactive = false)
-    ~name ~descr ~sloc program =
-  { name; descr; sloc; program; known_real_races; expected_real; interactive }
+    ?(static = None) ~name ~descr ~sloc program =
+  { name; descr; sloc; program; known_real_races; expected_real; interactive; static }
 
 let pp ppf t = Fmt.pf ppf "%s (%d sloc): %s" t.name t.sloc t.descr

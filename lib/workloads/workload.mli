@@ -9,12 +9,17 @@ type t = {
   known_real_races : int option;  (** paper column 8; [None] renders '-' *)
   expected_real : int option;  (** planted real races (asserted by tests) *)
   interactive : bool;  (** paper omits runtime columns for jigsaw *)
+  static : Rf_static.Static.t option;
+      (** hand-built {!Rf_static.Static.Model} of the workload's shared
+          accesses, for the [--static-filter] pre-filter; [None] = no
+          model, campaigns run unfiltered *)
 }
 
 val make :
   ?known_real_races:int option ->
   ?expected_real:int option ->
   ?interactive:bool ->
+  ?static:Rf_static.Static.t option ->
   name:string ->
   descr:string ->
   sloc:int ->

@@ -4,10 +4,27 @@
    generated program — itself one of the properties).  The shape is
    constrained to keep every execution finite and monitor-safe:
    - loops are literal-bounded [for] loops,
-   - locking is block-structured ([sync] only),
+   - locking is block-structured ([sync], or a straight-line balanced
+     lock/unlock triple),
    - division/modulo use non-zero literal divisors,
    - [wait] is generated rarely (deadlocks are legitimate outcomes the
-     properties account for; step-bound timeouts are not). *)
+     properties account for; step-bound timeouts are not).
+
+   The generator is deliberately adversarial toward the static pre-filter
+   ([Rf_static.Static]) — its differential soundness harness
+   ([test_static.ml]) fuzzes these shapes looking for an Impossible verdict
+   on a pair phase 2 can confirm:
+   - conditionally-held locks (the same variable written locked in one
+     branch, bare in the other);
+   - lock aliasing (one variable "protected" by different locks at
+     different sites, so no common must-lock exists);
+   - a disciplined variable ([g2], always written under [L1]) so genuine
+     Common_lock-Impossible pairs occur, not just vacuous ones;
+   - fork/join chains via [thread t after ...] clauses, including data
+     that is thread-local until a dependent thread starts;
+   - every statement gets a distinct source position ([stamp_positions]),
+     so distinct program points are distinct sites rather than one merged
+     fact. *)
 
 open QCheck.Gen
 
@@ -84,14 +101,21 @@ and gen_bool_expr scope depth =
       ]
 
 (* Assignments target globals and arrays only: loop counters stay
-   read-only so every generated loop is genuinely bounded. *)
+   read-only so every generated loop is genuinely bounded.  [g2] is the
+   disciplined variable: every write goes through [sync (L1)], so its
+   write-write pairs are genuinely Impossible(Common_lock) — material for
+   the filter to actually remove. *)
 let gen_assign scope =
   frequency
     [
       ( 3,
-        let* v = oneofl int_globals in
+        let* v = oneofl [ "g0"; "g1" ] in
         let* ex = gen_int_expr scope 1 in
         return (s (Rf_lang.Ast.Sassign (v, ex))) );
+      ( 1,
+        let* ex = gen_int_expr scope 1 in
+        return
+          (s (Rf_lang.Ast.Ssync ("L1", [ s (Rf_lang.Ast.Sassign ("g2", ex)) ]))) );
       ( 1,
         let* v = oneofl bool_globals in
         let* ex = gen_bool_expr scope 1 in
@@ -102,6 +126,41 @@ let gen_assign scope =
         let* ex = gen_int_expr scope 1 in
         return (s (Rf_lang.Ast.Sindex_assign (a, e (Rf_lang.Ast.Eint i), ex))) );
     ]
+
+(* Conditionally-held lock: the same variable is written under a lock in
+   one branch and bare in the other.  A sound must-lockset joins branches
+   by intersection; a filter that unions instead would wrongly prove
+   Common_lock here. *)
+let gen_cond_sync scope =
+  let* l = oneofl locks in
+  let* v = oneofl [ "g0"; "g1" ] in
+  let* c = gen_bool_expr scope 1 in
+  let* locked = gen_int_expr scope 1 in
+  let* bare = gen_int_expr scope 1 in
+  return
+    (s
+       (Rf_lang.Ast.Sif
+          ( c,
+            [ s (Rf_lang.Ast.Ssync (l, [ s (Rf_lang.Ast.Sassign (v, locked)) ])) ],
+            Some [ s (Rf_lang.Ast.Sassign (v, bare)) ] )))
+
+(* Lock aliasing: the same variable "protected" by whichever lock this
+   occurrence happened to pick.  Across two threads the locks differ, the
+   must-intersection is empty, and the pair must survive as Likely. *)
+let gen_alias_sync scope =
+  let* l = oneofl locks in
+  let* v = oneofl [ "g0"; "g1" ] in
+  let* ex = gen_int_expr scope 1 in
+  return (s (Rf_lang.Ast.Ssync (l, [ s (Rf_lang.Ast.Sassign (v, ex)) ])))
+
+(* Straight-line balanced lock/unlock triple: exercises the non-block
+   [Slock]/[Sunlock] lock-stack tracking without risking an unbalanced
+   thread exit. *)
+let gen_lock_triple scope =
+  let* l = oneofl locks in
+  let* body = gen_assign scope in
+  return
+    [ s (Rf_lang.Ast.Slock l); body; s (Rf_lang.Ast.Sunlock l) ]
 
 let rec gen_stmt scope depth =
   if depth <= 0 then gen_assign scope
@@ -140,6 +199,8 @@ let rec gen_stmt scope depth =
           let* l = oneofl locks in
           let* b = gen_block scope (depth - 1) in
           return (s (Rf_lang.Ast.Ssync (l, b))) );
+        (1, gen_cond_sync scope);
+        (1, gen_alias_sync scope);
         ( 1,
           let* l = oneofl locks in
           return (s (Rf_lang.Ast.Snotify_all l)) );
@@ -157,24 +218,108 @@ and gen_block scope depth =
       let* st = gen_stmt scope (depth - 1) in
       go (k - 1) (st :: acc)
   in
-  go n []
+  let* stmts = go n [] in
+  let* with_triple = frequency [ (4, return false); (1, return true) ] in
+  if with_triple then
+    let* triple = gen_lock_triple scope in
+    return (stmts @ triple)
+  else return stmts
 
-let gen_thread idx =
+(* [earlier] are the already-declared thread names: an optional [after]
+   clause picks a nonempty subset, giving fork/join chains and diamonds
+   the ordering analysis must get right. *)
+let gen_thread ~earlier idx =
   let scope = new_scope () in
   let* body = gen_block scope 3 in
-  return { Rf_lang.Ast.tname = Printf.sprintf "t%d" idx; tbody = body; tpos = pos }
+  let* after =
+    if earlier = [] then return []
+    else
+      frequency
+        [
+          (2, return []);
+          ( 1,
+            let* keep = flatten_l (List.map (fun n -> pair (return n) bool) earlier) in
+            let deps = List.filter_map (fun (n, k) -> if k then Some n else None) keep in
+            if deps = [] then map (fun n -> [ n ]) (oneofl earlier) else return deps );
+        ]
+  in
+  return
+    {
+      Rf_lang.Ast.tname = Printf.sprintf "t%d" idx;
+      tafter = after;
+      tbody = body;
+      tpos = pos;
+    }
+
+(* Renumber every position with a fresh line so distinct program points
+   are distinct {!Rf_util.Site.t}s (the generator builds everything at
+   {0,0}, which would merge all same-label statements into one site).
+   Positions are not part of {!Rf_lang.Pretty.program_equal}, so the
+   print/parse round-trip property is unaffected. *)
+let stamp_positions (p : Rf_lang.Ast.program) : Rf_lang.Ast.program =
+  let open Rf_lang.Ast in
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    { Rf_lang.Token.line = !next; col = 0 }
+  in
+  let rec ex (x : expr) =
+    let epos = fresh () in
+    let e =
+      match x.e with
+      | (Eint _ | Ebool _ | Estring _ | Evar _) as k -> k
+      | Eindex (a, i) -> Eindex (a, ex i)
+      | Ebin (op, l, r) -> Ebin (op, ex l, ex r)
+      | Eneg a -> Eneg (ex a)
+      | Enot a -> Enot (ex a)
+      | Ecall (f, args) -> Ecall (f, List.map ex args)
+    in
+    { e; epos }
+  in
+  let rec st (x : stmt) =
+    let spos = fresh () in
+    let s =
+      match x.s with
+      | Sassign (v, e1) -> Sassign (v, ex e1)
+      | Sindex_assign (a, i, e1) -> Sindex_assign (a, ex i, ex e1)
+      | Slet (v, e1) -> Slet (v, ex e1)
+      | Sif (c, t, e1) -> Sif (ex c, blk t, Option.map blk e1)
+      | Swhile (c, b) -> Swhile (ex c, blk b)
+      | Sfor (i, c, stp, b) -> Sfor (st i, ex c, st stp, blk b)
+      | Ssync (l, b) -> Ssync (l, blk b)
+      | Sassert e1 -> Sassert (ex e1)
+      | Sprint e1 -> Sprint (ex e1)
+      | Sreturn eo -> Sreturn (Option.map ex eo)
+      | Scall (f, args) -> Scall (f, List.map ex args)
+      | (Slock _ | Sunlock _ | Swait _ | Snotify _ | Snotify_all _ | Ssleep
+        | Serror _ | Sskip) as k ->
+          k
+    in
+    { s; spos }
+  and blk b = List.map st b in
+  {
+    p with
+    shareds = List.map (fun g -> { g with gpos = fresh () }) p.shareds;
+    locks = List.map (fun (l, _) -> (l, fresh ())) p.locks;
+    funcs =
+      List.map (fun f -> { f with fbody = blk f.fbody; fpos = fresh () }) p.funcs;
+    threads =
+      List.map (fun t -> { t with tbody = blk t.tbody; tpos = fresh () }) p.threads;
+  }
 
 let gen_program : Rf_lang.Ast.program t =
   let* nthreads = map (fun n -> 2 + (n mod 2)) small_nat in
   let rec threads k acc =
     if k = nthreads then return (List.rev acc)
     else
-      let* t = gen_thread k in
+      let earlier = List.rev_map (fun t -> t.Rf_lang.Ast.tname) acc in
+      let* t = gen_thread ~earlier k in
       threads (k + 1) (t :: acc)
   in
   let* threads = threads 0 [] in
-  return
-    {
+  map stamp_positions
+    (return
+       {
       Rf_lang.Ast.file = "gen.rfl";
       shareds =
         List.map
@@ -210,7 +355,7 @@ let gen_program : Rf_lang.Ast.program t =
       locks = List.map (fun l -> (l, pos)) locks;
       funcs = [];
       threads;
-    }
+    })
 
 let arbitrary_program =
   QCheck.make ~print:Rf_lang.Pretty.program_to_string gen_program
