@@ -8,11 +8,20 @@
      fork-heavy   : a wide burst of forks + joins (thread-table growth,
                     join wake-ups, death bookkeeping)
 
-   Each workload is measured twice: [sequential] drives Engine.run
-   directly under the simple random scheduler, and [campaign] pushes the
-   same program through the Rf_campaign orchestrator (phase-2 trials over
-   domains) so the engine is exercised exactly as the production fuzzing
-   path exercises it.
+   Each workload is measured four ways:
+
+     sequential          : Engine.run under the simple random scheduler
+     sequential-recorded : same run emitting a binary trace (Btrace) —
+                           the recording tax in isolation
+     campaign            : the whole production pipeline (Campaign.run:
+                           inline phase-1 detection + phase-2 trials)
+     campaign-offline    : the same pipeline with --offline-detect
+                           (record-then-detect phase 1)
+
+   so the detection tax — sequential vs campaign throughput — is tracked
+   PR-over-PR in both detection modes.  [--max-tax R] turns the
+   access-heavy ratio into a CI gate: the bench fails if
+   sequential/campaign-offline exceeds R.
 
    Results are written as JSON (default BENCH_engine.json) so the perf
    trajectory is tracked PR-over-PR.  The same executable owns the
@@ -25,6 +34,7 @@
      dune exec bench/engine_bench.exe                      # full bench
      dune exec bench/engine_bench.exe -- --smoke           # tiny budget (CI)
      dune exec bench/engine_bench.exe -- --out FILE        # JSON destination
+     dune exec bench/engine_bench.exe -- --max-tax R       # gate on the ratio
      dune exec bench/engine_bench.exe -- --check FILE      # fingerprint drift
      dune exec bench/engine_bench.exe -- --write-golden FILE
      dune exec bench/engine_bench.exe -- --fingerprints    # print, no bench *)
@@ -36,20 +46,15 @@ module W = Rf_workloads
 let s = Site.make
 
 (* ------------------------------------------------------------------ *)
-(* Workloads.  Each returns a program plus the statement pair handed to
-   the campaign harness (the racing pair its RaceFuzzer trials watch).   *)
+(* Workloads.  Campaign rows run the whole pipeline — phase 1 discovers
+   the racing pairs itself, exactly as production does.                  *)
 
-type bench_workload = {
-  bname : string;
-  program : unit -> unit;
-  pair : Site.Pair.t;
-}
+type bench_workload = { bname : string; program : unit -> unit }
 
 let access_heavy ~threads ~iters =
   let r = s "ah-read" and w = s "ah-write" in
   {
     bname = "access-heavy";
-    pair = Site.Pair.make r w;
     program =
       (fun () ->
         let c = Api.Cell.make ~name:"hot" 0 in
@@ -68,7 +73,6 @@ let lock_heavy ~threads ~iters =
   let r = s "lh-read" and w = s "lh-write" in
   {
     bname = "lock-heavy";
-    pair = Site.Pair.make r w;
     program =
       (fun () ->
         let c = Api.Cell.make ~name:"counter" 0 in
@@ -89,7 +93,6 @@ let fork_heavy ~children ~iters =
   let w = s "fh-write" in
   {
     bname = "fork-heavy";
-    pair = Site.Pair.make w w;
     program =
       (fun () ->
         let c = Api.Cell.make ~name:"sink" 0 in
@@ -122,43 +125,69 @@ let workloads ~smoke =
 
 type row = {
   r_workload : string;
-  r_harness : string;  (* "sequential" | "campaign" *)
+  r_harness : string;
+      (* "sequential" | "sequential-recorded" | "campaign" | "campaign-offline" *)
+  r_domains : int;
   r_runs : int;
   r_steps : int;  (* total executed scheduler steps, deterministic *)
   r_wall : float;
   r_steps_per_sec : float;
 }
 
-let run_once ~seed (wl : bench_workload) =
+(* The one throughput division of the whole bench: guarded so a
+   sub-resolution wall clock can never leak inf/nan into the JSON. *)
+let per_sec steps wall = if wall > 0.0 then float_of_int steps /. wall else 0.0
+
+let run_once ?btrace ~seed (wl : bench_workload) =
   Engine.run
     ~config:{ Engine.default_config with seed; max_steps = 50_000_000 }
-    ~strategy:(Strategy.random ()) wl.program
+    ?btrace ~strategy:(Strategy.random ()) wl.program
 
-let measure_sequential ~min_wall (wl : bench_workload) =
+let measure_sequential ?(recorded = false) ~min_wall (wl : bench_workload) =
   ignore (run_once ~seed:0 wl) (* warmup *);
   let steps = ref 0 and runs = ref 0 in
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   while elapsed () < min_wall do
-    let o = run_once ~seed:(1 + !runs) wl in
+    let o =
+      if recorded then begin
+        let bw = Rf_events.Btrace.writer () in
+        let o = run_once ~btrace:bw ~seed:(1 + !runs) wl in
+        ignore (Rf_events.Btrace.seal bw);
+        o
+      end
+      else run_once ~seed:(1 + !runs) wl
+    in
     steps := !steps + o.Outcome.steps;
     incr runs
   done;
   let wall = elapsed () in
   {
     r_workload = wl.bname;
-    r_harness = "sequential";
+    r_harness = (if recorded then "sequential-recorded" else "sequential");
+    r_domains = 1;
     r_runs = !runs;
     r_steps = !steps;
     r_wall = wall;
-    r_steps_per_sec = float_of_int !steps /. wall;
+    r_steps_per_sec = per_sec !steps wall;
   }
 
-let measure_campaign ~domains ~trials (wl : bench_workload) =
-  let seeds = List.init trials Fun.id in
-  let results, stats =
-    Rf_campaign.Campaign.fuzz_pairs ~domains ~seeds ~program:wl.program
-      [ wl.pair ]
+(* The whole pipeline as production runs it — phase 1 (inline or
+   record-then-detect) plus every phase-2 trial over the potential pairs
+   phase 1 found.  Steps and wall cover both phases, so the row's
+   steps/sec is the end-to-end campaign throughput the detection-tax gate
+   compares against [sequential]. *)
+let measure_campaign ?offline_detect ~domains ~trials (wl : bench_workload) =
+  let r =
+    Rf_campaign.Campaign.run ~domains ~phase1_seeds:[ 0; 1; 2 ]
+      ~seeds_per_pair:(List.init trials Fun.id)
+      ?offline_detect wl.program
+  in
+  let a = r.Rf_campaign.Campaign.analysis in
+  let p1_steps =
+    List.fold_left
+      (fun acc (o : Outcome.t) -> acc + o.Outcome.steps)
+      0 a.Racefuzzer.Fuzzer.a_phase1.Racefuzzer.Fuzzer.p1_outcomes
   in
   let steps =
     List.fold_left
@@ -167,35 +196,45 @@ let measure_campaign ~domains ~trials (wl : bench_workload) =
           (fun acc (t : Racefuzzer.Fuzzer.trial) ->
             acc + t.Racefuzzer.Fuzzer.t_outcome.Outcome.steps)
           acc pr.Racefuzzer.Fuzzer.trials)
-      0 results
+      p1_steps a.Racefuzzer.Fuzzer.results
   in
-  let wall = stats.Rf_campaign.Campaign.s_wall in
+  let stats = r.Rf_campaign.Campaign.stats in
+  let wall =
+    stats.Rf_campaign.Campaign.s_wall
+    +. stats.Rf_campaign.Campaign.s_phase1_wall
+  in
   {
     r_workload = wl.bname;
-    r_harness = "campaign";
+    r_harness =
+      (if offline_detect = None then "campaign" else "campaign-offline");
+    r_domains = domains;
     r_runs = stats.Rf_campaign.Campaign.s_trials;
     r_steps = steps;
     r_wall = wall;
-    r_steps_per_sec = (if wall > 0.0 then float_of_int steps /. wall else 0.0);
+    r_steps_per_sec = per_sec steps wall;
   }
 
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: no JSON dependency in the tree)           *)
 
-let write_json ~path ~mode ~domains rows =
+(* Schema 2: the domain count moved from the file header into each result
+   row — sequential rows are always single-domain while campaign rows run
+   wherever --domains puts them, and trajectories must compare like with
+   like. *)
+let write_json ~path ~mode rows =
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"rf-bench-engine/1\",\n";
+  pf "  \"schema\": \"rf-bench-engine/2\",\n";
   pf "  \"mode\": %S,\n" mode;
-  pf "  \"domains\": %d,\n" domains;
   pf "  \"results\": [\n";
   List.iteri
     (fun i r ->
       pf
-        "    {\"workload\": %S, \"harness\": %S, \"runs\": %d, \"steps\": %d, \
-         \"wall_s\": %.6f, \"steps_per_sec\": %.1f}%s\n"
-        r.r_workload r.r_harness r.r_runs r.r_steps r.r_wall r.r_steps_per_sec
+        "    {\"workload\": %S, \"harness\": %S, \"domains\": %d, \"runs\": %d, \
+         \"steps\": %d, \"wall_s\": %.6f, \"steps_per_sec\": %.1f}%s\n"
+        r.r_workload r.r_harness r.r_domains r.r_runs r.r_steps r.r_wall
+        r.r_steps_per_sec
         (if i = List.length rows - 1 then "" else ","))
     rows;
   pf "  ]\n}\n";
@@ -301,6 +340,7 @@ let () =
   let write_golden_to = ref None in
   let fingerprints_only = ref false in
   let domains = ref (min 4 (Domain.recommended_domain_count ())) in
+  let max_tax = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -321,10 +361,14 @@ let () =
     | "--domains" :: n :: rest ->
         domains := int_of_string n;
         parse rest
+    | "--max-tax" :: r :: rest ->
+        max_tax := Some (float_of_string r);
+        parse rest
     | a :: _ ->
         Fmt.epr
           "usage: engine_bench [--smoke] [--out FILE] [--check FILE] \
-           [--write-golden FILE] [--fingerprints] [--domains N] (got %s)@."
+           [--write-golden FILE] [--fingerprints] [--domains N] [--max-tax R] \
+           (got %s)@."
           a;
         exit 2
   in
@@ -345,20 +389,47 @@ let () =
     let rows =
       List.concat_map
         (fun wl ->
-          let seq = measure_sequential ~min_wall wl in
-          let cam = measure_campaign ~domains:!domains ~trials wl in
-          [ seq; cam ])
+          [
+            measure_sequential ~min_wall wl;
+            measure_sequential ~recorded:true ~min_wall wl;
+            measure_campaign ~domains:!domains ~trials wl;
+            measure_campaign ~offline_detect:1 ~domains:!domains ~trials wl;
+          ])
         wls
     in
-    Fmt.pr "%-14s %-10s %8s %12s %10s %14s@." "workload" "harness" "runs"
-      "steps" "wall(s)" "steps/sec";
+    Fmt.pr "%-14s %-19s %3s %8s %12s %10s %14s@." "workload" "harness" "dom"
+      "runs" "steps" "wall(s)" "steps/sec";
     List.iter
       (fun r ->
-        Fmt.pr "%-14s %-10s %8d %12d %10.3f %14.0f@." r.r_workload r.r_harness
-          r.r_runs r.r_steps r.r_wall r.r_steps_per_sec)
+        Fmt.pr "%-14s %-19s %3d %8d %12d %10.3f %14.0f@." r.r_workload
+          r.r_harness r.r_domains r.r_runs r.r_steps r.r_wall r.r_steps_per_sec)
       rows;
-    write_json ~path:!out ~mode:(if !smoke then "smoke" else "full")
-      ~domains:!domains rows;
-    Fmt.pr "wrote %s@." !out
+    write_json ~path:!out ~mode:(if !smoke then "smoke" else "full") rows;
+    Fmt.pr "wrote %s@." !out;
+    (* The detection-tax gate: sequential vs offline-campaign throughput
+       on the access-heavy workload (the hottest Mem path, where the tax
+       historically peaked at ~18x). *)
+    match !max_tax with
+    | None -> ()
+    | Some ceiling -> (
+        let find harness =
+          List.find_opt
+            (fun r -> r.r_workload = "access-heavy" && r.r_harness = harness)
+            rows
+        in
+        match (find "sequential", find "campaign-offline") with
+        | Some seq, Some off when off.r_steps_per_sec > 0.0 ->
+            let tax = seq.r_steps_per_sec /. off.r_steps_per_sec in
+            Fmt.pr "detection tax (access-heavy, offline): %.2fx (ceiling %.2fx)@."
+              tax ceiling;
+            if tax > ceiling then begin
+              Fmt.epr
+                "FAIL: access-heavy detection tax %.2fx exceeds --max-tax %.2fx@."
+                tax ceiling;
+              exit 1
+            end
+        | _ ->
+            Fmt.epr "FAIL: --max-tax given but access-heavy rows are missing@.";
+            exit 1)
   end;
   match !check with Some path -> check_golden path | None -> ()

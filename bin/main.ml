@@ -648,9 +648,30 @@ let campaign_cmd =
              carry one, RFL files are analyzed directly; without one the flag \
              warns and is a no-op.")
   in
+  let offline_detect_arg =
+    Arg.(
+      value & flag
+      & info [ "offline-detect" ]
+          ~doc:
+            "Run phase 1 record-then-detect: the engine executes detector-free, \
+             writing a compact binary trace, and hybrid detection replays the \
+             recording offline.  The candidate pair set — and both campaign \
+             fingerprints — are identical to inline detection; only the cost \
+             profile changes (near-baseline execution plus a separate, \
+             shardable detection pass).")
+  in
+  let offline_shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "offline-shards" ] ~docv:"N"
+          ~doc:
+            "Shard the offline detection pass by memory location over $(docv) \
+             readers (requires --offline-detect).  Verdicts are merged \
+             deterministically and equal the single-shard result.")
+  in
   let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
       chaos_stop trial_deadline resume repro_dir repro_fuel static_filter
-      detector_budget mem_budget no_degrade =
+      detector_budget mem_budget no_degrade offline_detect offline_shards =
     let program =
       match Rf_workloads.Registry.find target with
       | Some w ->
@@ -728,7 +749,9 @@ let campaign_cmd =
               ~seeds_per_pair:(List.init trials Fun.id)
               ~log ?chaos ?trial_deadline ?resume ~stop ?detector_budget
               ?mem_budget ~no_degrade ?repro_dir ~target ~repro_fuel ?static
-              ~static_filter program
+              ~static_filter
+              ?offline_detect:(if offline_detect then Some offline_shards else None)
+              program
           with
           | Rf_resource.Governor.Budget_stop trigger ->
               Rf_campaign.Event_log.close log;
@@ -779,7 +802,8 @@ let campaign_cmd =
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
       $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
       $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg
-      $ static_filter_arg $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg)
+      $ static_filter_arg $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg
+      $ offline_detect_arg $ offline_shards_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)

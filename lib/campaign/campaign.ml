@@ -42,6 +42,7 @@ type stats = {
   (* resource governance *)
   s_degraded : int;
   s_p1_level : string option;
+  s_p1_recording : Fuzzer.recording_stats option;
   s_resume_skipped : int;
   (* reproduction artifacts ([run ~repro_dir]) *)
   s_repro_written : int;
@@ -697,6 +698,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_interrupted = interrupted;
       s_degraded = Atomic.get degraded_n;
       s_p1_level = None;
+      s_p1_recording = None;
       s_resume_skipped = resume_skipped;
       s_repro_written = 0;
       s_repro_failed = 0;
@@ -715,8 +717,8 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
     ?detector_budget ?mem_budget ?(no_degrade = false) ?repro_dir ?(target = "")
-    ?repro_fuel ?static ?(static_filter = false) (program : Fuzzer.program) :
-    result =
+    ?repro_fuel ?static ?(static_filter = false) ?offline_detect
+    (program : Fuzzer.program) : result =
   (* Phase 1 is where detector state lives (phase-2 trials attach no
      detector), so this is where the entry budget really bites.  The
      governor is shared across the phase-1 seeds: detection precision is
@@ -742,10 +744,27 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
         Engine.deadline ~heap_mb:mb ?heap_hook ())
       mem_budget
   in
+  let detect =
+    match offline_detect with
+    | None -> Fuzzer.Inline
+    | Some shards -> Fuzzer.Recorded { shards = max 1 shards }
+  in
   let p1 =
     Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
-      ?governor:p1_gov program
+      ?governor:p1_gov ~detect program
   in
+  (match p1.Fuzzer.p1_recording with
+  | None -> ()
+  | Some r ->
+      Event_log.emit log
+        (Event_log.Phase1_recorded
+           {
+             events = r.Fuzzer.rec_events;
+             bytes = r.Fuzzer.rec_bytes;
+             shards = r.Fuzzer.rec_shards;
+             record_wall = r.Fuzzer.rec_wall;
+             detect_wall = r.Fuzzer.detect_wall;
+           }));
   let p1_level =
     Option.map
       (fun s -> Governor.level_to_string s.Governor.g_level)
@@ -876,6 +895,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
          stats with
          s_phase1_wall = p1.Fuzzer.p1_wall;
          s_p1_level = p1_level;
+         s_p1_recording = p1.Fuzzer.p1_recording;
          s_static = static_sum;
          s_repro_written = List.length repro.Repro.written;
          s_repro_failed = repro.Repro.failed;

@@ -94,6 +94,9 @@ type stats = {
           (degraded precision, explicitly labeled) *)
   s_p1_level : string option;
       (** phase-1 final ladder level when phase 1 degraded ({!run} only) *)
+  s_p1_recording : Fuzzer.recording_stats option;
+      (** recording/offline-detection cost split when phase 1 ran
+          record-then-detect ({!run} with [~offline_detect]) *)
   s_resume_skipped : int;
       (** checksum-bad journal lines skipped while loading [~resume] *)
   s_repro_written : int;  (** minimized reproduction schedules emitted *)
@@ -187,6 +190,7 @@ val run :
   ?repro_fuel:int ->
   ?static:Rf_static.Static.t ->
   ?static_filter:bool ->
+  ?offline_detect:int ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -219,7 +223,16 @@ val run :
     before any trial runs (one [Pair_filtered] record each, and the
     skipped pairs land in [analysis.a_filtered]).  Filtering composes
     with resume: the surviving pair list is deterministic, so a filtered
-    campaign's journal replays exactly like any other. *)
+    campaign's journal replays exactly like any other.
+
+    [offline_detect] switches phase 1 to record-then-detect
+    ({!Fuzzer.detect_mode}[.Recorded]): the engine runs detector-free
+    while writing compact binary recordings, and the hybrid detector
+    replays them offline in that many shards.  The candidate pair set —
+    and therefore the whole analysis and both fingerprints — is
+    identical to inline phase 1.  A [Phase1_recorded] journal event and
+    [s_p1_recording] report the cost split; the governor budget applies
+    to the offline pass, which then runs its shards sequentially. *)
 
 (** {1 Determinism checking} *)
 

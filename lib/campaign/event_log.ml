@@ -20,6 +20,13 @@ type event =
       degraded : bool;
       level : string;
     }
+  | Phase1_recorded of {
+      events : int;
+      bytes : int;
+      shards : int;
+      record_wall : float;
+      detect_wall : float;
+    }
   | Wave_started of { wave : int; tasks : int }
   | Trial_started of { pair : string; seed : int; domain : int }
   | Trial_finished of {
@@ -135,6 +142,15 @@ let fields_of_event = function
           ("wall", F wall);
           ("degraded", B degraded);
           ("level", S level);
+        ] )
+  | Phase1_recorded { events; bytes; shards; record_wall; detect_wall } ->
+      ( "phase1_recorded",
+        [
+          ("events", I events);
+          ("bytes", I bytes);
+          ("shards", I shards);
+          ("record_wall", F record_wall);
+          ("detect_wall", F detect_wall);
         ] )
   | Wave_started { wave; tasks } ->
       ("wave_started", [ ("wave", I wave); ("tasks", I tasks) ])
@@ -428,6 +444,13 @@ let event_of_fields fields : event option =
       let degraded = Option.value ~default:false (bool_f fields "degraded") in
       let level = Option.value ~default:"full" (str_f fields "level") in
       Some (Phase1_finished { potential; wall; degraded; level })
+  | Some "phase1_recorded" ->
+      let* events = int_f fields "events" in
+      let* bytes = int_f fields "bytes" in
+      let* shards = int_f fields "shards" in
+      let* record_wall = float_f fields "record_wall" in
+      let* detect_wall = float_f fields "detect_wall" in
+      Some (Phase1_recorded { events; bytes; shards; record_wall; detect_wall })
   | Some "wave_started" ->
       let* wave = int_f fields "wave" in
       let* tasks = int_f fields "tasks" in

@@ -37,6 +37,16 @@ type event =
       degraded : bool;  (** detection ran under a tripped governor *)
       level : string;  (** final ladder level ("full" when not degraded) *)
     }
+  | Phase1_recorded of {
+      events : int;  (** engine events captured in the binary recordings *)
+      bytes : int;  (** total sealed {!Rf_events.Btrace} size *)
+      shards : int;  (** offline detection shards *)
+      record_wall : float;  (** executing + recording, seconds *)
+      detect_wall : float;  (** offline detection pass, seconds *)
+    }
+      (** phase 1 ran record-then-detect ([--offline-detect]); emitted
+          just before [Phase1_finished], whose [wall] covers both
+          spans *)
   | Wave_started of { wave : int; tasks : int }
   | Trial_started of { pair : string; seed : int; domain : int }
   | Trial_finished of {

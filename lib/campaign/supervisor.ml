@@ -35,15 +35,27 @@ let nothing1 ~domain:_ = ()
 let nothing_crash ~domain:_ ~attempt:_ _ = ()
 let nothing_respawn ~domain:_ ~attempt:_ ~backoff:_ = ()
 
-let run_slot ~policy ~on_crash ~on_respawn ~on_give_up ~domain body =
+(* One attempt, on a fresh child domain (clean domain-local state) or
+   inline on the calling domain.  Inline attempts exist for the
+   single-worker fleet: with one slot there is no parallelism to win, and
+   on a single core the idle supervising/joining domains are pure
+   overhead — every minor collection becomes a cross-domain stop-the-world
+   synchronization, taxing allocation-heavy workers by double-digit
+   percentages.  Crash/respawn semantics are identical either way; the
+   engine resets all per-run domain-local state itself, so where an
+   attempt runs can never affect what it computes. *)
+let spawned_attempt body ~domain =
+  Domain.join
+    (Domain.spawn (fun () ->
+         match body ~domain with () -> Ok () | exception e -> Error e))
+
+let inline_attempt body ~domain =
+  match body ~domain with () -> Ok () | exception e -> Error e
+
+let run_slot ~run_attempt ~policy ~on_crash ~on_respawn ~on_give_up ~domain body
+    =
   let rec go attempt crashes =
-    let child =
-      Domain.spawn (fun () ->
-          match body ~domain with
-          | () -> Ok ()
-          | exception e -> Error e)
-    in
-    match Domain.join child with
+    match (run_attempt body ~domain : (unit, exn) result) with
     | Ok () -> (crashes, false)
     | Error e ->
         on_crash ~domain ~attempt e;
@@ -62,14 +74,23 @@ let run_slot ~policy ~on_crash ~on_respawn ~on_give_up ~domain body =
 
 let supervise ?(policy = default_policy) ?(on_crash = nothing_crash)
     ?(on_respawn = nothing_respawn) ?(on_give_up = nothing1) ~domains body =
-  let slots =
-    List.init domains (fun domain ->
-        Domain.spawn (fun () ->
-            run_slot ~policy ~on_crash ~on_respawn ~on_give_up ~domain body))
-  in
-  let results = List.map Domain.join slots in
-  {
-    crashes = List.fold_left (fun acc (c, _) -> acc + c) 0 results;
-    gave_up =
-      List.fold_left (fun acc (_, g) -> acc + if g then 1 else 0) 0 results;
-  }
+  if domains = 1 then begin
+    let crashes, gave_up =
+      run_slot ~run_attempt:inline_attempt ~policy ~on_crash ~on_respawn
+        ~on_give_up ~domain:0 body
+    in
+    { crashes; gave_up = (if gave_up then 1 else 0) }
+  end
+  else
+    let slots =
+      List.init domains (fun domain ->
+          Domain.spawn (fun () ->
+              run_slot ~run_attempt:spawned_attempt ~policy ~on_crash
+                ~on_respawn ~on_give_up ~domain body))
+    in
+    let results = List.map Domain.join slots in
+    {
+      crashes = List.fold_left (fun acc (c, _) -> acc + c) 0 results;
+      gave_up =
+        List.fold_left (fun acc (_, g) -> acc + if g then 1 else 0) 0 results;
+    }

@@ -46,4 +46,12 @@ val supervise :
     fires (requeue the in-flight task here), then either the slot respawns
     after {!backoff_delay} (preceded by [on_respawn]) or, past the budget,
     [on_give_up] fires and the slot stays down.  Hooks are called from the
-    supervising domains and must be thread-safe. *)
+    supervising domains and must be thread-safe.
+
+    With [~domains:1] the single slot runs inline on the calling domain
+    (same crash/respawn semantics, no domains spawned): one slot has no
+    parallelism to win, and on a single core the idle supervising domains
+    would turn every minor collection into a cross-domain stop-the-world
+    pause.  Worker identity never affects trial results — the engine
+    resets all per-run domain-local state — so the two execution shapes
+    are observationally identical. *)

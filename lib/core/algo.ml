@@ -43,16 +43,31 @@ let pp_hit ppf h =
     h.hit_postponed
     (if h.resolved_arriving then "arriving" else "postponed")
 
-(** Mutable per-run report the strategy writes into. *)
+(** Mutable per-run report the strategy writes into.
+
+    [hits] is deduplicated by (sites, location): a tight racing loop
+    creates the same race millions of times per run, and consing a hit
+    record for each was the dominant allocation of the whole phase-2
+    path (hundreds of thousands of retained records per trial on the
+    access-heavy benchmark).  Scheduling decisions never read [hits], so
+    deduplication cannot perturb the schedule; [hit_events] keeps the
+    raw creation count for reporting. *)
 type report = {
-  mutable hits : hit list;  (** newest first *)
+  mutable hits : hit list;  (** distinct created races, newest first *)
+  mutable hit_events : int;  (** every race creation, duplicates included *)
   mutable evictions : int;  (** all-postponed deadlock breaks *)
   mutable timeout_releases : int;  (** livelock-relief releases *)
   mutable postponements : int;
 }
 
 let fresh_report () =
-  { hits = []; evictions = 0; timeout_releases = 0; postponements = 0 }
+  {
+    hits = [];
+    hit_events = 0;
+    evictions = 0;
+    timeout_releases = 0;
+    postponements = 0;
+  }
 
 let race_created r = r.hits <> []
 let hits r = List.rev r.hits
@@ -64,10 +79,10 @@ let default_postpone_timeout = 2_000
     pending access conflicts with [m] (same dynamic location, at least one
     write).  Postponed threads are always parked at a [RaceSet] memory
     operation, so no site check is needed here, mirroring the paper. *)
-let racing (m : Op.mem) postponed (enabled : Strategy.entry list) =
+let racing (m : Op.mem) is_postponed (enabled : Strategy.entry list) =
   List.filter
     (fun (e : Strategy.entry) ->
-      Hashtbl.mem postponed e.Strategy.tid
+      is_postponed e.Strategy.tid
       &&
       match Op.pend_mem e.Strategy.pend with
       | Some m' ->
@@ -85,30 +100,56 @@ let racing (m : Op.mem) postponed (enabled : Strategy.entry list) =
     a thread may stay postponed, [None] disabling relief (ablation). *)
 let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report () :
     Strategy.t =
-  (* tid -> step at which it was postponed *)
-  let postponed : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* tid -> step at which it was postponed; -1 = not postponed.  A flat
+     array (plus a live count) instead of a hashtable: the [Racing] scan
+     probes membership for every enabled thread on every consultation of
+     the racing hot loop, so membership must be an array read. *)
+  let p_since = ref (Array.make 16 (-1)) in
+  let p_count = ref 0 in
+  let ensure tid =
+    let n = Array.length !p_since in
+    if tid >= n then begin
+      let a = Array.make (max (tid + 1) (2 * n)) (-1) in
+      Array.blit !p_since 0 a 0 n;
+      p_since := a
+    end
+  in
+  let is_postponed tid = tid < Array.length !p_since && !p_since.(tid) >= 0 in
+  let postpone tid step =
+    ensure tid;
+    if !p_since.(tid) < 0 then incr p_count;
+    !p_since.(tid) <- step
+  in
+  let release tid =
+    if is_postponed tid then begin
+      !p_since.(tid) <- -1;
+      decr p_count
+    end
+  in
+  (* (postponed site id, arriving site id) -> locations already recorded:
+     only the first creation of a distinct race conses a hit.  The
+     location list is scanned with [Loc.equal] so the per-creation check
+     never polymorphic-hashes a location. *)
+  let recorded : (int * int, Loc.t list ref) Hashtbl.t = Hashtbl.create 8 in
   (* threads that must execute next (race resolved toward them, or evicted
      to break an all-postponed deadlock) *)
   let queue : int list ref = ref [] in
   let choose (view : Strategy.view) =
-    (* Livelock relief: free threads postponed for too long. *)
+    (* Livelock relief: free threads postponed for too long.  The array
+       scan runs in tid order — the same order the hashtable version
+       produced by sorting — so any future PRNG consumption stays a
+       function of the run state alone. *)
     (match postpone_timeout with
     | None -> ()
     | Some bound ->
-        (* [Hashtbl.fold] order is unspecified; sort so the release order
-           (and with it any future PRNG consumption) is a function of the
-           run state alone, not of hash-table internals. *)
-        let stale =
-          Hashtbl.fold
-            (fun tid since acc -> if view.step - since > bound then tid :: acc else acc)
-            postponed []
-          |> List.sort compare
-        in
-        List.iter
-          (fun tid ->
-            Hashtbl.remove postponed tid;
-            report.timeout_releases <- report.timeout_releases + 1)
-          stale);
+        if !p_count > 0 then
+          Array.iteri
+            (fun tid since ->
+              if since >= 0 && view.step - since > bound then begin
+                release tid;
+                report.timeout_releases <- report.timeout_releases + 1
+              end)
+            !p_since);
     (* Serve the must-run queue first (Algorithm 1 line 16: execute all
        threads of R). *)
     let rec from_queue () =
@@ -125,9 +166,13 @@ let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report (
     | None ->
         let rec pick_loop () =
           let avail =
-            List.filter
-              (fun (e : Strategy.entry) -> not (Hashtbl.mem postponed e.tid))
-              view.enabled
+            (* nothing postponed (the common case off the racing loop):
+               the filter would copy [enabled] verbatim — skip it *)
+            if !p_count = 0 then view.enabled
+            else
+              List.filter
+                (fun (e : Strategy.entry) -> not (is_postponed e.tid))
+                view.enabled
           in
           match avail with
           | [] ->
@@ -135,21 +180,21 @@ let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report (
                  by releasing and *executing* a random postponed thread. *)
               let victims =
                 List.filter
-                  (fun (e : Strategy.entry) -> Hashtbl.mem postponed e.tid)
+                  (fun (e : Strategy.entry) -> is_postponed e.tid)
                   view.enabled
               in
               let v = Prng.pick view.prng victims in
-              Hashtbl.remove postponed v.Strategy.tid;
+              release v.Strategy.tid;
               report.evictions <- report.evictions + 1;
               v.Strategy.tid
           | _ -> (
               let e = Prng.pick view.prng avail in
               match Op.pend_mem e.Strategy.pend with
               | Some m when Site.Pair.mem m.Op.site pair -> (
-                  match racing m postponed view.enabled with
+                  match racing m is_postponed view.enabled with
                   | [] ->
                       (* No racing partner parked yet: wait for one. *)
-                      Hashtbl.replace postponed e.Strategy.tid view.step;
+                      postpone e.Strategy.tid view.step;
                       report.postponements <- report.postponements + 1;
                       pick_loop ()
                   | r ->
@@ -161,27 +206,41 @@ let strategy ?(postpone_timeout = Some default_postpone_timeout) ~pair ~report (
                         | None -> m.Op.site
                       in
                       let toward_arriving = Prng.bool view.prng in
-                      report.hits <-
-                        {
-                          hit_pair = pair;
-                          hit_sites = (postponed_site, m.Op.site);
-                          hit_loc = m.Op.loc;
-                          hit_arriving = e.Strategy.tid;
-                          hit_postponed = List.map (fun (x : Strategy.entry) -> x.tid) r;
-                          hit_step = view.step;
-                          resolved_arriving = toward_arriving;
-                        }
-                        :: report.hits;
+                      report.hit_events <- report.hit_events + 1;
+                      let key = (Site.id postponed_site, Site.id m.Op.site) in
+                      let locs =
+                        match Hashtbl.find_opt recorded key with
+                        | Some l -> l
+                        | None ->
+                            let l = ref [] in
+                            Hashtbl.add recorded key l;
+                            l
+                      in
+                      if not (List.exists (Loc.equal m.Op.loc) !locs) then begin
+                        locs := m.Op.loc :: !locs;
+                        report.hits <-
+                          {
+                            hit_pair = pair;
+                            hit_sites = (postponed_site, m.Op.site);
+                            hit_loc = m.Op.loc;
+                            hit_arriving = e.Strategy.tid;
+                            hit_postponed =
+                              List.map (fun (x : Strategy.entry) -> x.tid) r;
+                            hit_step = view.step;
+                            resolved_arriving = toward_arriving;
+                          }
+                          :: report.hits
+                      end;
                       if toward_arriving then
                         (* arriving thread executes; R stays postponed *)
                         e.Strategy.tid
                       else begin
                         (* postponed side executes (all of R); arriving
                            thread is postponed in its place *)
-                        Hashtbl.replace postponed e.Strategy.tid view.step;
+                        postpone e.Strategy.tid view.step;
                         report.postponements <- report.postponements + 1;
                         List.iter
-                          (fun (x : Strategy.entry) -> Hashtbl.remove postponed x.tid)
+                          (fun (x : Strategy.entry) -> release x.tid)
                           r;
                         let tids = List.map (fun (x : Strategy.entry) -> x.tid) r in
                         queue := List.tl tids;

@@ -28,9 +28,16 @@ type hit = {
 
 val pp_hit : Format.formatter -> hit -> unit
 
-(** Mutable per-run report the strategy fills in. *)
+(** Mutable per-run report the strategy fills in.  [hits] holds one
+    record per {e distinct} created race — keyed by (postponed site,
+    arriving site, location) — not one per creation: a tight racing loop
+    recreates the same race millions of times, and the per-creation cons
+    was the dominant allocation of phase 2.  [hit_events] counts every
+    creation.  Scheduling never reads [hits], so the deduplication is
+    invisible to the schedule and the PRNG stream. *)
 type report = {
-  mutable hits : hit list;  (** newest first *)
+  mutable hits : hit list;  (** distinct created races, newest first *)
+  mutable hit_events : int;  (** every race creation, duplicates included *)
   mutable evictions : int;  (** all-postponed deadlock breaks *)
   mutable timeout_releases : int;  (** livelock-relief releases *)
   mutable postponements : int;
@@ -39,7 +46,7 @@ type report = {
 val fresh_report : unit -> report
 val race_created : report -> bool
 val hits : report -> hit list
-(** Oldest first. *)
+(** Distinct hits, oldest first. *)
 
 val default_postpone_timeout : int
 

@@ -18,12 +18,35 @@ type program = unit -> unit
 (* ------------------------------------------------------------------ *)
 (* Phase 1                                                             *)
 
+(** How phase 1 attaches its detector to the executions it observes.
+
+    [Inline] is the classic configuration: the hybrid detector listens to
+    every engine event as it happens, taxing every step.  [Recorded]
+    decouples the two: the engine runs detector-free, appending a compact
+    binary recording ({!Rf_events.Btrace}) at a small constant cost per
+    step, and the detector replays the recording afterwards — sharded by
+    memory location over [shards] analysis passes ({!Rf_detect.Offline}).
+    The candidate pair set is identical either way; with [shards = 1]
+    the race list is byte-identical, report order included. *)
+type detect_mode = Inline | Recorded of { shards : int }
+
+(** Cost accounting of a [Recorded] phase 1. *)
+type recording_stats = {
+  rec_events : int;  (** events recorded across all seeds *)
+  rec_bytes : int;  (** total sealed recording size *)
+  rec_wall : float;  (** wall spent executing + recording *)
+  detect_wall : float;  (** wall spent in offline detection *)
+  rec_shards : int;
+}
+
 type phase1_result = {
   potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
   p1_outcomes : Outcome.t list;
   p1_wall : float;
   p1_degraded : Governor.snapshot option;
       (** the governor's final state when it tripped during detection *)
+  p1_recording : recording_stats option;
+      (** filled iff phase 1 ran in [Recorded] mode *)
 }
 
 let potential_pairs r =
@@ -37,28 +60,80 @@ let potential_pairs r =
     the caller — phase 1 has no sandbox, running out of budget there is a
     campaign-level failure. *)
 let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
-    ?deadline ?governor (program : program) : phase1_result =
-  let detector = Rf_detect.Detector.hybrid ?governor () in
+    ?deadline ?governor ?(detect = Inline) (program : program) : phase1_result =
   let t0 = Unix.gettimeofday () in
-  let outcomes =
-    List.map
-      (fun seed ->
-        Engine.run
-          ~config:{ Engine.default_config with seed; max_steps; deadline }
-          ~listeners:[ Rf_detect.Detector.feed detector ]
-          ~strategy:(Strategy.random ()) program)
-      seeds
+  let degraded () =
+    match governor with
+    | Some g when Governor.degraded g -> Some (Governor.snapshot g)
+    | _ -> None
   in
-  let wall = Unix.gettimeofday () -. t0 in
-  {
-    potential = Rf_detect.Detector.races detector;
-    p1_outcomes = outcomes;
-    p1_wall = wall;
-    p1_degraded =
-      (match governor with
-      | Some g when Governor.degraded g -> Some (Governor.snapshot g)
-      | _ -> None);
-  }
+  match detect with
+  | Inline ->
+      let detector = Rf_detect.Detector.hybrid ?governor () in
+      let outcomes =
+        List.map
+          (fun seed ->
+            Engine.run
+              ~config:{ Engine.default_config with seed; max_steps; deadline }
+              ~listeners:[ Rf_detect.Detector.feed detector ]
+              ~strategy:(Strategy.random ()) program)
+          seeds
+      in
+      {
+        potential = Rf_detect.Detector.races detector;
+        p1_outcomes = outcomes;
+        p1_wall = Unix.gettimeofday () -. t0;
+        p1_degraded = degraded ();
+        p1_recording = None;
+      }
+  | Recorded { shards } ->
+      (* Record: detector-free engine runs, one sealed recording per
+         seed (locations are per-run, so recordings never share ids). *)
+      let outcomes, recordings, events =
+        List.fold_left
+          (fun (os, rs, n) seed ->
+            let w = Rf_events.Btrace.writer () in
+            let o =
+              Engine.run
+                ~config:{ Engine.default_config with seed; max_steps; deadline }
+                ~btrace:w
+                ~strategy:(Strategy.random ()) program
+            in
+            let n = n + Rf_events.Btrace.written w in
+            (o :: os, Rf_events.Btrace.seal w :: rs, n))
+          ([], [], 0) seeds
+      in
+      let outcomes = List.rev outcomes and recordings = List.rev recordings in
+      let t1 = Unix.gettimeofday () in
+      (* Detect: a fresh hybrid per shard replays the recordings.  A
+         governed pass runs its shards sequentially so the shared
+         governor meters combined state deterministically; ungoverned
+         multi-shard passes fan out across domains. *)
+      let potential =
+        Rf_detect.Offline.detect ~shards
+          ~parallel:(governor = None && shards > 1)
+          ~make:(fun () -> Rf_detect.Detector.hybrid ?governor ())
+          recordings
+      in
+      let t2 = Unix.gettimeofday () in
+      {
+        potential;
+        p1_outcomes = outcomes;
+        p1_wall = t2 -. t0;
+        p1_degraded = degraded ();
+        p1_recording =
+          Some
+            {
+              rec_events = events;
+              rec_bytes =
+                List.fold_left
+                  (fun acc r -> acc + Rf_events.Btrace.byte_size r)
+                  0 recordings;
+              rec_wall = t1 -. t0;
+              detect_wall = t2 -. t1;
+              rec_shards = shards;
+            };
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
@@ -473,7 +548,7 @@ let restrict_analysis ~keep (a : analysis) : analysis =
 
 let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?postpone_timeout ?max_steps ?detector_budget ?mem_budget
-    ?(no_degrade = false) ?static ?(static_filter = false)
+    ?(no_degrade = false) ?static ?(static_filter = false) ?detect
     (program : program) : analysis =
   (* Resource governance lives in phase 1: that is where the detector —
      and hence the unbounded analysis state — is.  Phase-2 trials carry
@@ -499,7 +574,7 @@ let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
         Engine.deadline ~heap_mb:mb ?heap_hook ())
       mem_budget
   in
-  let p1 = phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor program in
+  let p1 = phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor ?detect program in
   let pairs = Site.Pair.Set.elements (potential_pairs p1) in
   let pairs, filtered =
     match static with

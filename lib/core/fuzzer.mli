@@ -18,12 +18,34 @@ type program = unit -> unit
 
 (** {1 Phase 1} *)
 
+(** How phase 1 attaches its detector.  [Inline] has the hybrid detector
+    listen to every engine event as it happens — the classic, per-step
+    taxed configuration.  [Recorded] is the record-then-detect pipeline:
+    the engine runs detector-free while appending a compact binary
+    recording ({!Rf_events.Btrace}) at small constant cost per step, and
+    the detector replays the recording offline, sharded by memory
+    location over [shards] passes ({!Rf_detect.Offline}).  The candidate
+    pair set is identical in both modes; with [shards = 1] the race list
+    is byte-identical, report order included. *)
+type detect_mode = Inline | Recorded of { shards : int }
+
+(** Cost accounting of a [Recorded] phase 1. *)
+type recording_stats = {
+  rec_events : int;  (** events recorded across all seeds *)
+  rec_bytes : int;  (** total sealed recording size *)
+  rec_wall : float;  (** wall spent executing + recording *)
+  detect_wall : float;  (** wall spent in offline detection *)
+  rec_shards : int;
+}
+
 type phase1_result = {
   potential : Rf_detect.Race.t list;  (** deduplicated by statement pair *)
   p1_outcomes : Outcome.t list;
   p1_wall : float;
   p1_degraded : Rf_resource.Governor.snapshot option;
       (** governor state when detection ran degraded; [None] otherwise *)
+  p1_recording : recording_stats option;
+      (** filled iff phase 1 ran in [Recorded] mode *)
 }
 
 val phase1 :
@@ -31,6 +53,7 @@ val phase1 :
   ?max_steps:int ->
   ?deadline:Engine.deadline ->
   ?governor:Rf_resource.Governor.t ->
+  ?detect:detect_mode ->
   program ->
   phase1_result
 (** Default: one execution (seed 0), like the paper; more seeds widen the
@@ -38,7 +61,13 @@ val phase1 :
     (degradation ladder; see {!Rf_resource.Governor}); [deadline] attaches
     the engine watchdog, including its heap watermark.  With a no-degrade
     governor, {!Rf_resource.Governor.Budget_stop} escapes: phase 1 has no
-    sandbox, so an unshed budget overrun is the caller's failure. *)
+    sandbox, so an unshed budget overrun is the caller's failure.
+
+    [detect] (default [Inline]) selects the detection pipeline.  In
+    [Recorded] mode the governor budget applies to the offline pass —
+    that is where detector state lives — and a governed pass runs its
+    shards sequentially so the shared budget stays deterministic;
+    ungoverned multi-shard passes run one domain per shard. *)
 
 val potential_pairs : phase1_result -> Site.Pair.Set.t
 
@@ -279,6 +308,7 @@ val analyze :
   ?no_degrade:bool ->
   ?static:Rf_static.Static.t ->
   ?static_filter:bool ->
+  ?detect:detect_mode ->
   program ->
   analysis
 (** [detector_budget] caps phase-1 detector-state entries; [mem_budget]

@@ -1,0 +1,48 @@
+(** Offline detection over binary recordings — see the interface for the
+    sharding/determinism argument. *)
+
+open Rf_util
+open Rf_events
+
+let shard_of_loc ~shards loc =
+  if shards <= 1 then 0 else Loc.hash loc mod shards
+
+let feed_shard ~shard ~shards d bt =
+  Btrace.iter
+    ~keep_mem:(fun loc -> shard_of_loc ~shards loc = shard)
+    (Detector.feed d) bt
+
+let replay f recordings = List.iter (fun bt -> Btrace.iter f bt) recordings
+
+let run_shard ~shard ~shards ~make recordings =
+  let d = make () in
+  List.iter (fun bt -> feed_shard ~shard ~shards d bt) recordings;
+  Detector.races d
+
+(* Dedup by statement pair, keeping the lowest-shard witness: shard
+   assignment is a pure function of the location, so the surviving
+   witness — hence the merged list — is independent of evaluation
+   order. *)
+let merge per_shard =
+  let seen = ref Site.Pair.Set.empty in
+  List.concat per_shard
+  |> List.filter (fun (r : Race.t) ->
+         if Site.Pair.Set.mem r.Race.pair !seen then false
+         else begin
+           seen := Site.Pair.Set.add r.Race.pair !seen;
+           true
+         end)
+  |> List.sort (fun (a : Race.t) (b : Race.t) ->
+         Site.Pair.compare a.Race.pair b.Race.pair)
+
+let detect ?(shards = 1) ?(parallel = false) ~make recordings =
+  let shards = max 1 shards in
+  if shards = 1 then run_shard ~shard:0 ~shards:1 ~make recordings
+  else if not parallel then
+    merge
+      (List.init shards (fun shard -> run_shard ~shard ~shards ~make recordings))
+  else
+    merge
+      (List.init shards (fun shard ->
+           Domain.spawn (fun () -> run_shard ~shard ~shards ~make recordings))
+      |> List.map Domain.join)

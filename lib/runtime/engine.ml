@@ -120,6 +120,7 @@ type thread = {
   mutable pending_rcv : (int * Event.sync_reason) option;
   mutable death_msg : int option;
   mutable last_site : Site.t option;
+  mutable lockset_id : int;  (* [lockset] interned in the binary writer *)
   mutable enabled_flag : bool;  (* maintained at enabledness transitions *)
   mutable joiners : int list;  (* live threads parked joining this one *)
   mutable entry : Strategy.entry;
@@ -140,7 +141,9 @@ type t = {
   prng : Prng.t;
   strategy : Strategy.t;
   listeners : (Event.t -> unit) list;
-  sink : bool;  (* someone observes events: trace, listener or verbose *)
+  sink : bool;  (* any observer at all: trace, listener, verbose or btrace *)
+  obs : bool;  (* an [Event.t]-materializing observer (not just btrace) *)
+  bw : Btrace.writer option;  (* binary recording: direct, event-free appends *)
   mutable threads : thread array;  (* index = tid; first n_threads slots *)
   mutable n_threads : int;
   mutable lock_states : lock_state option array;  (* index = lock id *)
@@ -171,6 +174,52 @@ let emit eng ev =
   (match eng.trace with Some tr -> Trace.add tr ev | None -> ());
   List.iter (fun f -> f ev) eng.listeners;
   if eng.cfg.verbose then Fmt.epr "[engine] %a@." Event.pp ev
+
+(* Emission is two-channel: [emit] materializes an [Event.t] for the
+   observers (trace, listeners, verbose) while the binary writer takes
+   direct appends — no event record, no lockset snapshot.  Call sites
+   stay gated on [eng.sink] (any channel present); each helper then
+   serves whichever channels exist. *)
+
+let[@inline] emit_mem eng th site loc access =
+  (match eng.bw with
+  | Some w -> Btrace.mem w ~tid:th.tid ~site ~loc ~access ~lockset_id:th.lockset_id
+  | None -> ());
+  if eng.obs then
+    emit eng (Event.Mem { tid = th.tid; site; loc; access; lockset = th.lockset })
+
+let[@inline] emit_acquire eng ~tid ~lock ~site =
+  (match eng.bw with Some w -> Btrace.acquire w ~tid ~lock ~site | None -> ());
+  if eng.obs then emit eng (Event.Acquire { tid; lock; site })
+
+let[@inline] emit_release eng ~tid ~lock ~site =
+  (match eng.bw with Some w -> Btrace.release w ~tid ~lock ~site | None -> ());
+  if eng.obs then emit eng (Event.Release { tid; lock; site })
+
+let[@inline] emit_snd eng ~tid ~msg ~reason =
+  (match eng.bw with Some w -> Btrace.snd_ w ~tid ~msg ~reason | None -> ());
+  if eng.obs then emit eng (Event.Snd { tid; msg; reason })
+
+let[@inline] emit_rcv eng ~tid ~msg ~reason =
+  (match eng.bw with Some w -> Btrace.rcv w ~tid ~msg ~reason | None -> ());
+  if eng.obs then emit eng (Event.Rcv { tid; msg; reason })
+
+let[@inline] emit_start eng ~tid ~name =
+  (match eng.bw with Some w -> Btrace.start w ~tid ~name | None -> ());
+  if eng.obs then emit eng (Event.Start { tid; name })
+
+let[@inline] emit_exit eng ~tid =
+  (match eng.bw with Some w -> Btrace.exit_ w ~tid | None -> ());
+  if eng.obs then emit eng (Event.Exit { tid })
+
+(* Lockset changes are rare (outermost acquire / innermost release / wait /
+   reacquire / death), so the binary id is re-interned only here and every
+   [Mem] append reuses it. *)
+let[@inline] set_lockset eng th ls =
+  th.lockset <- ls;
+  match eng.bw with
+  | Some w -> th.lockset_id <- Btrace.intern_lockset w ls
+  | None -> ()
 
 let fresh_msg eng =
   let g = eng.next_msg in
@@ -272,6 +321,7 @@ let new_thread eng ~name body =
       fiber = Not_started body;
       held = [];
       lockset = Lockset.empty;
+      lockset_id = 0;
       interrupt_pending = false;
       pending_rcv = None;
       death_msg = None;
@@ -306,19 +356,19 @@ let on_thread_done eng th (failure : exn option) =
           ls.holder <- None;
           ls.depth <- 0;
           if eng.sink then
-            emit eng (Event.Release { tid = th.tid; lock = lid; site = exit_site });
+            emit_release eng ~tid:th.tid ~lock:lid ~site:exit_site;
           sweep_contenders eng ls
       | _ -> ())
     th.held;
   th.held <- [];
-  th.lockset <- Lockset.empty;
+  set_lockset eng th Lockset.empty;
   (* Death message: join edges receive from it (paper §2.2: thread t1 calls
      t2.join() and t2 terminates => SND(g, t2), RCV(g, t1)). *)
   let g = fresh_msg eng in
   th.death_msg <- Some g;
   if eng.sink then begin
-    emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Join });
-    emit eng (Event.Exit { tid = th.tid })
+    emit_snd eng ~tid:th.tid ~msg:g ~reason:Event.Join;
+    emit_exit eng ~tid:th.tid
   end;
   (match failure with
   | None -> th.fiber <- Finished
@@ -375,7 +425,7 @@ let flush_rcv eng th =
   | None -> ()
   | Some (msg, reason) ->
       th.pending_rcv <- None;
-      if eng.sink then emit eng (Event.Rcv { tid = th.tid; msg; reason })
+      if eng.sink then emit_rcv eng ~tid:th.tid ~msg ~reason
 
 (* ------------------------------------------------------------------ *)
 (* Executing one pending operation: the paper's Execute(s, t).         *)
@@ -391,16 +441,14 @@ let exec_op (eng : t) (th : thread) : unit =
   match th.fiber with
   | Not_started body ->
       flush_rcv eng th;
-      if eng.sink then emit eng (Event.Start { tid = th.tid; name = th.tname });
+      if eng.sink then emit_start eng ~tid:th.tid ~name:th.tname;
       start_fiber eng th body
   | Pending (op, k) -> (
       record_site th;
       flush_rcv eng th;
       match op with
       | Op.Mem { site; loc; access } ->
-          if eng.sink then
-            emit eng
-              (Event.Mem { tid = th.tid; site; loc; access; lockset = th.lockset });
+          if eng.sink then emit_mem eng th site loc access;
           resume eng th k ()
       | Op.Acquire (l, site) ->
           let ls = lock_state eng l in
@@ -420,9 +468,9 @@ let exec_op (eng : t) (th : thread) : unit =
               ls.holder <- Some th.tid;
               ls.depth <- 1;
               th.held <- (Lock.id l, 1) :: th.held;
-              th.lockset <- Lockset.add (Lock.id l) th.lockset;
+              set_lockset eng th (Lockset.add (Lock.id l) th.lockset);
               if eng.sink then
-                emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+                emit_acquire eng ~tid:th.tid ~lock:(Lock.id l) ~site;
               sweep_contenders eng ls);
           resume eng th k ()
       | Op.Release (l, site) ->
@@ -436,9 +484,9 @@ let exec_op (eng : t) (th : thread) : unit =
             if ls.depth = 0 then begin
               ls.holder <- None;
               th.held <- List.remove_assoc (Lock.id l) th.held;
-              th.lockset <- Lockset.remove (Lock.id l) th.lockset;
+              set_lockset eng th (Lockset.remove (Lock.id l) th.lockset);
               if eng.sink then
-                emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
+                emit_release eng ~tid:th.tid ~lock:(Lock.id l) ~site;
               sweep_contenders eng ls
             end
             else
@@ -465,9 +513,9 @@ let exec_op (eng : t) (th : thread) : unit =
             ls.holder <- None;
             ls.depth <- 0;
             th.held <- List.remove_assoc (Lock.id l) th.held;
-            th.lockset <- Lockset.remove (Lock.id l) th.lockset;
+            set_lockset eng th (Lockset.remove (Lock.id l) th.lockset);
             if eng.sink then
-              emit eng (Event.Release { tid = th.tid; lock = Lock.id l; site });
+              emit_release eng ~tid:th.tid ~lock:(Lock.id l) ~site;
             ls.waiters <- ls.waiters @ [ th.tid ];
             th.fiber <- In_waitset { wlock = l; wdepth = d; wsite = site; wk = k };
             set_enabled eng th false;
@@ -482,9 +530,9 @@ let exec_op (eng : t) (th : thread) : unit =
           ls.holder <- Some th.tid;
           ls.depth <- d;
           th.held <- (Lock.id l, d) :: th.held;
-          th.lockset <- Lockset.add (Lock.id l) th.lockset;
+          set_lockset eng th (Lockset.add (Lock.id l) th.lockset);
           if eng.sink then
-            emit eng (Event.Acquire { tid = th.tid; lock = Lock.id l; site });
+            emit_acquire eng ~tid:th.tid ~lock:(Lock.id l) ~site;
           sweep_contenders eng ls;
           if interrupted then begin
             th.interrupt_pending <- false;
@@ -507,7 +555,7 @@ let exec_op (eng : t) (th : thread) : unit =
                 in
                 let g = fresh_msg eng in
                 if eng.sink then
-                  emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Notify });
+                  emit_snd eng ~tid:th.tid ~msg:g ~reason:Event.Notify;
                 List.iter
                   (fun wtid ->
                     let wth = thread eng wtid in
@@ -535,7 +583,7 @@ let exec_op (eng : t) (th : thread) : unit =
           let child = new_thread eng ~name body in
           let g = fresh_msg eng in
           if eng.sink then
-            emit eng (Event.Snd { tid = th.tid; msg = g; reason = Event.Fork });
+            emit_snd eng ~tid:th.tid ~msg:g ~reason:Event.Fork;
           child.pending_rcv <- Some (g, Event.Fork);
           resume eng th k (Handle.make ~tid:child.tid ~name)
       | Op.Join (h, _site) ->
@@ -551,7 +599,7 @@ let exec_op (eng : t) (th : thread) : unit =
             (match target.death_msg with
             | Some g ->
                 if eng.sink then
-                  emit eng (Event.Rcv { tid = th.tid; msg = g; reason = Event.Join })
+                  emit_rcv eng ~tid:th.tid ~msg:g ~reason:Event.Join
             | None -> ());
             resume eng th k ()
           end
@@ -673,8 +721,8 @@ let rec loop eng =
     loop eng
   end
 
-let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> unit) :
-    Outcome.t =
+let run ?(config = default_config) ?(listeners = []) ?btrace ~strategy
+    (main : unit -> unit) : Outcome.t =
   Loc.reset_counter ();
   Lock.reset_counter ();
   let t0 = Unix.gettimeofday () in
@@ -684,7 +732,11 @@ let run ?(config = default_config) ?(listeners = []) ~strategy (main : unit -> u
       prng = Prng.create config.seed;
       strategy;
       listeners;
-      sink = config.record_trace || listeners <> [] || config.verbose;
+      sink =
+        config.record_trace || listeners <> [] || config.verbose
+        || btrace <> None;
+      obs = config.record_trace || listeners <> [] || config.verbose;
+      bw = btrace;
       threads = [||];
       n_threads = 0;
       lock_states = [||];

@@ -102,6 +102,49 @@ let test_fingerprint_structural () =
      accidental change to the hash must fail loudly here first. *)
   Alcotest.(check int) "pinned digest" 2392111145469299187 (fp base)
 
+let test_trace_sentinel_invisible () =
+  (* [Trace.create] pads the backing array with an [Exit { tid = -1 }]
+     sentinel; growth in [add] seeds the bigger array with the incoming
+     event.  Neither filler is a recorded event, so no consumer may ever
+     observe one on a partially filled trace — every accessor must be
+     bounded by [length], not capacity. *)
+  let sentinel = Event.Exit { tid = -1 } in
+  let check_clean label tr =
+    Trace.iter
+      (fun ev ->
+        if Event.equal ev sentinel then
+          Alcotest.failf "%s: iter leaked the sentinel" label)
+      tr;
+    Alcotest.(check bool)
+      (label ^ ": to_list has no sentinel")
+      false
+      (List.exists (Event.equal sentinel) (Trace.to_list tr));
+    let visited = Trace.fold (fun n _ -> n + 1) 0 tr in
+    Alcotest.(check int) (label ^ ": fold is length-bounded") (Trace.length tr)
+      visited
+  in
+  (* fresh trace with excess capacity: all slots are sentinels, none visible *)
+  let tr = Trace.create ~capacity:64 () in
+  check_clean "empty" tr;
+  Alcotest.(check int) "empty sync count" 0 (Trace.count_sync tr);
+  Trace.add tr (mem ());
+  Trace.add tr (mem ~access:Event.Read ());
+  check_clean "partial" tr;
+  (* capacity (hence sentinel population) must not affect the digest *)
+  let small = Trace.create ~capacity:1 () in
+  Trace.add small (mem ());
+  Trace.add small (mem ~access:Event.Read ());
+  Alcotest.(check int) "fingerprint is capacity-independent"
+    (Trace.fingerprint small) (Trace.fingerprint tr);
+  Alcotest.(check bool) "equal across capacities" true (Trace.equal small tr);
+  (* a *recorded* Exit{tid=-1} is data, not padding: it must survive *)
+  let tr' = Trace.create ~capacity:8 () in
+  Trace.add tr' sentinel;
+  Alcotest.(check int) "recorded sentinel-shaped event kept" 1
+    (Trace.length tr');
+  Alcotest.(check bool) "and visible" true
+    (List.exists (Event.equal sentinel) (Trace.to_list tr'))
+
 let test_trace_counts () =
   let tr = Trace.create () in
   Trace.add tr (mem ());
@@ -331,6 +374,8 @@ let () =
           Alcotest.test_case "equal/fingerprint" `Quick test_trace_equal_and_fingerprint;
           Alcotest.test_case "fingerprint structural" `Quick
             test_fingerprint_structural;
+          Alcotest.test_case "sentinel invisible" `Quick
+            test_trace_sentinel_invisible;
           Alcotest.test_case "counts" `Quick test_trace_counts;
           Alcotest.test_case "fold/iter" `Quick test_trace_fold_iter;
         ] );
