@@ -8,7 +8,10 @@
      shrink    minimize a recorded failing schedule by delta debugging
      deadlock  deadlock-directed testing (Goodlock cycles + postponement)
      atomicity atomicity-directed testing (split transactions)
-     campaign  parallel whole-program campaign over a domain pool
+     campaign  parallel whole-program campaign over a domain pool or
+               crash-isolated worker processes (--workers)
+     corpus    list/verify a persistent cross-campaign corpus
+     offline   offline race detection over saved binary traces
      workload  analyze a built-in Table-1 workload analogue
      list      list built-in workloads
      table1    regenerate the paper's Table 1
@@ -666,12 +669,102 @@ let campaign_cmd =
       & info [ "offline-shards" ] ~docv:"N"
           ~doc:
             "Shard the offline detection pass by memory location over $(docv) \
-             readers (requires --offline-detect).  Verdicts are merged \
-             deterministically and equal the single-shard result.")
+             parallel domains (requires --offline-detect).  Verdicts are \
+             merged deterministically and equal the single-shard result.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shard phase-2 trials across $(docv) supervised worker processes \
+             (a hidden 'campaign-worker' mode of this executable) instead of \
+             in-process domains.  Workers are crash-isolated — a segfault, \
+             OOM or spin kills one worker, which is respawned with \
+             exponential backoff while its trial is requeued — and results \
+             merge deterministically: the campaign fingerprint is \
+             byte-identical to an in-process run.  0 (the default) keeps the \
+             in-process domain pool; when workers cannot be spawned the \
+             campaign degrades to it silently.")
+  in
+  let worker_deadline_arg =
+    Arg.(
+      value & opt float Rf_campaign.Proc_pool.default_heartbeat
+      & info [ "worker-deadline" ] ~docv:"SECS"
+          ~doc:
+            "Heartbeat deadline for --workers: a worker holding an \
+             assignment longer than $(docv) without replying is SIGKILLed \
+             and its trial requeued.")
+  in
+  let worker_mem_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "worker-mem" ] ~docv:"MB"
+          ~doc:
+            "Per-worker address-space rlimit (ulimit -v) in megabytes: a \
+             worker allocating past it dies alone and its trial is journaled \
+             as a crash, instead of taking the whole campaign down.")
+  in
+  let worker_cpu_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "worker-cpu" ] ~docv:"SECS"
+          ~doc:"Per-worker CPU-seconds rlimit (ulimit -t).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Accumulate campaign artifacts into a persistent cross-campaign \
+             corpus at $(docv): every distinct error fingerprint (with its \
+             minimized repro schedule), degraded-run record and saved trace \
+             is stored once and deduplicated across runs.  Inspect with \
+             'racefuzzer corpus list/verify'.")
+  in
+  let save_traces_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-traces" ] ~docv:"DIR"
+          ~doc:
+            "Persist phase-1 binary recordings (trace-seed<N>.rfbt) into \
+             $(docv) for later re-analysis with 'racefuzzer offline'.  \
+             Implies record-then-detect (--offline-detect).")
+  in
+  let chaos_kill_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-kill-assignment" ] ~docv:"N"
+          ~doc:
+            "Multi-process chaos: the worker receiving the Nth dispatched \
+             assignment SIGKILLs itself — a real process death exercising \
+             reap, requeue and respawn.  Liveness-only: results and \
+             fingerprints are unchanged.  Usable without --chaos.")
+  in
+  let chaos_torn_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-torn-frame" ] ~docv:"N"
+          ~doc:
+            "Multi-process chaos: the worker holding the Nth assignment \
+             replies with a deliberately corrupted IPC frame, which the \
+             supervisor must reject with a precise checksum error and treat \
+             as a worker death.  Liveness-only; usable without --chaos.")
+  in
+  let chaos_hang_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-hang-assignment" ] ~docv:"N"
+          ~doc:
+            "Multi-process chaos: the worker holding the Nth assignment \
+             hangs forever, forcing the --worker-deadline SIGKILL path.  \
+             Liveness-only; usable without --chaos.")
   in
   let action target domains budget logfile no_cutoff p1 trials chaos_flag chaos_seed
       chaos_stop trial_deadline resume repro_dir repro_fuel static_filter
-      detector_budget mem_budget no_degrade offline_detect offline_shards =
+      detector_budget mem_budget no_degrade offline_detect offline_shards workers
+      worker_deadline worker_mem worker_cpu corpus save_traces chaos_kill
+      chaos_torn chaos_hang =
     let program =
       match Rf_workloads.Registry.find target with
       | Some w ->
@@ -720,10 +813,42 @@ let campaign_cmd =
           | None -> Rf_campaign.Event_log.null ()
         in
         let chaos =
-          if not chaos_flag then None
+          (* Proc faults are liveness-only (they never change results), so
+             they are usable without --chaos: alone they ride an otherwise
+             empty plan, preserving fingerprint parity with fault-free
+             runs. *)
+          let proc_faults =
+            chaos_kill <> None || chaos_torn <> None || chaos_hang <> None
+          in
+          if not (chaos_flag || proc_faults) then None
           else
-            let base = Rf_campaign.Chaos.default chaos_seed in
-            Some { base with Rf_campaign.Chaos.c_stop_after = chaos_stop }
+            let base =
+              if chaos_flag then Rf_campaign.Chaos.default chaos_seed
+              else Rf_campaign.Chaos.plan chaos_seed
+            in
+            Some
+              {
+                base with
+                Rf_campaign.Chaos.c_stop_after = chaos_stop;
+                c_kill_assignment = chaos_kill;
+                c_torn_frame = chaos_torn;
+                c_hang_assignment = chaos_hang;
+              }
+        in
+        let proc =
+          if workers <= 0 then None
+          else
+            Some
+              {
+                Rf_campaign.Proc_pool.sp_cmd =
+                  [| Sys.executable_name; "campaign-worker" |];
+                sp_workers = workers;
+                sp_heartbeat = worker_deadline;
+                sp_rlimit_as_mb = worker_mem;
+                sp_rlimit_cpu_s = worker_cpu;
+                sp_policy = Rf_campaign.Supervisor.default_policy;
+                sp_target = target;
+              }
         in
         let static_filter =
           if static_filter && static = None then begin
@@ -735,13 +860,16 @@ let campaign_cmd =
           else static_filter
         in
         let stop = Rf_campaign.Campaign.stop_switch () in
-        let (_ : Sys.signal_behavior) =
-          (* Graceful SIGINT: workers drain, the journal is flushed, and a
-             partial report is printed; a second ^C kills as usual once the
-             process is back out of the campaign. *)
-          Sys.signal Sys.sigint
-            (Sys.Signal_handle (fun _ -> Rf_campaign.Campaign.request_stop stop))
+        let on_signal =
+          (* Graceful SIGINT/SIGTERM: in-process workers drain, worker
+             processes are killed and reaped (no orphans) before the final
+             checkpoint write, the journal is flushed, and a partial report
+             is printed; a second ^C kills as usual once the process is
+             back out of the campaign. *)
+          Sys.Signal_handle (fun _ -> Rf_campaign.Campaign.request_stop stop)
         in
+        let (_ : Sys.signal_behavior) = Sys.signal Sys.sigint on_signal in
+        let (_ : Sys.signal_behavior) = Sys.signal Sys.sigterm on_signal in
         let r =
           try
             Rf_campaign.Campaign.run ~domains ~cutoff:(not no_cutoff) ?budget
@@ -751,7 +879,7 @@ let campaign_cmd =
               ?mem_budget ~no_degrade ?repro_dir ~target ~repro_fuel ?static
               ~static_filter
               ?offline_detect:(if offline_detect then Some offline_shards else None)
-              program
+              ?proc ?save_traces ?corpus program
           with
           | Rf_resource.Governor.Budget_stop trigger ->
               Rf_campaign.Event_log.close log;
@@ -765,6 +893,7 @@ let campaign_cmd =
         in
         Rf_campaign.Event_log.close log;
         Sys.set_signal Sys.sigint Sys.Signal_default;
+        Sys.set_signal Sys.sigterm Sys.Signal_default;
         print_analysis r.Rf_campaign.Campaign.analysis;
         Fmt.pr "@.%a" Rf_report.Campaign_report.render r.Rf_campaign.Campaign.stats;
         Fmt.pr "%a" Rf_report.Campaign_report.precision r;
@@ -775,6 +904,12 @@ let campaign_cmd =
           (Rf_campaign.Campaign.confirmed_fingerprint
              r.Rf_campaign.Campaign.analysis);
         Option.iter (fun path -> Fmt.pr "event log:   %s@." path) logfile;
+        Option.iter (fun dir -> Fmt.pr "traces:      %s@." dir) save_traces;
+        Option.iter
+          (fun dir ->
+            Fmt.pr "corpus:      %s (%d entries)@." dir
+              (List.length (Rf_campaign.Corpus.load dir)))
+          corpus;
         let s = r.Rf_campaign.Campaign.stats in
         if s.Rf_campaign.Campaign.s_interrupted then begin
           Option.iter
@@ -791,19 +926,147 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Parallel whole-program campaign: schedule all (pair, seed) trials across a \
-          domain pool with deterministic aggregation, early cutoff, sandboxed \
+          domain pool — or, with --workers, across crash-isolated worker \
+          processes — with deterministic aggregation, early cutoff, sandboxed \
           trials, supervised workers, resource governance \
-          (--detector-budget/--mem-budget) and checkpoint/resume. Exit status: 0 \
-          clean, 2 when phase 1 exhausted its resource budget under --no-degrade, \
-          3 when trials crashed the harness or pairs were quarantined, 4 when a \
-          resume journal or artifact cannot be loaded, 130 when interrupted \
-          (SIGINT or --chaos-stop-after).")
+          (--detector-budget/--mem-budget), checkpoint/resume and a persistent \
+          cross-campaign --corpus. Exit status: 0 clean, 2 when phase 1 \
+          exhausted its resource budget under --no-degrade, 3 when trials \
+          crashed the harness or pairs were quarantined, 4 when a resume \
+          journal or artifact cannot be loaded, 130 when interrupted (SIGINT, \
+          SIGTERM or --chaos-stop-after).")
     Term.(
       const action $ target_arg $ domains_arg $ budget_arg $ log_arg $ no_cutoff_arg
       $ p1_arg $ seeds_arg 100 $ chaos_arg $ chaos_seed_arg $ chaos_stop_arg
       $ trial_deadline_arg $ resume_arg $ repro_dir_arg $ repro_fuel_arg
       $ static_filter_arg $ detector_budget_arg $ mem_budget_arg $ no_degrade_arg
-      $ offline_detect_arg $ offline_shards_arg)
+      $ offline_detect_arg $ offline_shards_arg $ workers_arg
+      $ worker_deadline_arg $ worker_mem_arg $ worker_cpu_arg $ corpus_arg
+      $ save_traces_arg $ chaos_kill_arg $ chaos_torn_arg $ chaos_hang_arg)
+
+(* ------------------------------------------------------------------ *)
+(* corpus                                                              *)
+
+let corpus_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("list", `List); ("verify", `Verify) ])) None
+      & info [] ~docv:"OP" ~doc:"$(b,list) entries or $(b,verify) integrity.")
+  in
+  let dir_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Corpus directory (--corpus of 'campaign').")
+  in
+  let action op dir =
+    match op with
+    | `List ->
+        let entries = Rf_campaign.Corpus.load dir in
+        if entries = [] then Fmt.pr "corpus %s: empty or missing@." dir
+        else begin
+          List.iter
+            (fun (e : Rf_campaign.Corpus.entry) ->
+              Fmt.pr "%-9s %-44s seen %d%s@." e.Rf_campaign.Corpus.e_kind
+                e.Rf_campaign.Corpus.e_key e.Rf_campaign.Corpus.e_seen
+                (if e.Rf_campaign.Corpus.e_file = "" then ""
+                 else "  file " ^ e.Rf_campaign.Corpus.e_file))
+            entries;
+          let n = List.length entries in
+          Fmt.pr "%d entr%s@." n (if n = 1 then "y" else "ies")
+        end
+    | `Verify -> (
+        match Rf_campaign.Corpus.verify ~dir with
+        | Ok n -> Fmt.pr "corpus %s: OK (%d entries)@." dir n
+        | Error problems ->
+            List.iter (fun p -> Fmt.epr "corpus %s: %s@." dir p) problems;
+            exit 4)
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Inspect a persistent campaign corpus: 'corpus list DIR' prints the \
+          entries, 'corpus verify DIR' checks the index header, every line \
+          seal, every artifact's presence and content CRC, and key uniqueness \
+          (exit 4 on any violation).")
+    Term.(const action $ op_arg $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* offline                                                             *)
+
+let offline_cmd =
+  let dir_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory holding *.rfbt recordings ('campaign --save-traces', \
+             or a corpus directory).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard detection by memory location over $(docv) domains run in \
+             parallel; merged verdicts equal the single-shard result.")
+  in
+  let detector_arg =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "detector" ] ~docv:"NAME"
+          ~doc:"hybrid, hb (precise), fasttrack, or eraser.")
+  in
+  let action dir shards detector =
+    let mk =
+      match detector with
+      | "hybrid" -> Rf_detect.Detector.hybrid ~cap:128
+      | "hb" | "happens-before" -> Rf_detect.Detector.hb_precise ~cap:128
+      | "fasttrack" -> Rf_detect.Detector.fasttrack
+      | "eraser" -> Rf_detect.Detector.eraser ~site_cap:16
+      | s ->
+          Fmt.epr "unknown detector %S@." s;
+          exit 1
+    in
+    let files =
+      match Sys.readdir dir with
+      | names ->
+          Array.to_list names
+          |> List.filter (fun n -> Filename.check_suffix n ".rfbt")
+          |> List.sort String.compare
+          |> List.map (Filename.concat dir)
+      | exception Sys_error m ->
+          Fmt.epr "%s@." m;
+          exit 4
+    in
+    if files = [] then begin
+      Fmt.epr "no *.rfbt recordings in %s@." dir;
+      exit 4
+    end;
+    match List.map Rf_events.Btrace.load files with
+    | recordings ->
+        let races =
+          Rf_detect.Offline.detect ~shards:(max 1 shards)
+            ~parallel:(shards > 1) ~make:mk recordings
+        in
+        Fmt.pr "%d recording(s), %d shard(s): %d potential racing statement pair(s)@."
+          (List.length recordings) (max 1 shards) (List.length races);
+        List.iter (fun r -> Fmt.pr "  %a@." Rf_detect.Race.pp r) races
+    | exception Rf_events.Btrace.Corrupt m ->
+        Fmt.epr "corrupt recording: %s@." m;
+        exit 4
+    | exception Sys_error m ->
+        Fmt.epr "%s@." m;
+        exit 4
+  in
+  Cmd.v
+    (Cmd.info "offline"
+       ~doc:
+         "Offline race detection over saved binary traces: replay *.rfbt \
+          recordings through a fresh detector, optionally sharded by memory \
+          location across parallel domains (--shards).  Exit 4 when a \
+          recording is corrupt or the directory holds none.")
+    Term.(const action $ dir_arg $ shards_arg $ detector_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)
@@ -868,7 +1131,20 @@ let main_cmd =
        ~doc:"Race-directed random testing of concurrent programs (Sen, PLDI 2008).")
     [
       run_cmd; detect_cmd; fuzz_cmd; replay_cmd; shrink_cmd; deadlock_cmd;
-      atomicity_cmd; campaign_cmd; workload_cmd; list_cmd; table1_cmd; figure2_cmd;
+      atomicity_cmd; campaign_cmd; corpus_cmd; offline_cmd; workload_cmd;
+      list_cmd; table1_cmd; figure2_cmd;
     ]
+
+(* Hidden worker mode: 'racefuzzer campaign-worker' is exec'd by
+   Proc_pool with sealed frames on stdin/stdout.  Dispatched before
+   cmdliner so its stdout stays a clean frame stream (no usage text,
+   no terminal pager).  Exit codes: 0 on shutdown/EOF, 2 when the init
+   frame is corrupt or the target does not resolve. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "campaign-worker" then
+    Rf_campaign.Proc_pool.worker_main
+      ~resolve:(fun target ->
+        match resolve_target target with Ok p -> Some p | Error _ -> None)
+      ()
 
 let () = exit (Cmd.eval main_cmd)

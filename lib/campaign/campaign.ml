@@ -240,7 +240,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
     ?budget ?postpone_timeout ?(max_steps = Engine.default_config.max_steps)
     ?(log = Event_log.null ()) ?(supervision = Supervisor.default_policy) ?chaos
     ?trial_deadline ?resume ?stop ?detector_budget ?mem_budget
-    ?(no_degrade = false) ~(program : Fuzzer.program)
+    ?(no_degrade = false) ?proc ~(program : Fuzzer.program)
     (pairs : Site.Pair.t list) : Fuzzer.pair_result list * stats =
   let t0 = Unix.gettimeofday () in
   let npairs = List.length pairs in
@@ -294,8 +294,42 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
     | wall, heap_mb ->
         Some (Engine.deadline ?wall ?heap_mb ?heap_hook:(heap_hook governor) ())
   in
+  (* Multi-process tier: spawn the worker fleet up front and gate on the
+     init handshake.  If no worker ever comes up (exec failure, target
+     unresolvable in the child, impossible rlimits) the campaign degrades
+     to the in-process domain pool at the same parallel width — results
+     are identical either way, only the isolation boundary moves. *)
+  let ppool =
+    match proc with
+    | None -> None
+    | Some _ when npairs = 0 || total_budget = 0 -> None
+    | Some sp ->
+        let init =
+          {
+            Proc_pool.i_target = sp.Proc_pool.sp_target;
+            i_max_steps = max_steps;
+            i_postpone = postpone_timeout;
+            i_detector_budget = detector_budget;
+            i_mem_budget = mem_budget;
+            i_no_degrade = no_degrade;
+            i_trial_wall = trial_wall;
+          }
+        in
+        let p = Proc_pool.create sp ~init in
+        if Proc_pool.await_ready p ~timeout:15.0 then Some p
+        else begin
+          Proc_pool.kill_all p;
+          None
+        end
+  in
+  let ndomains =
+    match proc with
+    | Some sp -> max 1 sp.Proc_pool.sp_workers
+    | None -> max 1 domains
+  in
   Event_log.emit log
-    (Event_log.Campaign_started { domains; base_trials = nbase; budget; cutoff });
+    (Event_log.Campaign_started
+       { domains = ndomains; base_trials = nbase; budget; cutoff });
   let states =
     Array.of_list
       (List.map
@@ -332,7 +366,6 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       states
   end;
   let mutex = Mutex.create () in
-  let ndomains = max 1 domains in
   let domain_trials = Array.make ndomains 0 in
   let domain_busy = Array.make ndomains 0.0 in
   let executed_n = Atomic.make 0 in
@@ -419,39 +452,51 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       (Event_log.Trial_exhausted
          { pair = ps.ps_label; seed; domain = d; reason; steps; wall })
   in
+  (* Skip-check and journal-replay, shared verbatim by the in-process
+     worker loop (which applies them at pop time) and the multi-process
+     dispatcher (which applies them at dispatch time).  Both placements
+     are sound by the same argument: the skip bound only ever shrinks, so
+     anything skipped under an early bound would also be truncated by the
+     final one. *)
+  let check_skip ps idx =
+    Mutex.protect mutex (fun () ->
+        match skip_bound ~cutoff ~qn ps with
+        | Some k when idx > k ->
+            (match (if cutoff then resolution ps else None) with
+            | Some r when idx > r -> ps.ps_cancelled <- ps.ps_cancelled + 1
+            | _ -> ps.ps_q_skipped <- ps.ps_q_skipped + 1);
+            true
+        | _ -> false)
+  in
+  let try_resume d ps idx seed =
+    match Hashtbl.find_opt resume_tbl (ps.ps_label, seed) with
+    | Some (R_finished r) ->
+        Atomic.incr replayed_n;
+        let tr =
+          Fuzzer.trial_of_record ~degraded:r.r_degraded ~pair:ps.ps_pair ~seed
+            ~race:r.r_race
+            ~exns:r.r_exns ~deadlock:r.r_deadlock ~steps:r.r_steps
+            ~switches:r.r_switches ~wall:r.r_wall
+        in
+        record_trial d ps idx seed tr;
+        true
+    | Some (R_crashed r) ->
+        Atomic.incr replayed_n;
+        record_crash d ps idx seed r.r_exn "";
+        true
+    | Some (R_exhausted r) ->
+        Atomic.incr replayed_n;
+        record_exhausted d ps idx seed r.r_reason r.r_steps r.r_wall;
+        true
+    | None -> false
+  in
   (* One task: skip-check, then replay from the journal or execute inside
      the sandbox.  Nothing a trial does can escape this function. *)
   let process d (idx, p) =
     let ps = states.(p) in
-    let skipped =
-      Mutex.protect mutex (fun () ->
-          match skip_bound ~cutoff ~qn ps with
-          | Some k when idx > k ->
-              (match (if cutoff then resolution ps else None) with
-              | Some r when idx > r -> ps.ps_cancelled <- ps.ps_cancelled + 1
-              | _ -> ps.ps_q_skipped <- ps.ps_q_skipped + 1);
-              true
-          | _ -> false)
-    in
-    if not skipped then begin
+    if not (check_skip ps idx) then begin
       let seed = seed_of idx in
-      match Hashtbl.find_opt resume_tbl (ps.ps_label, seed) with
-      | Some (R_finished r) ->
-          Atomic.incr replayed_n;
-          let tr =
-            Fuzzer.trial_of_record ~degraded:r.r_degraded ~pair:ps.ps_pair ~seed
-              ~race:r.r_race
-              ~exns:r.r_exns ~deadlock:r.r_deadlock ~steps:r.r_steps
-              ~switches:r.r_switches ~wall:r.r_wall
-          in
-          record_trial d ps idx seed tr
-      | Some (R_crashed r) ->
-          Atomic.incr replayed_n;
-          record_crash d ps idx seed r.r_exn ""
-      | Some (R_exhausted r) ->
-          Atomic.incr replayed_n;
-          record_exhausted d ps idx seed r.r_reason r.r_steps r.r_wall
-      | None ->
+      if not (try_resume d ps idx seed) then begin
           Event_log.emit log
             (Event_log.Trial_started { pair = ps.ps_label; seed; domain = d });
           let tripped =
@@ -497,6 +542,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
           | Fuzzer.Budget_exhausted { bx_reason; bx_steps; bx_wall; _ } ->
               record_exhausted d ps idx seed (reason_string bx_reason) bx_steps
                 bx_wall)
+      end
     end
   in
   let run_wave wave tasks =
@@ -555,6 +601,202 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       interrupted_remaining :=
         !interrupted_remaining + List.length (Work_queue.drain queue)
   in
+  (* ---------------------------------------------------------------- *)
+  (* Multi-process wave driver.  Skip-checks and journal replays happen
+     at dispatch time (see [check_skip]); only real executions ship to a
+     worker process.  The assignment counter is campaign-global and
+     1-based — chaos process faults ([c_kill_assignment] etc.) key on it,
+     and a requeued task gets a fresh number, so a fault fires once
+     rather than chasing its own retry forever. *)
+  let assign_ctr = ref 0 in
+  let proc_inflight : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let run_wave_proc pool wave tasks =
+    Event_log.emit log (Event_log.Wave_started { wave; tasks = List.length tasks });
+    let pending = Queue.create () in
+    List.iter (fun t -> Queue.add t pending) tasks;
+    (* Pop until a task actually ships: skipped and replayed tasks are
+       satisfied supervisor-side and consume no worker. *)
+    let rec dispatch worker =
+      match Queue.take_opt pending with
+      | None -> ()
+      | Some (idx, p) ->
+          let ps = states.(p) in
+          if check_skip ps idx then dispatch worker
+          else begin
+            let seed = seed_of idx in
+            if try_resume worker ps idx seed then dispatch worker
+            else begin
+              incr assign_ctr;
+              let id = !assign_ctr in
+              let die =
+                (match chaos_state with
+                | Some (plan, st) -> Chaos.kills_worker plan st
+                | None -> false)
+                ||
+                match chaos with
+                | Some { Chaos.c_kill_assignment = Some n; _ } -> n = id
+                | _ -> false
+              in
+              let at n = match n with Some n -> n = id | None -> false in
+              let torn =
+                match chaos with
+                | Some pl -> at pl.Chaos.c_torn_frame
+                | None -> false
+              in
+              let hang =
+                match chaos with
+                | Some pl -> at pl.Chaos.c_hang_assignment
+                | None -> false
+              in
+              let crash =
+                match chaos with
+                | Some pl -> Chaos.crashes pl ~label:ps.ps_label ~seed
+                | None -> false
+              in
+              let stall =
+                match chaos with
+                | Some pl when Chaos.stalls pl ~label:ps.ps_label ~seed ->
+                    pl.Chaos.c_stall_seconds
+                | _ -> 0.0
+              in
+              let tripped =
+                match chaos with
+                | Some pl -> Chaos.trips_budget pl ~label:ps.ps_label ~seed
+                | None -> false
+              in
+              Event_log.emit log
+                (Event_log.Trial_started
+                   { pair = ps.ps_label; seed; domain = worker });
+              Hashtbl.replace proc_inflight id (idx, p);
+              Proc_pool.assign pool ~worker
+                {
+                  Proc_pool.a_id = id;
+                  a_pair = ps.ps_pair;
+                  a_seed = seed;
+                  a_crash = crash;
+                  a_stall = stall;
+                  a_tripped = tripped;
+                  a_die = die;
+                  a_torn = torn;
+                  a_hang = hang;
+                }
+            end
+          end
+    in
+    let handle_event = function
+      | Proc_pool.Ev_ready { ev_worker; ev_pid } ->
+          Event_log.emit log
+            (Event_log.Worker_spawned { worker = ev_worker; pid = ev_pid })
+      | Proc_pool.Ev_result { ev_worker; ev_id; ev_result } -> (
+          match Hashtbl.find_opt proc_inflight ev_id with
+          | None -> ()  (* late result from a worker already declared dead *)
+          | Some (idx, p) ->
+              Hashtbl.remove proc_inflight ev_id;
+              let ps = states.(p) in
+              let seed = seed_of idx in
+              domain_trials.(ev_worker) <- domain_trials.(ev_worker) + 1;
+              let n = Atomic.fetch_and_add executed_n 1 + 1 in
+              (match chaos with
+              | Some { Chaos.c_stop_after = Some m; _ } when n >= m ->
+                  request_stop stop
+              | _ -> ());
+              (match ev_result with
+              | Proc_pool.T_finished
+                  { t_race; t_deadlock; t_steps; t_switches; t_exns; t_wall;
+                    t_degraded; t_level; t_trigger; t_evicted } ->
+                  domain_busy.(ev_worker) <- domain_busy.(ev_worker) +. t_wall;
+                  (* The exact resume-replay path: worker results are
+                     journal-shaped records, so rebuilding the trial with
+                     [trial_of_record] makes multi-process aggregation
+                     byte-identical to in-process execution. *)
+                  let tr =
+                    Fuzzer.trial_of_record
+                      ~degraded:
+                        (snapshot_of_record ~degraded:t_degraded
+                           ~level:t_level ~trigger:t_trigger
+                           ~evicted:t_evicted)
+                      ~pair:ps.ps_pair ~seed ~race:t_race ~exns:t_exns
+                      ~deadlock:t_deadlock ~steps:t_steps ~switches:t_switches
+                      ~wall:t_wall
+                  in
+                  record_trial ev_worker ps idx seed tr
+              | Proc_pool.T_crashed { t_exn; t_backtrace } ->
+                  record_crash ev_worker ps idx seed t_exn t_backtrace
+              | Proc_pool.T_exhausted { t_reason; t_steps; t_wall } ->
+                  domain_busy.(ev_worker) <- domain_busy.(ev_worker) +. t_wall;
+                  record_exhausted ev_worker ps idx seed t_reason t_steps
+                    t_wall))
+      | Proc_pool.Ev_died
+          { ev_worker; ev_pid; ev_in_flight; ev_reason; ev_killed; _ } ->
+          (match ev_in_flight with
+          | Some id -> (
+              match Hashtbl.find_opt proc_inflight id with
+              | Some task ->
+                  Hashtbl.remove proc_inflight id;
+                  Queue.add task pending
+              | None -> ())
+          | None -> ());
+          Atomic.incr worker_crashes_n;
+          if ev_killed then
+            Event_log.emit log
+              (Event_log.Worker_killed
+                 { worker = ev_worker; pid = ev_pid; reason = ev_reason });
+          Event_log.emit log
+            (Event_log.Worker_crashed
+               { domain = ev_worker; attempt = 0; exn_ = ev_reason })
+      | Proc_pool.Ev_respawned { ev_worker; ev_pid; ev_attempt; ev_backoff } ->
+          Atomic.incr worker_respawns_n;
+          Event_log.emit log
+            (Event_log.Worker_spawned { worker = ev_worker; pid = ev_pid });
+          Event_log.emit log
+            (Event_log.Worker_respawned
+               { domain = ev_worker; attempt = ev_attempt; backoff = ev_backoff })
+      | Proc_pool.Ev_gave_up w ->
+          Atomic.incr worker_gave_up_n;
+          Event_log.emit log (Event_log.Worker_gave_up { domain = w })
+    in
+    let finished () =
+      Queue.is_empty pending && Hashtbl.length proc_inflight = 0
+    in
+    while
+      (not (finished ()))
+      && (not (stop_requested stop))
+      && not (Proc_pool.gone pool)
+    do
+      List.iter
+        (fun w -> if not (Queue.is_empty pending) then dispatch w)
+        (Proc_pool.idle_workers pool);
+      if not (finished ()) then
+        List.iter handle_event (Proc_pool.poll pool ~timeout:0.05)
+    done;
+    if stop_requested stop then begin
+      interrupted_remaining :=
+        !interrupted_remaining + Queue.length pending
+        + Hashtbl.length proc_inflight;
+      Queue.clear pending;
+      Hashtbl.reset proc_inflight
+    end
+    else if Proc_pool.gone pool then begin
+      (* The whole fleet died past its respawn budget: requeue whatever
+         was in flight and finish the wave inline, immune to process
+         faults — the same degradation the in-process pool applies when
+         every domain slot gives up. *)
+      Hashtbl.iter (fun _ task -> Queue.add task pending) proc_inflight;
+      Hashtbl.reset proc_inflight;
+      let rec drain () =
+        if stop_requested stop then
+          interrupted_remaining :=
+            !interrupted_remaining + Queue.length pending
+        else
+          match Queue.take_opt pending with
+          | None -> ()
+          | Some task ->
+              process 0 task;
+              drain ()
+      in
+      drain ()
+    end
+  in
   (* Wave loop.  Each wave queues every granted-but-unqueued trial in
      seed-major order (trial 0 of every pair, then trial 1, ...) so all
      pairs make progress toward their resolution points together.  Between
@@ -582,7 +824,9 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
         !tasks
     in
     if tasks <> [] then begin
-      run_wave !waves tasks;
+      (match ppool with
+      | Some pool -> run_wave_proc pool !waves tasks
+      | None -> run_wave !waves tasks);
       incr waves
     end;
     if stop_requested stop then continue_ := false
@@ -629,6 +873,15 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       end
     end
   done;
+  (* Tear the fleet down before the final journal writes: on interrupt
+     every child is SIGKILLed and reaped immediately (no orphans survive
+     the campaign), otherwise workers get a grace period to exit on the
+     Shutdown frame. *)
+  (match ppool with
+  | None -> ()
+  | Some pool ->
+      if stop_requested stop then Proc_pool.kill_all pool
+      else Proc_pool.shutdown pool ~grace:2.0);
   let interrupted = stop_requested stop in
   if interrupted then
     Event_log.emit log
@@ -716,9 +969,19 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
 let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?(cutoff = false) ?budget ?postpone_timeout ?max_steps
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
-    ?detector_budget ?mem_budget ?(no_degrade = false) ?repro_dir ?(target = "")
-    ?repro_fuel ?static ?(static_filter = false) ?offline_detect
-    (program : Fuzzer.program) : result =
+    ?detector_budget ?mem_budget ?(no_degrade = false) ?proc ?repro_dir
+    ?(target = "") ?repro_fuel ?static ?(static_filter = false) ?offline_detect
+    ?save_traces ?corpus (program : Fuzzer.program) : result =
+  (* A corpus wants reproduction artifacts; without an explicit repro
+     directory they are written inside the corpus itself (whose directory
+     must then exist before the repro pass mkdirs beneath it). *)
+  let repro_dir =
+    match (repro_dir, corpus) with
+    | (Some _ as d), _ | d, None -> d
+    | None, Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Some (Filename.concat dir "repros")
+  in
   (* Phase 1 is where detector state lives (phase-2 trials attach no
      detector), so this is where the entry budget really bites.  The
      governor is shared across the phase-1 seeds: detection precision is
@@ -745,14 +1008,40 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
       mem_budget
   in
   let detect =
-    match offline_detect with
-    | None -> Fuzzer.Inline
-    | Some shards -> Fuzzer.Recorded { shards = max 1 shards }
+    match (offline_detect, save_traces) with
+    | None, None -> Fuzzer.Inline
+    | shards, _ ->
+        (* Saving traces requires the record-then-detect pipeline: with
+           inline detection there is no recording to persist. *)
+        Fuzzer.Recorded { shards = max 1 (Option.value ~default:1 shards) }
+  in
+  let saved_traces = ref [] in
+  let trace_sink =
+    Option.map
+      (fun dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        fun ~seed recording ->
+          let name = Printf.sprintf "trace-seed%d.rfbt" seed in
+          let path = Filename.concat dir name in
+          Rf_events.Btrace.save path recording;
+          saved_traces :=
+            (seed, path, Rf_events.Btrace.byte_size recording) :: !saved_traces)
+      save_traces
   in
   let p1 =
     Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
-      ?governor:p1_gov ~detect program
+      ?governor:p1_gov ~detect ?trace_sink program
   in
+  (match (save_traces, !saved_traces) with
+  | Some dir, traces ->
+      Event_log.emit log
+        (Event_log.Traces_saved
+           {
+             dir;
+             count = List.length traces;
+             bytes = List.fold_left (fun acc (_, _, b) -> acc + b) 0 traces;
+           })
+  | None, _ -> ());
   (match p1.Fuzzer.p1_recording with
   | None -> ()
   | Some r ->
@@ -841,7 +1130,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
   let results, stats =
     fuzz_pairs ~domains ~seeds:seeds_per_pair ~cutoff ?budget ?postpone_timeout
       ?max_steps ~log ?supervision ?chaos ?trial_deadline ?resume ?stop
-      ?detector_budget ?mem_budget ~no_degrade ~program pairs
+      ?detector_budget ?mem_budget ~no_degrade ?proc ~program pairs
   in
   let collect p =
     List.fold_left
@@ -888,6 +1177,60 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
           summary.Repro.written;
         summary
   in
+  (* Corpus absorption: one entry per distinct error fingerprint (with
+     its minimized schedule copied in), per degraded trial, and per
+     saved phase-1 trace.  Deduplication across campaigns happens inside
+     {!Corpus.update}; re-running the same campaign adds nothing. *)
+  (match corpus with
+  | None -> ()
+  | Some dir ->
+      let error_entries =
+        List.map
+          (fun (e : Repro.entry) ->
+            Corpus.ingest_file ~dir ~kind:"error" ~key:e.Repro.r_fingerprint
+              ~target
+              ~pair:(Site.Pair.to_string e.Repro.r_pair)
+              ~seed:e.Repro.r_seed ~src:e.Repro.r_file ())
+          repro.Repro.written
+      in
+      let degraded_entries =
+        List.concat_map
+          (fun (r : Fuzzer.pair_result) ->
+            let pair = Site.Pair.to_string r.Fuzzer.pr_pair in
+            List.filter_map
+              (fun (t : Fuzzer.trial) ->
+                match t.Fuzzer.t_degraded with
+                | None -> None
+                | Some s ->
+                    let level = Governor.level_to_string s.Governor.g_level in
+                    Some
+                      (Corpus.entry ~kind:"degraded"
+                         ~key:
+                           (Printf.sprintf "%s#%d@%s" pair t.Fuzzer.t_seed
+                              level)
+                         ~target ~pair ~seed:t.Fuzzer.t_seed ()))
+              r.Fuzzer.trials)
+          results
+      in
+      let trace_entries =
+        List.rev_map
+          (fun (seed, path, _) ->
+            Corpus.ingest_file ~dir ~kind:"trace"
+              ~key:(Printf.sprintf "%s#seed%d" target seed)
+              ~target ~seed ~src:path ())
+          !saved_traces
+      in
+      let sum =
+        Corpus.update ~dir (error_entries @ degraded_entries @ trace_entries)
+      in
+      Event_log.emit log
+        (Event_log.Corpus_updated
+           {
+             dir;
+             added = sum.Corpus.cs_added;
+             deduped = sum.Corpus.cs_deduped;
+             total = sum.Corpus.cs_total;
+           }));
   ({
      analysis;
      stats =

@@ -139,6 +139,7 @@ val fuzz_pairs :
   ?detector_budget:int ->
   ?mem_budget:float ->
   ?no_degrade:bool ->
+  ?proc:Proc_pool.spec ->
   program:Fuzzer.program ->
   Site.Pair.t list ->
   Fuzzer.pair_result list * stats
@@ -166,7 +167,18 @@ val fuzz_pairs :
     [Trial_exhausted] record).  Degradation from the entry budget or from
     chaos budget trips is a pure function of (pair, seed), preserving
     cross-domain and resume determinism; the heap watermark is a
-    physical backstop and is documented as not determinism-preserving. *)
+    physical backstop and is documented as not determinism-preserving.
+
+    [proc] switches phase 2 to the multi-process tier ({!Proc_pool}):
+    trials ship to crash-isolated worker processes instead of running on
+    in-process domains, with heartbeat supervision, per-worker rlimits
+    and backoff respawn.  Worker results merge through the journal-record
+    replay path, so the analysis — and both fingerprints — are
+    byte-identical to the in-process run, including under worker SIGKILL
+    chaos.  If no worker completes its handshake the campaign silently
+    degrades to the in-process pool at the same width; if the whole fleet
+    dies past its respawn budget mid-wave, the remaining trials finish
+    inline. *)
 
 val run :
   ?domains:int ->
@@ -185,12 +197,15 @@ val run :
   ?detector_budget:int ->
   ?mem_budget:float ->
   ?no_degrade:bool ->
+  ?proc:Proc_pool.spec ->
   ?repro_dir:string ->
   ?target:string ->
   ?repro_fuel:int ->
   ?static:Rf_static.Static.t ->
   ?static_filter:bool ->
   ?offline_detect:int ->
+  ?save_traces:string ->
+  ?corpus:string ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -232,7 +247,22 @@ val run :
     and therefore the whole analysis and both fingerprints — is
     identical to inline phase 1.  A [Phase1_recorded] journal event and
     [s_p1_recording] report the cost split; the governor budget applies
-    to the offline pass, which then runs its shards sequentially. *)
+    to the offline pass, which then runs its shards sequentially.
+
+    [save_traces] persists each phase-1 binary recording as
+    [DIR/trace-seed<N>.rfbt] (forcing [Recorded] detection when
+    [offline_detect] was not given) and journals a [Traces_saved]
+    event; the files reload with {!Rf_events.Btrace.load} for offline
+    re-detection.
+
+    [corpus] absorbs this campaign's durable artifacts into a
+    persistent cross-campaign store ({!Corpus}): every distinct error
+    fingerprint with its minimized schedule, every degraded-trial
+    record, every saved trace.  Known entries dedup ([e_seen] bumps),
+    so consecutive campaigns converge to one entry per distinct
+    artifact; a [Corpus_updated] event reports the delta.  Without an
+    explicit [repro_dir], reproduction artifacts are written inside
+    the corpus ([DIR/repros]). *)
 
 (** {1 Determinism checking} *)
 

@@ -24,11 +24,17 @@ type plan = {
   c_death_every : int option;
   c_max_deaths : int;
   c_stop_after : int option;
+  (* real-process faults, keyed by the supervisor's assignment counter
+     (1-based): a requeued task gets a fresh assignment number, so a fault
+     fires once instead of chasing its own retry forever *)
+  c_kill_assignment : int option;
+  c_torn_frame : int option;
+  c_hang_assignment : int option;
 }
 
 let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
     ?(budget_rate = 0.0) ?trial_deadline ?death_every ?(max_deaths = 2)
-    ?stop_after seed =
+    ?stop_after ?kill_assignment ?torn_frame ?hang_assignment seed =
   {
     c_seed = seed;
     c_crash_rate = crash_rate;
@@ -39,6 +45,9 @@ let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
     c_death_every = (match death_every with Some n when n <= 0 -> None | d -> d);
     c_max_deaths = max_deaths;
     c_stop_after = stop_after;
+    c_kill_assignment = kill_assignment;
+    c_torn_frame = torn_frame;
+    c_hang_assignment = hang_assignment;
   }
 
 let default seed =

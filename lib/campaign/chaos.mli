@@ -27,6 +27,19 @@ type plan = {
   c_stop_after : int option;
       (** request a graceful campaign stop after N executed trials — the
           deterministic "kill" half of kill/resume tests *)
+  c_kill_assignment : int option;
+      (** multi-process campaigns only: the worker holding the Nth
+          dispatched assignment SIGKILLs itself on receipt — a {e real}
+          process death, exercising reap/requeue/respawn *)
+  c_torn_frame : int option;
+      (** multi-process campaigns only: the worker holding the Nth
+          assignment replies with a deliberately corrupted IPC frame, so
+          the supervisor must detect it ({!Proc_pool.Frame.Corrupt}) and
+          treat the worker as dead rather than misparse the result *)
+  c_hang_assignment : int option;
+      (** multi-process campaigns only: the worker holding the Nth
+          assignment hangs forever, forcing the supervisor's
+          heartbeat-deadline SIGKILL *)
 }
 
 val plan :
@@ -38,6 +51,9 @@ val plan :
   ?death_every:int ->
   ?max_deaths:int ->
   ?stop_after:int ->
+  ?kill_assignment:int ->
+  ?torn_frame:int ->
+  ?hang_assignment:int ->
   int ->
   plan
 (** [plan seed] with everything off by default; enable faults explicitly. *)

@@ -78,6 +78,10 @@ type event =
   | Worker_crashed of { domain : int; attempt : int; exn_ : string }
   | Worker_respawned of { domain : int; attempt : int; backoff : float }
   | Worker_gave_up of { domain : int }
+  | Worker_spawned of { worker : int; pid : int }
+  | Worker_killed of { worker : int; pid : int; reason : string }
+  | Traces_saved of { dir : string; count : int; bytes : int }
+  | Corpus_updated of { dir : string; added : int; deduped : int; total : int }
   | Campaign_interrupted of { executed : int; remaining : int }
   | Repro_written of {
       pair : string;
@@ -249,6 +253,22 @@ let fields_of_event = function
       ( "worker_respawned",
         [ ("domain", I domain); ("attempt", I attempt); ("backoff", F backoff) ] )
   | Worker_gave_up { domain } -> ("worker_gave_up", [ ("domain", I domain) ])
+  | Worker_spawned { worker; pid } ->
+      ("worker_spawned", [ ("worker", I worker); ("pid", I pid) ])
+  | Worker_killed { worker; pid; reason } ->
+      ( "worker_killed",
+        [ ("worker", I worker); ("pid", I pid); ("reason", S reason) ] )
+  | Traces_saved { dir; count; bytes } ->
+      ( "traces_saved",
+        [ ("dir", S dir); ("count", I count); ("bytes", I bytes) ] )
+  | Corpus_updated { dir; added; deduped; total } ->
+      ( "corpus_updated",
+        [
+          ("dir", S dir);
+          ("added", I added);
+          ("deduped", I deduped);
+          ("total", I total);
+        ] )
   | Campaign_interrupted { executed; remaining } ->
       ( "campaign_interrupted",
         [ ("executed", I executed); ("remaining", I remaining) ] )
@@ -563,6 +583,26 @@ let event_of_fields fields : event option =
   | Some "worker_gave_up" ->
       let* domain = int_f fields "domain" in
       Some (Worker_gave_up { domain })
+  | Some "worker_spawned" ->
+      let* worker = int_f fields "worker" in
+      let* pid = int_f fields "pid" in
+      Some (Worker_spawned { worker; pid })
+  | Some "worker_killed" ->
+      let* worker = int_f fields "worker" in
+      let* pid = int_f fields "pid" in
+      let* reason = str_f fields "reason" in
+      Some (Worker_killed { worker; pid; reason })
+  | Some "traces_saved" ->
+      let* dir = str_f fields "dir" in
+      let* count = int_f fields "count" in
+      let* bytes = int_f fields "bytes" in
+      Some (Traces_saved { dir; count; bytes })
+  | Some "corpus_updated" ->
+      let* dir = str_f fields "dir" in
+      let* added = int_f fields "added" in
+      let* deduped = int_f fields "deduped" in
+      let* total = int_f fields "total" in
+      Some (Corpus_updated { dir; added; deduped; total })
   | Some "campaign_interrupted" ->
       let* executed = int_f fields "executed" in
       let* remaining = int_f fields "remaining" in
@@ -613,11 +653,7 @@ let event_of_json line =
    journal.  Unsealed lines (v2 and earlier journals) verify as absent,
    not bad, so old journals still load as observability streams. *)
 
-let fnv_hex s =
-  let fnv_prime = 0x100000001b3 in
-  let h = ref 0x3bf29ce484222325 in
-  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
-  Printf.sprintf "%016x" (!h land max_int)
+let fnv_hex = Rf_util.Fnv.hex63
 
 let crc_marker = ",\"crc\":\""
 (* marker + 16 hex digits + closing quote and brace *)
@@ -644,6 +680,26 @@ let check_seal line =
     let crc = String.sub line (n - 18) 16 in
     let original = String.sub line 0 (n - crc_suffix_len) ^ "}" in
     if fnv_hex original = crc then Sealed_ok else Sealed_bad
+
+(* The flat-object JSON codec, exposed so sibling artifacts (the corpus
+   index) can share the journal's exact line format and seal instead of
+   growing a second hand-rolled parser. *)
+
+let parse_flat line =
+  match parse_object line with
+  | fields -> Some fields
+  | exception Parse_error -> None
+
+let render_flat fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) (jv_to_string v)))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let load_result path =
   let ic = open_in path in

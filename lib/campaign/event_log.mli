@@ -116,6 +116,16 @@ type event =
   | Worker_respawned of { domain : int; attempt : int; backoff : float }
   | Worker_gave_up of { domain : int }
       (** respawn budget exhausted; the campaign continues degraded *)
+  | Worker_spawned of { worker : int; pid : int }
+      (** a multi-process campaign worker process started ({!Proc_pool}) *)
+  | Worker_killed of { worker : int; pid : int; reason : string }
+      (** the supervisor SIGKILLed a worker process: heartbeat deadline
+          exceeded, corrupt IPC frame, or campaign interruption *)
+  | Traces_saved of { dir : string; count : int; bytes : int }
+      (** phase-1 binary recordings persisted ([--save-traces]) *)
+  | Corpus_updated of { dir : string; added : int; deduped : int; total : int }
+      (** the persistent corpus absorbed this campaign's artifacts
+          ([--corpus]): [added] new entries, [deduped] already present *)
   | Campaign_interrupted of { executed : int; remaining : int }
       (** graceful stop: workers drained, journal flushed, partial report *)
   | Repro_written of {
@@ -159,6 +169,22 @@ type seal_status =
   | Unsealed  (** no checksum (pre-v3 journal line) *)
 
 val check_seal : string -> seal_status
+
+(** {1 Flat-object JSON codec}
+
+    The journal's line format — one flat JSON object, scalar fields only —
+    reused by sibling artifacts (the {!Corpus} index) so the repo has one
+    hand-rolled JSON codec, not several. *)
+
+type jv = I of int | F of float | S of string | B of bool | Null
+
+val render_flat : (string * jv) list -> string
+(** One flat JSON object, unsealed; compose with {!seal} for durable
+    lines. *)
+
+val parse_flat : string -> (string * jv) list option
+(** Inverse of {!render_flat} (field order preserved); [None] on torn or
+    non-flat input. *)
 
 val load_result : string -> event list * int
 (** Read a JSONL journal; also count the checksum-bad lines that were

@@ -60,13 +60,18 @@ let potential_pairs r =
     the caller — phase 1 has no sandbox, running out of budget there is a
     campaign-level failure. *)
 let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
-    ?deadline ?governor ?(detect = Inline) (program : program) : phase1_result =
+    ?deadline ?governor ?(detect = Inline) ?trace_sink
+    (program : program) : phase1_result =
   let t0 = Unix.gettimeofday () in
   let degraded () =
     match governor with
     | Some g when Governor.degraded g -> Some (Governor.snapshot g)
     | _ -> None
   in
+  (match (trace_sink, detect) with
+  | Some _, Inline ->
+      invalid_arg "Fuzzer.phase1: trace_sink requires Recorded detection"
+  | _ -> ());
   match detect with
   | Inline ->
       let detector = Rf_detect.Detector.hybrid ?governor () in
@@ -104,6 +109,12 @@ let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
           ([], [], 0) seeds
       in
       let outcomes = List.rev outcomes and recordings = List.rev recordings in
+      (* Hand each sealed recording out (e.g. [--save-traces]) before the
+         offline pass consumes it — the sink sees exactly the bytes the
+         detector will replay. *)
+      (match trace_sink with
+      | None -> ()
+      | Some sink -> List.iter2 (fun seed r -> sink ~seed r) seeds recordings);
       let t1 = Unix.gettimeofday () in
       (* Detect: a fresh hybrid per shard replays the recordings.  A
          governed pass runs its shards sequentially so the shared

@@ -54,6 +54,7 @@ val phase1 :
   ?deadline:Engine.deadline ->
   ?governor:Rf_resource.Governor.t ->
   ?detect:detect_mode ->
+  ?trace_sink:(seed:int -> Rf_events.Btrace.t -> unit) ->
   program ->
   phase1_result
 (** Default: one execution (seed 0), like the paper; more seeds widen the
@@ -67,7 +68,12 @@ val phase1 :
     [Recorded] mode the governor budget applies to the offline pass —
     that is where detector state lives — and a governed pass runs its
     shards sequentially so the shared budget stays deterministic;
-    ungoverned multi-shard passes run one domain per shard. *)
+    ungoverned multi-shard passes run one domain per shard.
+
+    [trace_sink] receives each seed's sealed binary recording before the
+    offline pass replays it (persistence hook for [--save-traces]); it
+    requires [Recorded] detection — with [Inline] there is no recording
+    to hand out, so the combination is an [Invalid_argument]. *)
 
 val potential_pairs : phase1_result -> Site.Pair.Set.t
 

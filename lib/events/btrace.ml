@@ -39,15 +39,7 @@ let tag_exit = 0x17
 (* ------------------------------------------------------------------ *)
 (* FNV-1a-64 (same polynomial as the journal seal, full 64-bit width)  *)
 
-let fnv_offset = 0xCBF29CE484222325L
-let fnv_prime = 0x100000001B3L
-
-let fnv64 s pos len =
-  let h = ref fnv_offset in
-  for i = pos to pos + len - 1 do
-    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
-  done;
-  !h
+let fnv64 s pos len = Fnv.hash64_sub s ~pos ~len
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)

@@ -1,0 +1,21 @@
+let offset = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let hash64_sub s ~pos ~len =
+  let h = ref offset in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) prime
+  done;
+  !h
+
+let hash64 s = hash64_sub s ~pos:0 ~len:(String.length s)
+
+(* The journal seal predates this module and used native-int arithmetic
+   with a 63-bit-truncated offset basis; existing sealed journals must
+   keep verifying, so this reproduces that computation bit-for-bit
+   rather than masking {!hash64}. *)
+let hex63 s =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
+  Printf.sprintf "%016x" (!h land max_int)

@@ -1,0 +1,29 @@
+(** FNV-1a-64 — the one hash used to seal every durable artifact.
+
+    The campaign journal, binary trace frames, IPC frames and the corpus
+    index all seal their payloads with the same polynomial; this module
+    is the single definition.  Two presentations are exposed:
+
+    - {!hash64} / {!hash64_sub}: the full 64-bit digest, used for binary
+      frame seals where the checksum is stored as a little-endian
+      [int64];
+    - {!hex63}: the historical journal [crc] field encoding — native
+      [int] arithmetic from a 63-bit-truncated offset basis, masked to
+      [max_int] and rendered as 16 lowercase hex digits.  Kept
+      bit-for-bit compatible so journals sealed before this module
+      existed still verify; new binary formats should use {!hash64}. *)
+
+val offset : int64
+(** [0xCBF29CE484222325L], the FNV-1a-64 offset basis. *)
+
+val prime : int64
+(** [0x100000001B3L], the FNV-1a-64 prime. *)
+
+val hash64_sub : string -> pos:int -> len:int -> int64
+(** Digest of [len] bytes of the string starting at [pos]. *)
+
+val hash64 : string -> int64
+(** Digest of the whole string. *)
+
+val hex63 : string -> string
+(** [hash64 s] masked to 63 bits, as 16 lowercase hex digits. *)
