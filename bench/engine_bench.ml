@@ -106,18 +106,28 @@ let fork_heavy ~children ~iters =
         List.iter Api.join hs);
   }
 
+(* The serve family's test-sized instance rides along at both budgets:
+   its campaign rows put a server-shaped (many-location, fork/join-wide)
+   detector load on the memory column, and the fingerprint golden pins
+   its schedule. *)
+let serve_small =
+  let w = List.hd W.Serve.small in
+  { bname = w.W.Workload.name; program = w.W.Workload.program }
+
 let workloads ~smoke =
   if smoke then
     [
       access_heavy ~threads:4 ~iters:200;
       lock_heavy ~threads:4 ~iters:60;
       fork_heavy ~children:60 ~iters:4;
+      serve_small;
     ]
   else
     [
       access_heavy ~threads:8 ~iters:20_000;
       lock_heavy ~threads:8 ~iters:4_000;
       fork_heavy ~children:2_000 ~iters:8;
+      serve_small;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +142,32 @@ type row = {
   r_steps : int;  (* total executed scheduler steps, deterministic *)
   r_wall : float;
   r_steps_per_sec : float;
+  r_peak_heap_words : int;  (* max major-heap words observed during the row *)
 }
+
+(* Peak major-heap footprint of one measured region: compact first so
+   earlier rows' garbage cannot be charged to this one, then sample
+   [heap_words] at every major-collection end (Gc alarm) and once more at
+   the finish.  Words, not bytes, so the number is word-size neutral. *)
+let with_peak_heap f =
+  Gc.compact ();
+  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
+  let sample () =
+    let hw = (Gc.quick_stat ()).Gc.heap_words in
+    if hw > !peak then peak := hw
+  in
+  let alarm = Gc.create_alarm sample in
+  let finish () =
+    Gc.delete_alarm alarm;
+    sample ()
+  in
+  (match f () with
+  | r ->
+      finish ();
+      (r, !peak)
+  | exception e ->
+      finish ();
+      raise e)
 
 (* The one throughput division of the whole bench: guarded so a
    sub-resolution wall clock can never leak inf/nan into the JSON. *)
@@ -146,22 +181,25 @@ let run_once ?btrace ~seed (wl : bench_workload) =
 let measure_sequential ?(recorded = false) ~min_wall (wl : bench_workload) =
   ignore (run_once ~seed:0 wl) (* warmup *);
   let steps = ref 0 and runs = ref 0 in
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
-  while elapsed () < min_wall do
-    let o =
-      if recorded then begin
-        let bw = Rf_events.Btrace.writer () in
-        let o = run_once ~btrace:bw ~seed:(1 + !runs) wl in
-        ignore (Rf_events.Btrace.seal bw);
-        o
-      end
-      else run_once ~seed:(1 + !runs) wl
-    in
-    steps := !steps + o.Outcome.steps;
-    incr runs
-  done;
-  let wall = elapsed () in
+  let (wall, _), peak =
+    with_peak_heap (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let elapsed () = Unix.gettimeofday () -. t0 in
+        while elapsed () < min_wall do
+          let o =
+            if recorded then begin
+              let bw = Rf_events.Btrace.writer () in
+              let o = run_once ~btrace:bw ~seed:(1 + !runs) wl in
+              ignore (Rf_events.Btrace.seal bw);
+              o
+            end
+            else run_once ~seed:(1 + !runs) wl
+          in
+          steps := !steps + o.Outcome.steps;
+          incr runs
+        done;
+        (elapsed (), ()))
+  in
   {
     r_workload = wl.bname;
     r_harness = (if recorded then "sequential-recorded" else "sequential");
@@ -170,6 +208,7 @@ let measure_sequential ?(recorded = false) ~min_wall (wl : bench_workload) =
     r_steps = !steps;
     r_wall = wall;
     r_steps_per_sec = per_sec !steps wall;
+    r_peak_heap_words = peak;
   }
 
 (* The whole pipeline as production runs it — phase 1 (inline or
@@ -178,10 +217,11 @@ let measure_sequential ?(recorded = false) ~min_wall (wl : bench_workload) =
    steps/sec is the end-to-end campaign throughput the detection-tax gate
    compares against [sequential]. *)
 let measure_campaign ?offline_detect ~domains ~trials (wl : bench_workload) =
-  let r =
-    Rf_campaign.Campaign.run ~domains ~phase1_seeds:[ 0; 1; 2 ]
-      ~seeds_per_pair:(List.init trials Fun.id)
-      ?offline_detect wl.program
+  let r, peak =
+    with_peak_heap (fun () ->
+        Rf_campaign.Campaign.run ~domains ~phase1_seeds:[ 0; 1; 2 ]
+          ~seeds_per_pair:(List.init trials Fun.id)
+          ?offline_detect wl.program)
   in
   let a = r.Rf_campaign.Campaign.analysis in
   let p1_steps =
@@ -212,6 +252,7 @@ let measure_campaign ?offline_detect ~domains ~trials (wl : bench_workload) =
     r_steps = steps;
     r_wall = wall;
     r_steps_per_sec = per_sec steps wall;
+    r_peak_heap_words = peak;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -220,21 +261,26 @@ let measure_campaign ?offline_detect ~domains ~trials (wl : bench_workload) =
 (* Schema 2: the domain count moved from the file header into each result
    row — sequential rows are always single-domain while campaign rows run
    wherever --domains puts them, and trajectories must compare like with
-   like. *)
+   like.
+   Schema 3: each row gains [peak_heap_words], the maximum major-heap
+   footprint observed while the row ran (compacted baseline, Gc-alarm
+   sampled), so detector-memory trajectories are tracked alongside
+   throughput. *)
 let write_json ~path ~mode rows =
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"rf-bench-engine/2\",\n";
+  pf "  \"schema\": \"rf-bench-engine/3\",\n";
   pf "  \"mode\": %S,\n" mode;
   pf "  \"results\": [\n";
   List.iteri
     (fun i r ->
       pf
         "    {\"workload\": %S, \"harness\": %S, \"domains\": %d, \"runs\": %d, \
-         \"steps\": %d, \"wall_s\": %.6f, \"steps_per_sec\": %.1f}%s\n"
+         \"steps\": %d, \"wall_s\": %.6f, \"steps_per_sec\": %.1f, \
+         \"peak_heap_words\": %d}%s\n"
         r.r_workload r.r_harness r.r_domains r.r_runs r.r_steps r.r_wall
-        r.r_steps_per_sec
+        r.r_steps_per_sec r.r_peak_heap_words
         (if i = List.length rows - 1 then "" else ","))
     rows;
   pf "  ]\n}\n";
@@ -397,12 +443,13 @@ let () =
           ])
         wls
     in
-    Fmt.pr "%-14s %-19s %3s %8s %12s %10s %14s@." "workload" "harness" "dom"
-      "runs" "steps" "wall(s)" "steps/sec";
+    Fmt.pr "%-18s %-19s %3s %8s %12s %10s %14s %13s@." "workload" "harness"
+      "dom" "runs" "steps" "wall(s)" "steps/sec" "peak-heap-w";
     List.iter
       (fun r ->
-        Fmt.pr "%-14s %-19s %3d %8d %12d %10.3f %14.0f@." r.r_workload
-          r.r_harness r.r_domains r.r_runs r.r_steps r.r_wall r.r_steps_per_sec)
+        Fmt.pr "%-18s %-19s %3d %8d %12d %10.3f %14.0f %13d@." r.r_workload
+          r.r_harness r.r_domains r.r_runs r.r_steps r.r_wall r.r_steps_per_sec
+          r.r_peak_heap_words)
       rows;
     write_json ~path:!out ~mode:(if !smoke then "smoke" else "full") rows;
     Fmt.pr "wrote %s@." !out;

@@ -42,6 +42,9 @@ type stats = {
   (* resource governance *)
   s_degraded : int;
   s_p1_level : string option;
+  s_p1_detector : string;
+  s_p1_miss_bound : float option;
+  s_p1_entries : int;
   s_p1_recording : Fuzzer.recording_stats option;
   s_resume_skipped : int;
   (* reproduction artifacts ([run ~repro_dir]) *)
@@ -951,6 +954,9 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_interrupted = interrupted;
       s_degraded = Atomic.get degraded_n;
       s_p1_level = None;
+      s_p1_detector = "hybrid";
+      s_p1_miss_bound = None;
+      s_p1_entries = 0;
       s_p1_recording = None;
       s_resume_skipped = resume_skipped;
       s_repro_written = 0;
@@ -971,7 +977,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
     ?detector_budget ?mem_budget ?(no_degrade = false) ?proc ?repro_dir
     ?(target = "") ?repro_fuel ?static ?(static_filter = false) ?offline_detect
-    ?save_traces ?corpus (program : Fuzzer.program) : result =
+    ?save_traces ?corpus ?detector (program : Fuzzer.program) : result =
   (* A corpus wants reproduction artifacts; without an explicit repro
      directory they are written inside the corpus itself (whose directory
      must then exist before the repro pass mkdirs beneath it). *)
@@ -1030,7 +1036,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
   in
   let p1 =
     Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
-      ?governor:p1_gov ~detect ?trace_sink program
+      ?governor:p1_gov ~detect ?detector ?trace_sink program
   in
   (match (save_traces, !saved_traces) with
   | Some dir, traces ->
@@ -1067,6 +1073,8 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
          wall = p1.Fuzzer.p1_wall;
          degraded = p1_level <> None;
          level = Option.value ~default:"full" p1_level;
+         detector = p1.Fuzzer.p1_name;
+         miss_bound = p1.Fuzzer.p1_stats.Rf_detect.Detector.st_miss_bound;
        });
   let pairs = Site.Pair.Set.elements potential in
   (* Static pre-filter: classify the frontier, journal every skipped pair
@@ -1238,6 +1246,9 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
          stats with
          s_phase1_wall = p1.Fuzzer.p1_wall;
          s_p1_level = p1_level;
+         s_p1_detector = p1.Fuzzer.p1_name;
+         s_p1_miss_bound = p1.Fuzzer.p1_stats.Rf_detect.Detector.st_miss_bound;
+         s_p1_entries = p1.Fuzzer.p1_stats.Rf_detect.Detector.st_entries;
          s_p1_recording = p1.Fuzzer.p1_recording;
          s_static = static_sum;
          s_repro_written = List.length repro.Repro.written;

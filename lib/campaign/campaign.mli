@@ -94,6 +94,13 @@ type stats = {
           (degraded precision, explicitly labeled) *)
   s_p1_level : string option;
       (** phase-1 final ladder level when phase 1 degraded ({!run} only) *)
+  s_p1_detector : string;
+      (** which phase-1 detector ran ("hybrid", "sampling"; {!run} only) *)
+  s_p1_miss_bound : float option;
+      (** sampling only: upper bound on the probability that any
+          particular racing pair went unobserved in phase 1 *)
+  s_p1_entries : int;
+      (** live phase-1 detector state entries at end of detection *)
   s_p1_recording : Fuzzer.recording_stats option;
       (** recording/offline-detection cost split when phase 1 ran
           record-then-detect ({!run} with [~offline_detect]) *)
@@ -206,6 +213,7 @@ val run :
   ?offline_detect:int ->
   ?save_traces:string ->
   ?corpus:string ->
+  ?detector:Fuzzer.p1_detector ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -254,6 +262,16 @@ val run :
     [offline_detect] was not given) and journals a [Traces_saved]
     event; the files reload with {!Rf_events.Btrace.load} for offline
     re-detection.
+
+    [detector] selects the phase-1 analysis ({!Fuzzer.p1_detector}):
+    [Hybrid] full tracking (default) or [Sampling] O(1)-per-location
+    reservoir sampling.  The detector identity lands in [s_p1_detector]
+    and the [Phase1_finished] journal record; with sampling, the run's
+    aggregate miss-probability bound is reported in [s_p1_miss_bound]
+    and the journal.  Sampling composes with [offline_detect]: reservoir
+    decisions are keyed on (seed, location, per-location access index),
+    so pairs and bounds are identical inline, sharded and across domain
+    counts.
 
     [corpus] absorbs this campaign's durable artifacts into a
     persistent cross-campaign store ({!Corpus}): every distinct error

@@ -58,22 +58,13 @@ exception Injected_crash of string
 exception Injected_death
 
 (* FNV-1a over the chaos seed, a salt and the task identity.  Cheap, well
-   mixed, and — unlike Random — shared-nothing and order-independent.
-   The offset basis is the standard one truncated to OCaml's 63-bit int. *)
+   mixed, and — unlike Random — shared-nothing and order-independent. *)
 let hash plan ~salt ~label ~seed =
-  let fnv_prime = 0x100000001b3 in
-  let h = ref 0x3bf29ce484222325 in
-  let mix byte = h := (!h lxor (byte land 0xff)) * fnv_prime in
-  let mix_int v =
-    for shift = 0 to 7 do
-      mix (v asr (shift * 8))
-    done
-  in
-  mix_int plan.c_seed;
-  mix_int salt;
-  String.iter (fun c -> mix (Char.code c)) label;
-  mix_int seed;
-  !h land max_int
+  let open Rf_util.Fnv in
+  let h = fold_int63 basis63 plan.c_seed in
+  let h = fold_int63 h salt in
+  let h = fold_string63 h label in
+  mask63 (fold_int63 h seed)
 
 (* Map a hash to [0, 1) with 30 bits of precision — plenty for rates. *)
 let unit_float h = float_of_int (h land 0x3FFFFFFF) /. 1073741824.0

@@ -1,10 +1,12 @@
-(* Journal schema v4: v1 (PR 1) had no header and a Trial_finished without
+(* Journal schema v5: v1 (PR 1) had no header and a Trial_finished without
    the steps/switches/exns fields the resume path replays; v2 (PR 3) had
    no degradation fields and no per-line checksum; v3 (PR 5) added both;
-   v4 adds the static pre-filter events (Pair_filtered,
-   Static_classified).  The reader skips records it cannot parse, so an
-   old journal degrades to "nothing to resume" instead of failing. *)
-let schema_version = 4
+   v4 added the static pre-filter events (Pair_filtered,
+   Static_classified); v5 adds the phase-1 detector identity and
+   (sampling) miss bound to Phase1_finished.  The reader skips records it
+   cannot parse, so an old journal degrades to "nothing to resume"
+   instead of failing. *)
+let schema_version = 5
 
 type event =
   | Journal_opened of { schema : int }
@@ -19,6 +21,8 @@ type event =
       wall : float;
       degraded : bool;
       level : string;
+      detector : string;
+      miss_bound : float option;
     }
   | Phase1_recorded of {
       events : int;
@@ -139,13 +143,16 @@ let fields_of_event = function
           ("budget", (match budget with Some b -> I b | None -> Null));
           ("cutoff", B cutoff);
         ] )
-  | Phase1_finished { potential; wall; degraded; level } ->
+  | Phase1_finished { potential; wall; degraded; level; detector; miss_bound }
+    ->
       ( "phase1_finished",
         [
           ("potential", I potential);
           ("wall", F wall);
           ("degraded", B degraded);
           ("level", S level);
+          ("detector", S detector);
+          ("miss_bound", (match miss_bound with Some x -> F x | None -> Null));
         ] )
   | Phase1_recorded { events; bytes; shards; record_wall; detect_wall } ->
       ( "phase1_recorded",
@@ -460,10 +467,13 @@ let event_of_fields fields : event option =
   | Some "phase1_finished" ->
       let* potential = int_f fields "potential" in
       let* wall = float_f fields "wall" in
-      (* degradation fields arrived in v3; default for older journals *)
+      (* degradation fields arrived in v3, detector identity in v5;
+         default for older journals *)
       let degraded = Option.value ~default:false (bool_f fields "degraded") in
       let level = Option.value ~default:"full" (str_f fields "level") in
-      Some (Phase1_finished { potential; wall; degraded; level })
+      let detector = Option.value ~default:"hybrid" (str_f fields "detector") in
+      let miss_bound = float_f fields "miss_bound" in
+      Some (Phase1_finished { potential; wall; degraded; level; detector; miss_bound })
   | Some "phase1_recorded" ->
       let* events = int_f fields "events" in
       let* bytes = int_f fields "bytes" in

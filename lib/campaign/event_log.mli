@@ -36,6 +36,10 @@ type event =
       wall : float;
       degraded : bool;  (** detection ran under a tripped governor *)
       level : string;  (** final ladder level ("full" when not degraded) *)
+      detector : string;  (** which detector ran ("hybrid", "sampling") *)
+      miss_bound : float option;
+          (** sampling only: upper bound on the probability that any
+              particular racing pair went unobserved this run *)
     }
   | Phase1_recorded of {
       events : int;  (** engine events captured in the binary recordings *)

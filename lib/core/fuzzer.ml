@@ -30,6 +30,25 @@ type program = unit -> unit
     the race list is byte-identical, report order included. *)
 type detect_mode = Inline | Recorded of { shards : int }
 
+(** Which detector phase 1 attaches.  [Hybrid] is the paper's full
+    tracking; [Sampling] keeps [sample_k] reservoir samples per location
+    ({!Rf_detect.Sampling}), trading bounded misses — quantified by the
+    reported miss bound — for O(1) state per location.  Orthogonal to
+    {!detect_mode}: either detector runs inline or over recordings, with
+    identical results. *)
+type p1_detector =
+  | Hybrid
+  | Sampling of { sample_k : int; sample_seed : int }
+
+let p1_detector_name = function
+  | Hybrid -> "hybrid"
+  | Sampling _ -> "sampling"
+
+let make_p1_detector ?governor = function
+  | Hybrid -> Rf_detect.Detector.hybrid ?governor ()
+  | Sampling { sample_k; sample_seed } ->
+      Rf_detect.Detector.sampling ~k:sample_k ~seed:sample_seed ?governor ()
+
 (** Cost accounting of a [Recorded] phase 1. *)
 type recording_stats = {
   rec_events : int;  (** events recorded across all seeds *)
@@ -47,6 +66,10 @@ type phase1_result = {
       (** the governor's final state when it tripped during detection *)
   p1_recording : recording_stats option;
       (** filled iff phase 1 ran in [Recorded] mode *)
+  p1_name : string;  (** which detector ran ("hybrid", "sampling", ...) *)
+  p1_stats : Rf_detect.Detector.stats;
+      (** end-of-run accounting: live state entries, memory events, and
+          (sampling only) the miss-probability bound *)
 }
 
 let potential_pairs r =
@@ -60,7 +83,7 @@ let potential_pairs r =
     the caller — phase 1 has no sandbox, running out of budget there is a
     campaign-level failure. *)
 let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
-    ?deadline ?governor ?(detect = Inline) ?trace_sink
+    ?deadline ?governor ?(detect = Inline) ?(detector = Hybrid) ?trace_sink
     (program : program) : phase1_result =
   let t0 = Unix.gettimeofday () in
   let degraded () =
@@ -74,22 +97,24 @@ let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
   | _ -> ());
   match detect with
   | Inline ->
-      let detector = Rf_detect.Detector.hybrid ?governor () in
+      let d = make_p1_detector ?governor detector in
       let outcomes =
         List.map
           (fun seed ->
             Engine.run
               ~config:{ Engine.default_config with seed; max_steps; deadline }
-              ~listeners:[ Rf_detect.Detector.feed detector ]
+              ~listeners:[ Rf_detect.Detector.feed d ]
               ~strategy:(Strategy.random ()) program)
           seeds
       in
       {
-        potential = Rf_detect.Detector.races detector;
+        potential = Rf_detect.Detector.races d;
         p1_outcomes = outcomes;
         p1_wall = Unix.gettimeofday () -. t0;
         p1_degraded = degraded ();
         p1_recording = None;
+        p1_name = p1_detector_name detector;
+        p1_stats = Rf_detect.Detector.stats d;
       }
   | Recorded { shards } ->
       (* Record: detector-free engine runs, one sealed recording per
@@ -116,14 +141,14 @@ let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
       | None -> ()
       | Some sink -> List.iter2 (fun seed r -> sink ~seed r) seeds recordings);
       let t1 = Unix.gettimeofday () in
-      (* Detect: a fresh hybrid per shard replays the recordings.  A
+      (* Detect: a fresh detector per shard replays the recordings.  A
          governed pass runs its shards sequentially so the shared
          governor meters combined state deterministically; ungoverned
          multi-shard passes fan out across domains. *)
-      let potential =
-        Rf_detect.Offline.detect ~shards
+      let potential, stats =
+        Rf_detect.Offline.detect_stats ~shards
           ~parallel:(governor = None && shards > 1)
-          ~make:(fun () -> Rf_detect.Detector.hybrid ?governor ())
+          ~make:(fun () -> make_p1_detector ?governor detector)
           recordings
       in
       let t2 = Unix.gettimeofday () in
@@ -132,6 +157,8 @@ let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
         p1_outcomes = outcomes;
         p1_wall = t2 -. t0;
         p1_degraded = degraded ();
+        p1_name = p1_detector_name detector;
+        p1_stats = stats;
         p1_recording =
           Some
             {
@@ -559,7 +586,7 @@ let restrict_analysis ~keep (a : analysis) : analysis =
 
 let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
     ?postpone_timeout ?max_steps ?detector_budget ?mem_budget
-    ?(no_degrade = false) ?static ?(static_filter = false) ?detect
+    ?(no_degrade = false) ?static ?(static_filter = false) ?detect ?detector
     (program : program) : analysis =
   (* Resource governance lives in phase 1: that is where the detector —
      and hence the unbounded analysis state — is.  Phase-2 trials carry
@@ -585,7 +612,10 @@ let analyze ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 Fun.id)
         Engine.deadline ~heap_mb:mb ?heap_hook ())
       mem_budget
   in
-  let p1 = phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor ?detect program in
+  let p1 =
+    phase1 ~seeds:phase1_seeds ?max_steps ?deadline ?governor ?detect ?detector
+      program
+  in
   let pairs = Site.Pair.Set.elements (potential_pairs p1) in
   let pairs, filtered =
     match static with

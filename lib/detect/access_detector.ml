@@ -83,13 +83,7 @@ type t = {
 (* FNV-1a over the 8 little-endian bytes of [n]: a cheap, seedless,
    platform-independent hash used to pick reservoir victims.  Must stay
    in sync with nothing — it only needs to be deterministic. *)
-let fnv1a64 n =
-  let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
-  for i = 0 to 7 do
-    h := !h lxor ((n lsr (i * 8)) land 0xff);
-    h := !h * 0x100000001b3
-  done;
-  !h land max_int
+let fnv1a64 n = Fnv.(mask63 (fold_int63 basis63 n))
 
 let charge t n =
   t.entries_charged <- t.entries_charged + n;

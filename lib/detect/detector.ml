@@ -7,11 +7,18 @@
 open Rf_util
 open Rf_events
 
+type stats = {
+  st_entries : int;
+  st_mem_events : int;
+  st_miss_bound : float option;
+}
+
 type t = {
   dname : string;
   feed : Event.t -> unit;
   races : unit -> Race.t list;
   pairs : unit -> Site.Pair.Set.t;
+  stats : unit -> stats;
 }
 
 let name t = t.dname
@@ -19,6 +26,8 @@ let feed t ev = t.feed ev
 let races t = t.races ()
 let pairs t = t.pairs ()
 let race_count t = Site.Pair.Set.cardinal (t.pairs ())
+let stats t = t.stats ()
+let no_stats () = { st_entries = 0; st_mem_events = 0; st_miss_bound = None }
 
 let hybrid ?cap ?governor () =
   let d = Hybrid.create ?cap ?governor () in
@@ -27,6 +36,13 @@ let hybrid ?cap ?governor () =
     feed = Hybrid.feed d;
     races = (fun () -> Hybrid.races d);
     pairs = (fun () -> Hybrid.pairs d);
+    stats =
+      (fun () ->
+        {
+          st_entries = Access_detector.state_entries d;
+          st_mem_events = Hybrid.mem_events d;
+          st_miss_bound = None;
+        });
   }
 
 let hb_precise ?cap ?governor () =
@@ -36,6 +52,13 @@ let hb_precise ?cap ?governor () =
     feed = Hb_precise.feed d;
     races = (fun () -> Hb_precise.races d);
     pairs = (fun () -> Hb_precise.pairs d);
+    stats =
+      (fun () ->
+        {
+          st_entries = Access_detector.state_entries d;
+          st_mem_events = Hb_precise.mem_events d;
+          st_miss_bound = None;
+        });
   }
 
 let fasttrack ?governor () =
@@ -45,6 +68,7 @@ let fasttrack ?governor () =
     feed = Fasttrack.feed d;
     races = (fun () -> Fasttrack.races d);
     pairs = (fun () -> Fasttrack.pairs d);
+    stats = no_stats;
   }
 
 let eraser ?site_cap ?governor () =
@@ -54,6 +78,23 @@ let eraser ?site_cap ?governor () =
     feed = Eraser.feed d;
     races = (fun () -> Eraser.races d);
     pairs = (fun () -> Eraser.pairs d);
+    stats = no_stats;
+  }
+
+let sampling ?k ?seed ?governor () =
+  let d = Sampling.create ?k ?seed ?governor () in
+  {
+    dname = "sampling";
+    feed = Sampling.feed d;
+    races = (fun () -> Sampling.races d);
+    pairs = (fun () -> Sampling.pairs d);
+    stats =
+      (fun () ->
+        {
+          st_entries = Sampling.state_entries d;
+          st_mem_events = Sampling.mem_events d;
+          st_miss_bound = Some (Sampling.miss_bound d);
+        });
   }
 
 (** Feed a recorded trace through a detector (offline analysis). *)

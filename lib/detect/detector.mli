@@ -5,11 +5,24 @@
 open Rf_util
 open Rf_events
 
+(** End-of-run accounting, for journals, reports and benches.
+    [st_entries] is the live logical state (retained summaries) and
+    [st_mem_events] the memory events analyzed; detectors without that
+    accounting (fasttrack, eraser) report zeros.  [st_miss_bound] is
+    [Some] only for {!sampling}: an upper bound on the probability that
+    any particular racing pair went unobserved. *)
+type stats = {
+  st_entries : int;
+  st_mem_events : int;
+  st_miss_bound : float option;
+}
+
 type t = {
   dname : string;
   feed : Event.t -> unit;
   races : unit -> Race.t list;
   pairs : unit -> Site.Pair.Set.t;
+  stats : unit -> stats;
 }
 
 val name : t -> string
@@ -17,6 +30,7 @@ val feed : t -> Event.t -> unit
 val races : t -> Race.t list
 val pairs : t -> Site.Pair.Set.t
 val race_count : t -> int
+val stats : t -> stats
 
 val hybrid : ?cap:int -> ?governor:Rf_resource.Governor.t -> unit -> t
 (** O'Callahan–Choi hybrid detection [37] — the paper's phase 1: disjoint
@@ -34,9 +48,18 @@ val fasttrack : ?governor:Rf_resource.Governor.t -> unit -> t
 
 val eraser : ?site_cap:int -> ?governor:Rf_resource.Governor.t -> unit -> t
 (** Eraser lockset discipline checking [43]: no happens-before at all, the
-    noisiest baseline.
+    noisiest baseline. *)
 
-    All four constructors accept a {!Rf_resource.Governor}: detector
+val sampling :
+  ?k:int -> ?seed:int -> ?governor:Rf_resource.Governor.t -> unit -> t
+(** O(1)-sample hybrid detection ({!Sampling}): [k] (default 4)
+    reservoir-sampled summaries per dynamic location, reservoir
+    decisions a pure function of [(seed, location, access index)] —
+    deterministic and invariant across domains, shards and
+    inline/offline modes.  Reported pairs are a subset of {!hybrid}'s;
+    [stats] carries the run's miss-probability bound.
+
+    All five constructors accept a {!Rf_resource.Governor}: detector
     state (access summaries, clock tables, location cells) is then
     metered against the trial's entry budget and shed down the
     degradation ladder instead of growing without bound.  Degradation is

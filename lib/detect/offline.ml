@@ -17,7 +17,7 @@ let replay f recordings = List.iter (fun bt -> Btrace.iter f bt) recordings
 let run_shard ~shard ~shards ~make recordings =
   let d = make () in
   List.iter (fun bt -> feed_shard ~shard ~shards d bt) recordings;
-  Detector.races d
+  (Detector.races d, Detector.stats d)
 
 (* Dedup by statement pair, keeping the lowest-shard witness: shard
    assignment is a pure function of the location, so the surviving
@@ -35,14 +35,38 @@ let merge per_shard =
   |> List.sort (fun (a : Race.t) (b : Race.t) ->
          Site.Pair.compare a.Race.pair b.Race.pair)
 
-let detect ?(shards = 1) ?(parallel = false) ~make recordings =
+(* Shard stats aggregate exactly: locations partition across shards, so
+   entries and memory events sum to the inline totals, and a sampling
+   miss bound — a max over locations — is the max over shard bounds. *)
+let merge_stats per_shard =
+  List.fold_left
+    (fun acc (s : Detector.stats) ->
+      {
+        Detector.st_entries = acc.Detector.st_entries + s.Detector.st_entries;
+        st_mem_events = acc.Detector.st_mem_events + s.Detector.st_mem_events;
+        st_miss_bound =
+          (match (acc.Detector.st_miss_bound, s.Detector.st_miss_bound) with
+          | None, b | b, None -> b
+          | Some a, Some b -> Some (Float.max a b));
+      })
+    { Detector.st_entries = 0; st_mem_events = 0; st_miss_bound = None }
+    per_shard
+
+let detect_stats ?(shards = 1) ?(parallel = false) ~make recordings =
   let shards = max 1 shards in
-  if shards = 1 then run_shard ~shard:0 ~shards:1 ~make recordings
-  else if not parallel then
-    merge
-      (List.init shards (fun shard -> run_shard ~shard ~shards ~make recordings))
+  if shards = 1 then
+    let races, stats = run_shard ~shard:0 ~shards:1 ~make recordings in
+    (races, stats)
   else
-    merge
-      (List.init shards (fun shard ->
-           Domain.spawn (fun () -> run_shard ~shard ~shards ~make recordings))
-      |> List.map Domain.join)
+    let per_shard =
+      if not parallel then
+        List.init shards (fun shard -> run_shard ~shard ~shards ~make recordings)
+      else
+        List.init shards (fun shard ->
+            Domain.spawn (fun () -> run_shard ~shard ~shards ~make recordings))
+        |> List.map Domain.join
+    in
+    (merge (List.map fst per_shard), merge_stats (List.map snd per_shard))
+
+let detect ?shards ?parallel ~make recordings =
+  fst (detect_stats ?shards ?parallel ~make recordings)

@@ -61,3 +61,15 @@ val detect :
     close over a shared governor.  Merged races are deduplicated by
     statement pair and sorted by {!Site.Pair.compare}; with one shard
     the detector's own report order is preserved. *)
+
+val detect_stats :
+  ?shards:int ->
+  ?parallel:bool ->
+  make:(unit -> Detector.t) ->
+  Btrace.t list ->
+  Race.t list * Detector.stats
+(** {!detect}, plus the detectors' merged end-of-run accounting.
+    Locations partition across shards, so entries and memory events sum
+    to the inline totals and a sampling miss bound — a max over
+    locations — is the max over the shards' bounds: the merged stats
+    equal the inline detector's, shard-count-independently. *)

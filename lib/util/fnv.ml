@@ -10,12 +10,27 @@ let hash64_sub s ~pos ~len =
 
 let hash64 s = hash64_sub s ~pos:0 ~len:(String.length s)
 
-(* The journal seal predates this module and used native-int arithmetic
-   with a 63-bit-truncated offset basis; existing sealed journals must
-   keep verifying, so this reproduces that computation bit-for-bit
-   rather than masking {!hash64}. *)
-let hex63 s =
-  let fnv_prime = 0x100000001b3 in
-  let h = ref 0x3bf29ce484222325 in
-  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
-  Printf.sprintf "%016x" (!h land max_int)
+(* Native-int (63-bit) variant.  The journal seal, chaos keys and
+   reservoir victim picks all predate this module and used native-int
+   arithmetic with a 63-bit-truncated offset basis; existing sealed
+   journals and chaos plans must keep behaving identically, so these
+   folds reproduce that computation bit-for-bit rather than masking
+   {!hash64}. *)
+let basis63 = 0x3bf29ce484222325
+let prime63 = 0x100000001b3
+let fold_byte63 h byte = (h lxor (byte land 0xff)) * prime63
+
+let fold_int63 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fold_byte63 !h (v asr (shift * 8))
+  done;
+  !h
+
+let fold_string63 h s =
+  let h = ref h in
+  String.iter (fun c -> h := fold_byte63 !h (Char.code c)) s;
+  !h
+
+let mask63 h = h land max_int
+let hex63 s = Printf.sprintf "%016x" (mask63 (fold_string63 basis63 s))

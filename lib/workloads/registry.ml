@@ -30,9 +30,13 @@ let extras : Workload.t list = [ Extras.tsp; Extras.elevator; Extras.philosopher
     [@stress] test tier. *)
 let stress : Workload.t list = Stress.workloads @ Stress.small
 
+(** Server-shaped stress programs ({!Serve}); like {!stress}, they are
+    addressable by name but excluded from the Table 1 suites. *)
+let serve : Workload.t list = Serve.workloads @ Serve.small
+
 let find name =
   List.find_opt
     (fun w -> String.lowercase_ascii w.Workload.name = String.lowercase_ascii name)
-    (all @ litmus @ extras @ stress)
+    (all @ litmus @ extras @ stress @ serve)
 
-let names () = List.map (fun w -> w.Workload.name) (all @ litmus @ extras @ stress)
+let names () = List.map (fun w -> w.Workload.name) (all @ litmus @ extras @ stress @ serve)

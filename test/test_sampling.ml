@@ -1,0 +1,209 @@
+(* The O(1)-sample phase-1 detector: soundness relative to full
+   tracking, seed determinism, inline/offline/shard invariance, the
+   miss-probability bound's arithmetic, and the stress-serve family's
+   golden pair inventory.
+
+   The load-bearing property is the first one: a sample-limited bucket
+   only ever *forgets* accesses, so every pair the sampling detector
+   reports is one an ample-capacity hybrid detector reports on the same
+   trace — sampling trades recall, never precision, and the trade is
+   priced by the reported miss bound. *)
+
+open Rf_util
+open Rf_events
+module D = Rf_detect.Detector
+module Fuzzer = Racefuzzer.Fuzzer
+
+let run ?(seed = 0) ~listeners main =
+  ignore
+    (Rf_runtime.Engine.run
+       ~config:
+         { Rf_runtime.Engine.default_config with seed; max_steps = 100_000 }
+       ~listeners
+       ~strategy:(Rf_runtime.Strategy.random ())
+       main)
+
+let run_recording ?(seed = 0) ~listeners main =
+  let w = Btrace.writer () in
+  ignore
+    (Rf_runtime.Engine.run
+       ~config:
+         { Rf_runtime.Engine.default_config with seed; max_steps = 100_000 }
+       ~listeners ~btrace:w
+       ~strategy:(Rf_runtime.Strategy.random ())
+       main);
+  Btrace.seal w
+
+let main_of prog = Rf_lang.Lang.program ~print:ignore prog
+let pair_of (r : Rf_detect.Race.t) = r.Rf_detect.Race.pair
+
+(* ------------------------------------------------------------------ *)
+(* 1. Soundness: sampled pairs ⊆ full-tracking pairs on the same trace,
+   for every sample budget and sample seed. *)
+
+let prop_sampling_subset_hybrid =
+  QCheck.Test.make ~name:"sampling pairs ⊆ hybrid pairs (same trace, any k/seed)"
+    ~count:60
+    QCheck.(pair Rfl_gen.arbitrary_program (pair small_int small_int))
+    (fun (prog, (seed, sample_seed)) ->
+      let k = 1 + (sample_seed mod 4) in
+      let sa = D.sampling ~k ~seed:sample_seed () in
+      let hy = D.hybrid ~cap:4096 () in
+      run ~seed ~listeners:[ D.feed sa; D.feed hy ] (main_of prog);
+      Site.Pair.Set.subset (D.pairs sa) (D.pairs hy))
+
+(* 2. Seed determinism: the sample set is a pure function of
+   (sample seed, location, arrival index), so two detectors with the
+   same configuration report identical race lists and miss bounds. *)
+
+let prop_same_seed_deterministic =
+  QCheck.Test.make ~name:"sampling is deterministic in (k, sample seed)"
+    ~count:60
+    QCheck.(pair Rfl_gen.arbitrary_program small_int)
+    (fun (prog, seed) ->
+      let d1 = D.sampling ~k:2 ~seed:17 () in
+      let d2 = D.sampling ~k:2 ~seed:17 () in
+      run ~seed ~listeners:[ D.feed d1; D.feed d2 ] (main_of prog);
+      List.map pair_of (D.races d1) = List.map pair_of (D.races d2)
+      && (D.stats d1).D.st_miss_bound = (D.stats d2).D.st_miss_bound)
+
+(* 3. Mode and shard invariance: offline replay of a recording matches
+   inline detection byte-for-byte with one shard, and set-for-set (with
+   identical merged accounting) under sharding — the property that makes
+   inline and offline campaign fingerprints interchangeable. *)
+
+let prop_offline_equals_inline =
+  QCheck.Test.make
+    ~name:"offline sampling = inline sampling (1 shard byte-identical, n shards set-identical)"
+    ~count:50
+    QCheck.(pair Rfl_gen.arbitrary_program small_int)
+    (fun (prog, seed) ->
+      let make () = D.sampling ~k:2 ~seed:5 () in
+      let inline_d = make () in
+      let bt = run_recording ~seed ~listeners:[ D.feed inline_d ] (main_of prog) in
+      let inline_stats = D.stats inline_d in
+      let one, one_stats = Rf_detect.Offline.detect_stats ~make [ bt ] in
+      let sharded, sharded_stats =
+        Rf_detect.Offline.detect_stats ~shards:3 ~make [ bt ]
+      in
+      List.map pair_of one = List.map pair_of (D.races inline_d)
+      && one_stats = inline_stats
+      && Site.Pair.Set.equal
+           (Site.Pair.Set.of_list (List.map pair_of sharded))
+           (D.pairs inline_d)
+      && sharded_stats = inline_stats)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic cases: the miss bound's arithmetic on hand-fed traces. *)
+
+let site i = Site.make ~file:"samp.rfl" ~line:i (Printf.sprintf "s%d" i)
+
+let mem ~tid ~site ~access ?(lockset = Lockset.empty) loc =
+  Event.Mem { tid; site; loc; access; lockset }
+
+let test_miss_bound_zero_when_untruncated () =
+  (* at most k accesses per location: nothing is ever dropped, so the
+     detector must claim a zero miss probability — and still report the
+     write-write race *)
+  let d = D.sampling ~k:4 ~seed:0 () in
+  let x = Loc.global "samp_x" in
+  D.feed d (mem ~tid:0 ~site:(site 1) ~access:Event.Write x);
+  D.feed d (mem ~tid:1 ~site:(site 2) ~access:Event.Write x);
+  Alcotest.(check int) "race reported" 1 (D.race_count d);
+  Alcotest.(check (float 0.0))
+    "miss bound 0"
+    0.0
+    (Option.get (D.stats d).D.st_miss_bound)
+
+let test_miss_bound_counts_drops () =
+  (* 10 single-site writes into a k=2 bucket: whatever the reservoir
+     kept, the per-location bound is 1 - live/seen = 1 - 2/10 — the
+     bound depends on the counters only, not on which samples survived *)
+  let d = D.sampling ~k:2 ~seed:0 () in
+  let y = Loc.global "samp_y" in
+  for t = 0 to 9 do
+    D.feed d (mem ~tid:t ~site:(site (10 + t)) ~access:Event.Write y)
+  done;
+  Alcotest.(check (float 1e-9))
+    "miss bound 1 - 2/10"
+    0.8
+    (Option.get (D.stats d).D.st_miss_bound);
+  Alcotest.(check bool) "still reports some races" true (D.race_count d > 0)
+
+let test_hybrid_has_no_miss_bound () =
+  let d = D.hybrid ~cap:4096 () in
+  let z = Loc.global "samp_z" in
+  D.feed d (mem ~tid:0 ~site:(site 30) ~access:Event.Write z);
+  D.feed d (mem ~tid:1 ~site:(site 31) ~access:Event.Write z);
+  Alcotest.(check bool)
+    "full tracking reports no bound" true
+    ((D.stats d).D.st_miss_bound = None)
+
+(* ------------------------------------------------------------------ *)
+(* The stress-serve family: fixed pair inventory, detector agreement,
+   and phase-1 determinism at test scale. *)
+
+let serve_small () =
+  match Rf_workloads.Registry.find "stress-serve-small" with
+  | Some w -> w.Rf_workloads.Workload.program
+  | None -> Alcotest.fail "stress-serve-small not registered"
+
+let phase1_pairs ~detector program =
+  let r = Fuzzer.phase1 ~seeds:[ 0; 1; 2 ] ~detector program in
+  ( Site.Pair.Set.of_list
+      (List.map (fun (x : Rf_detect.Race.t) -> x.Rf_detect.Race.pair) r.Fuzzer.potential),
+    r )
+
+let test_serve_golden_inventory () =
+  let program = serve_small () in
+  let hybrid, rh = phase1_pairs ~detector:Fuzzer.Hybrid program in
+  let sampled, rs =
+    phase1_pairs ~detector:(Fuzzer.Sampling { sample_k = 4; sample_seed = 0 }) program
+  in
+  (* the golden inventory: 2 session + 2 hit-counter + 1 config + 3
+     backlog check-then-act + 3 handshake false alarms *)
+  Alcotest.(check int) "11 potential pairs" 11 (Site.Pair.Set.cardinal hybrid);
+  Alcotest.(check bool) "sampling finds the same inventory" true
+    (Site.Pair.Set.equal hybrid sampled);
+  Alcotest.(check string) "detector identities" "hybrid/sampling"
+    (rh.Fuzzer.p1_name ^ "/" ^ rs.Fuzzer.p1_name);
+  (match rs.Fuzzer.p1_stats.D.st_miss_bound with
+  | Some b -> Alcotest.(check bool) "miss bound in [0,1]" true (b >= 0.0 && b <= 1.0)
+  | None -> Alcotest.fail "sampling phase 1 must report a miss bound");
+  Alcotest.(check bool) "hybrid reports no miss bound" true
+    (rh.Fuzzer.p1_stats.D.st_miss_bound = None)
+
+let test_serve_phase1_deterministic () =
+  let program = serve_small () in
+  let detector = Fuzzer.Sampling { sample_k = 4; sample_seed = 0 } in
+  let p1, r1 = phase1_pairs ~detector program in
+  let p2, r2 = phase1_pairs ~detector program in
+  Alcotest.(check bool) "same pair set" true (Site.Pair.Set.equal p1 p2);
+  Alcotest.(check bool) "same miss bound" true
+    (r1.Fuzzer.p1_stats.D.st_miss_bound = r2.Fuzzer.p1_stats.D.st_miss_bound)
+
+let () =
+  Alcotest.run "sampling_detector"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sampling_subset_hybrid;
+            prop_same_seed_deterministic;
+            prop_offline_equals_inline;
+          ] );
+      ( "miss bound",
+        [
+          Alcotest.test_case "zero when untruncated" `Quick
+            test_miss_bound_zero_when_untruncated;
+          Alcotest.test_case "counts drops" `Quick test_miss_bound_counts_drops;
+          Alcotest.test_case "hybrid has none" `Quick test_hybrid_has_no_miss_bound;
+        ] );
+      ( "stress-serve",
+        [
+          Alcotest.test_case "golden pair inventory" `Quick
+            test_serve_golden_inventory;
+          Alcotest.test_case "phase 1 deterministic" `Quick
+            test_serve_phase1_deterministic;
+        ] );
+    ]

@@ -109,7 +109,15 @@ let sample_events =
   Event_log.
     [
       Campaign_started { domains = 2; base_trials = 10; budget = Some 40; cutoff = true };
-      Phase1_finished { potential = 3; wall = 0.25; degraded = false; level = "full" };
+      Phase1_finished
+        {
+          potential = 3;
+          wall = 0.25;
+          degraded = false;
+          level = "full";
+          detector = "hybrid";
+          miss_bound = None;
+        };
       Wave_started { wave = 0; tasks = 20 };
       Trial_started { pair = "(a, b)"; seed = 7; domain = 1 };
       Trial_finished
