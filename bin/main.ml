@@ -1005,8 +1005,34 @@ let corpus_cmd =
       required & pos 1 (some string) None
       & info [] ~docv:"DIR" ~doc:"Corpus directory (--corpus of 'campaign').")
   in
-  let action op dir =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable 'corpus list': one flat JSON object per entry \
+             (fields kind, key, target, pair, seed, file, crc, seen), no \
+             trailing count — diffable by tools without scraping the table.")
+  in
+  let action op dir json =
     match op with
+    | `List when json ->
+        List.iter
+          (fun (e : Rf_campaign.Corpus.entry) ->
+            print_endline
+              (Rf_campaign.Event_log.render_flat
+                 [
+                   ("kind", Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_kind);
+                   ("key", Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_key);
+                   ( "target",
+                     Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_target );
+                   ("pair", Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_pair);
+                   ("seed", Rf_campaign.Event_log.I e.Rf_campaign.Corpus.e_seed);
+                   ("file", Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_file);
+                   ("crc", Rf_campaign.Event_log.S e.Rf_campaign.Corpus.e_crc);
+                   ("seen", Rf_campaign.Event_log.I e.Rf_campaign.Corpus.e_seen);
+                 ]))
+          (Rf_campaign.Corpus.load dir)
     | `List ->
         let entries = Rf_campaign.Corpus.load dir in
         if entries = [] then Fmt.pr "corpus %s: empty or missing@." dir
@@ -1032,10 +1058,10 @@ let corpus_cmd =
     (Cmd.info "corpus"
        ~doc:
          "Inspect a persistent campaign corpus: 'corpus list DIR' prints the \
-          entries, 'corpus verify DIR' checks the index header, every line \
-          seal, every artifact's presence and content CRC, and key uniqueness \
-          (exit 4 on any violation).")
-    Term.(const action $ op_arg $ dir_arg)
+          entries (--json for one JSON object per entry), 'corpus verify DIR' \
+          checks the index header, every line seal, every artifact's presence \
+          and content CRC, and key uniqueness (exit 4 on any violation).")
+    Term.(const action $ op_arg $ dir_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* offline                                                             *)
@@ -1119,6 +1145,293 @@ let offline_cmd =
     Term.(const action $ dir_arg $ shards_arg $ detector_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let pos0_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR|status"
+          ~doc:
+            "Corpus directory to serve, or the literal $(b,status) (followed \
+             by the directory) for a one-shot report.")
+  in
+  let pos1_arg =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Corpus directory (status mode).")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:
+            "Exit 0 after $(docv) completed cycles (counted in the ledger, \
+             so a restarted service finishes an interrupted cycle rather \
+             than starting over); 0 = run until signalled.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "period" ] ~docv:"SECS" ~doc:"Sleep between cycles.")
+  in
+  let watch_arg =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Poll file targets for mtime changes each cycle; a changed \
+             target re-runs immediately (bypassing its token bucket, at \
+             most once per cycle) with its phase-1 cache invalidated.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"T"
+          ~doc:"Token-bucket refill per target per cycle (campaign pacing).")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "burst" ] ~docv:"T" ~doc:"Token-bucket capacity per target.")
+  in
+  let retry_max_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-max" ] ~docv:"N"
+          ~doc:"Replay attempts per corpus item per cycle before it fails.")
+  in
+  let retry_base_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "retry-base" ] ~docv:"SECS"
+          ~doc:"First backoff delay; doubles per attempt, jittered, capped.")
+  in
+  let strikes_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "strikes" ] ~docv:"N"
+          ~doc:"Failed cycles before an item is quarantined.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "target" ] ~docv:"NAME"
+          ~doc:
+            "Extra campaign target (workload name or RFL file) beyond those \
+             the corpus already names; repeatable.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"N" ~doc:"Seeds per pair in campaign waves.")
+  in
+  let p1_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "phase1-seeds" ] ~docv:"N"
+          ~doc:
+            "Executions recorded per target; recordings are cached under \
+             DIR/p1cache and re-analyzed instead of re-run on later waves.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"In-process campaign width.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run campaign waves across $(docv) supervised worker processes; \
+             a fleet that fails its handshake degrades to in-process (shown \
+             in 'serve status').")
+  in
+  let worker_deadline_arg =
+    Arg.(
+      value & opt float Rf_campaign.Proc_pool.default_heartbeat
+      & info [ "worker-deadline" ] ~docv:"SECS"
+          ~doc:"Heartbeat deadline for --workers.")
+  in
+  let log_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"JSONL event log shared by all campaign waves.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the chaos fault plan.")
+  in
+  let chaos_kill_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-kill-assignment" ] ~docv:"N"
+          ~doc:
+            "Chaos: the worker receiving the Nth assignment of each \
+             campaign wave SIGKILLs itself (liveness-only).")
+  in
+  let die_reval_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-die-reval" ] ~docv:"N"
+          ~doc:
+            "Chaos: SIGKILL the service just before persisting the Nth \
+             re-validation verdict of this process run.")
+  in
+  let fail_reval_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-fail-reval" ] ~docv:"N"
+          ~doc:
+            "Chaos: every replay attempt of the Nth re-validated item \
+             fails, driving retry exhaustion and (eventually) quarantine.")
+  in
+  let torn_index_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-torn-index-cycle" ] ~docv:"N"
+          ~doc:"Chaos: tear the corpus index at the start of the Nth cycle.")
+  in
+  let torn_ledger_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-torn-ledger-cycle" ] ~docv:"N"
+          ~doc:"Chaos: tear the ledger at the start of the Nth cycle.")
+  in
+  let watch_storm_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-watch-storm" ] ~docv:"N"
+          ~doc:
+            "Chaos: during the Nth cycle every watched target reports \
+             changed at once (re-runs must coalesce to one per target).")
+  in
+  let action pos0 pos1 cycles period watch rate burst retry_max retry_base
+      strikes targets trials p1 domains workers worker_deadline logfile
+      chaos_seed chaos_kill die_reval fail_reval torn_index torn_ledger
+      watch_storm =
+    if pos0 = "status" then begin
+      match pos1 with
+      | None ->
+          Fmt.epr "serve status: missing corpus directory@.";
+          exit 1
+      | Some dir -> exit (Rf_campaign.Service.status ~dir)
+    end
+    else begin
+      let dir = pos0 in
+      let log =
+        match logfile with
+        | Some path -> (
+            try Rf_campaign.Event_log.open_file path
+            with Sys_error m ->
+              Fmt.epr "cannot open event log: %s@." m;
+              exit 1)
+        | None -> Rf_campaign.Event_log.null ()
+      in
+      let chaos =
+        let any =
+          chaos_kill <> None || die_reval <> None || fail_reval <> None
+          || torn_index <> None || torn_ledger <> None || watch_storm <> None
+        in
+        if not any then None
+        else
+          Some
+            {
+              (Rf_campaign.Chaos.plan chaos_seed) with
+              Rf_campaign.Chaos.c_kill_assignment = chaos_kill;
+              c_die_reval = die_reval;
+              c_fail_reval = fail_reval;
+              c_torn_index_cycle = torn_index;
+              c_torn_ledger_cycle = torn_ledger;
+              c_watch_storm = watch_storm;
+            }
+      in
+      let proc =
+        if workers <= 0 then None
+        else
+          Some
+            {
+              Rf_campaign.Proc_pool.sp_cmd =
+                [| Sys.executable_name; "campaign-worker" |];
+              sp_workers = workers;
+              sp_heartbeat = worker_deadline;
+              sp_rlimit_as_mb = None;
+              sp_rlimit_cpu_s = None;
+              sp_policy = Rf_campaign.Supervisor.default_policy;
+              sp_target = "";
+            }
+      in
+      let config =
+        {
+          Rf_campaign.Service.v_cycles = max 0 cycles;
+          v_period = period;
+          v_watch = watch;
+          v_rate = rate;
+          v_burst = burst;
+          v_retry =
+            {
+              Rf_campaign.Service.Retry.default with
+              Rf_campaign.Service.Retry.rp_max_attempts = max 1 retry_max;
+              rp_base = retry_base;
+              rp_strikes = max 1 strikes;
+            };
+          v_targets = targets;
+          v_domains = max 1 domains;
+          v_phase1_seeds = max 1 p1;
+          v_seeds_per_pair = max 1 trials;
+          v_proc = proc;
+          v_chaos = chaos;
+        }
+      in
+      let stop = Rf_campaign.Campaign.stop_switch () in
+      (* First SIGINT/SIGTERM: drain — finish the in-flight item, persist
+         the ledger, exit 0.  Second: exit 130/143 immediately. *)
+      let signalled = ref 0 in
+      let on_signal signum =
+        incr signalled;
+        if !signalled > 1 then
+          exit (if signum = Sys.sigterm then 143 else 130)
+        else Rf_campaign.Campaign.request_stop stop
+      in
+      let (_ : Sys.signal_behavior) =
+        Sys.signal Sys.sigint (Sys.Signal_handle on_signal)
+      in
+      let (_ : Sys.signal_behavior) =
+        Sys.signal Sys.sigterm (Sys.Signal_handle on_signal)
+      in
+      let code =
+        Rf_campaign.Service.serve ~log ~stop config
+          ~resolve:resolve_target ~dir
+      in
+      Rf_campaign.Event_log.close log;
+      exit code
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived campaign service over a corpus directory: each cycle \
+          re-validates every corpus repro by replay (still-racy / fixed / \
+          regressed, journaled in a crash-safe ledger), schedules fresh \
+          campaign waves over the corpus' targets with token-bucket pacing, \
+          and with --watch re-runs changed file targets reusing cached \
+          phase-1 recordings.  SIGKILL + restart resumes mid-cycle from the \
+          ledger with no lost or duplicated work.  'serve status DIR' prints \
+          a one-shot report (exit 1 when the corpus fails strict verify).  \
+          Exit status: 0 on clean drain (cycle budget reached or first \
+          SIGINT/SIGTERM), 130/143 when a second signal forces exit.")
+    Term.(
+      const action $ pos0_arg $ pos1_arg $ cycles_arg $ period_arg $ watch_arg
+      $ rate_arg $ burst_arg $ retry_max_arg $ retry_base_arg $ strikes_arg
+      $ target_arg $ trials_arg $ p1_arg $ domains_arg $ workers_arg
+      $ worker_deadline_arg $ log_arg $ chaos_seed_arg $ chaos_kill_arg
+      $ die_reval_arg $ fail_reval_arg $ torn_index_arg $ torn_ledger_arg
+      $ watch_storm_arg)
+
+(* ------------------------------------------------------------------ *)
 (* workloads                                                           *)
 
 let workload_cmd =
@@ -1181,8 +1494,8 @@ let main_cmd =
        ~doc:"Race-directed random testing of concurrent programs (Sen, PLDI 2008).")
     [
       run_cmd; detect_cmd; fuzz_cmd; replay_cmd; shrink_cmd; deadlock_cmd;
-      atomicity_cmd; campaign_cmd; corpus_cmd; offline_cmd; workload_cmd;
-      list_cmd; table1_cmd; figure2_cmd;
+      atomicity_cmd; campaign_cmd; corpus_cmd; offline_cmd; serve_cmd;
+      workload_cmd; list_cmd; table1_cmd; figure2_cmd;
     ]
 
 (* Hidden worker mode: 'racefuzzer campaign-worker' is exec'd by

@@ -38,6 +38,7 @@ type stats = {
   s_worker_crashes : int;
   s_worker_respawns : int;
   s_worker_gave_up : int;
+  s_proc_active : int;
   s_interrupted : bool;
   (* resource governance *)
   s_degraded : int;
@@ -325,6 +326,11 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
           None
         end
   in
+  (* Fleet width actually achieved, for status reporting: a requested
+     proc tier that degraded to in-process shows up as 0 live workers. *)
+  let proc_active =
+    match ppool with Some p -> Proc_pool.alive p | None -> 0
+  in
   let ndomains =
     match proc with
     | Some sp -> max 1 sp.Proc_pool.sp_workers
@@ -333,6 +339,13 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
   Event_log.emit log
     (Event_log.Campaign_started
        { domains = ndomains; base_trials = nbase; budget; cutoff });
+  (* Journal what --resume reused, and above all how many torn lines it
+     skipped: a long-lived resume chain must not eat corruption silently
+     (the final report repeats the warning from s_resume_skipped). *)
+  if resume <> None then
+    Event_log.emit log
+      (Event_log.Resume_loaded
+         { entries = Hashtbl.length resume_tbl; skipped = resume_skipped });
   let states =
     Array.of_list
       (List.map
@@ -951,6 +964,7 @@ let fuzz_pairs ?(domains = 1) ?(seeds = List.init 100 Fun.id) ?(cutoff = false)
       s_worker_crashes = Atomic.get worker_crashes_n;
       s_worker_respawns = Atomic.get worker_respawns_n;
       s_worker_gave_up = Atomic.get worker_gave_up_n;
+      s_proc_active = proc_active;
       s_interrupted = interrupted;
       s_degraded = Atomic.get degraded_n;
       s_p1_level = None;
@@ -977,7 +991,7 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
     ?(log = Event_log.null ()) ?supervision ?chaos ?trial_deadline ?resume ?stop
     ?detector_budget ?mem_budget ?(no_degrade = false) ?proc ?repro_dir
     ?(target = "") ?repro_fuel ?static ?(static_filter = false) ?offline_detect
-    ?save_traces ?corpus ?detector (program : Fuzzer.program) : result =
+    ?save_traces ?corpus ?detector ?phase1 (program : Fuzzer.program) : result =
   (* A corpus wants reproduction artifacts; without an explicit repro
      directory they are written inside the corpus itself (whose directory
      must then exist before the repro pass mkdirs beneath it). *)
@@ -1034,9 +1048,15 @@ let run ?(domains = 1) ?(phase1_seeds = [ 0 ]) ?(seeds_per_pair = List.init 100 
             (seed, path, Rf_events.Btrace.byte_size recording) :: !saved_traces)
       save_traces
   in
+  (* A caller-supplied phase-1 result (serve mode re-analyzing cached
+     recordings) replaces the live pass entirely: no execution, no trace
+     sink — the recordings already live wherever the caller keeps them. *)
   let p1 =
-    Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
-      ?governor:p1_gov ~detect ?detector ?trace_sink program
+    match phase1 with
+    | Some p1 -> p1
+    | None ->
+        Fuzzer.phase1 ~seeds:phase1_seeds ?max_steps ?deadline:p1_deadline
+          ?governor:p1_gov ~detect ?detector ?trace_sink program
   in
   (match (save_traces, !saved_traces) with
   | Some dir, traces ->

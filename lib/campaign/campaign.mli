@@ -88,6 +88,10 @@ type stats = {
   s_worker_crashes : int;
   s_worker_respawns : int;
   s_worker_gave_up : int;  (** worker slots that exhausted their respawns *)
+  s_proc_active : int;
+      (** worker processes alive after the init handshake: 0 means the
+          requested proc tier degraded to the in-process pool (or none was
+          requested) — serve status reports this as fleet degradation *)
   s_interrupted : bool;  (** the campaign was stopped before completion *)
   s_degraded : int;
       (** trials that completed under a tripped resource governor
@@ -214,6 +218,7 @@ val run :
   ?save_traces:string ->
   ?corpus:string ->
   ?detector:Fuzzer.p1_detector ->
+  ?phase1:Fuzzer.phase1_result ->
   Fuzzer.program ->
   result
 (** Whole-program campaign: phase 1 (sequential, like the paper's single
@@ -280,7 +285,14 @@ val run :
     so consecutive campaigns converge to one entry per distinct
     artifact; a [Corpus_updated] event reports the delta.  Without an
     explicit [repro_dir], reproduction artifacts are written inside
-    the corpus ([DIR/repros]). *)
+    the corpus ([DIR/repros]).
+
+    [phase1] bypasses the live phase-1 pass entirely, fuzzing the
+    supplied result's candidate pairs instead — serve mode feeds
+    {!Fuzzer.phase1_of_recordings} output here so one recorded phase 1
+    serves many campaign waves.  [phase1_seeds], [save_traces],
+    [offline_detect] and [detector] are ignored when [phase1] is
+    given. *)
 
 (** {1 Determinism checking} *)
 

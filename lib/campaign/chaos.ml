@@ -30,11 +30,19 @@ type plan = {
   c_kill_assignment : int option;
   c_torn_frame : int option;
   c_hang_assignment : int option;
+  (* service-tier faults, keyed by the serve loop's own counters: the Nth
+     revalidated item or the Nth cycle of the current process run *)
+  c_die_reval : int option;
+  c_fail_reval : int option;
+  c_torn_index_cycle : int option;
+  c_torn_ledger_cycle : int option;
+  c_watch_storm : int option;
 }
 
 let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
     ?(budget_rate = 0.0) ?trial_deadline ?death_every ?(max_deaths = 2)
-    ?stop_after ?kill_assignment ?torn_frame ?hang_assignment seed =
+    ?stop_after ?kill_assignment ?torn_frame ?hang_assignment ?die_reval
+    ?fail_reval ?torn_index_cycle ?torn_ledger_cycle ?watch_storm seed =
   {
     c_seed = seed;
     c_crash_rate = crash_rate;
@@ -48,6 +56,11 @@ let plan ?(crash_rate = 0.0) ?(stall_rate = 0.0) ?(stall_seconds = 0.05)
     c_kill_assignment = kill_assignment;
     c_torn_frame = torn_frame;
     c_hang_assignment = hang_assignment;
+    c_die_reval = die_reval;
+    c_fail_reval = fail_reval;
+    c_torn_index_cycle = torn_index_cycle;
+    c_torn_ledger_cycle = torn_ledger_cycle;
+    c_watch_storm = watch_storm;
   }
 
 let default seed =

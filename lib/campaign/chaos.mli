@@ -40,6 +40,24 @@ type plan = {
       (** multi-process campaigns only: the worker holding the Nth
           assignment hangs forever, forcing the supervisor's
           heartbeat-deadline SIGKILL *)
+  c_die_reval : int option;
+      (** serve mode only: the process SIGKILLs itself just before
+          persisting the Nth re-validation verdict of this process run —
+          the deterministic "crash mid-cycle" half of ledger-resume tests *)
+  c_fail_reval : int option;
+      (** serve mode only: every replay attempt of the Nth item processed
+          this run raises {!Injected_crash}, driving the retry budget to
+          exhaustion and (with enough strikes) quarantine *)
+  c_torn_index_cycle : int option;
+      (** serve mode only: a torn garbage line is appended to the corpus
+          index at the start of the Nth cycle, before the heal step *)
+  c_torn_ledger_cycle : int option;
+      (** serve mode only: same as {!c_torn_index_cycle} but for the
+          scheduler ledger *)
+  c_watch_storm : int option;
+      (** serve mode only: during the Nth cycle every watched target
+          reports as changed at once; the service must coalesce to at most
+          one re-run per target per cycle *)
 }
 
 val plan :
@@ -54,6 +72,11 @@ val plan :
   ?kill_assignment:int ->
   ?torn_frame:int ->
   ?hang_assignment:int ->
+  ?die_reval:int ->
+  ?fail_reval:int ->
+  ?torn_index_cycle:int ->
+  ?torn_ledger_cycle:int ->
+  ?watch_storm:int ->
   int ->
   plan
 (** [plan seed] with everything off by default; enable faults explicitly. *)

@@ -171,19 +171,26 @@ let update ~dir fresh =
     |> List.rev
   in
   let bump =
-    let dup_keys = Hashtbl.create 16 in
+    (* A fresh duplicate has already been ingested: when its artifact
+       shares the existing entry's basename, the file on disk now holds
+       the fresh bytes (a re-minimized repro of the same error), so the
+       index must take the fresh file/crc or strict verify would flag a
+       mismatch forever.  Distinct basenames keep the original artifact. *)
+    let dup_fresh = Hashtbl.create 16 in
     List.iter
       (fun e ->
         if
           List.exists
             (fun x -> x.e_kind = e.e_kind && x.e_key = e.e_key)
             existing
-        then Hashtbl.replace dup_keys (e.e_kind, e.e_key) ())
+        then Hashtbl.replace dup_fresh (e.e_kind, e.e_key) e)
       fresh;
     fun e ->
-      if Hashtbl.mem dup_keys (e.e_kind, e.e_key) then
-        { e with e_seen = e.e_seen + 1 }
-      else e
+      match Hashtbl.find_opt dup_fresh (e.e_kind, e.e_key) with
+      | Some f when f.e_file = e.e_file ->
+          { e with e_crc = f.e_crc; e_seen = e.e_seen + 1 }
+      | Some _ -> { e with e_seen = e.e_seen + 1 }
+      | None -> e
   in
   let all = List.map bump existing @ merged in
   save dir all;

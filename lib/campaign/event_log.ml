@@ -86,6 +86,7 @@ type event =
   | Worker_killed of { worker : int; pid : int; reason : string }
   | Traces_saved of { dir : string; count : int; bytes : int }
   | Corpus_updated of { dir : string; added : int; deduped : int; total : int }
+  | Resume_loaded of { entries : int; skipped : int }
   | Campaign_interrupted of { executed : int; remaining : int }
   | Repro_written of {
       pair : string;
@@ -276,6 +277,8 @@ let fields_of_event = function
           ("deduped", I deduped);
           ("total", I total);
         ] )
+  | Resume_loaded { entries; skipped } ->
+      ("resume_loaded", [ ("entries", I entries); ("skipped", I skipped) ])
   | Campaign_interrupted { executed; remaining } ->
       ( "campaign_interrupted",
         [ ("executed", I executed); ("remaining", I remaining) ] )
@@ -613,6 +616,10 @@ let event_of_fields fields : event option =
       let* deduped = int_f fields "deduped" in
       let* total = int_f fields "total" in
       Some (Corpus_updated { dir; added; deduped; total })
+  | Some "resume_loaded" ->
+      let* entries = int_f fields "entries" in
+      let* skipped = int_f fields "skipped" in
+      Some (Resume_loaded { entries; skipped })
   | Some "campaign_interrupted" ->
       let* executed = int_f fields "executed" in
       let* remaining = int_f fields "remaining" in

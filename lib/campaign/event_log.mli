@@ -130,6 +130,9 @@ type event =
   | Corpus_updated of { dir : string; added : int; deduped : int; total : int }
       (** the persistent corpus absorbed this campaign's artifacts
           ([--corpus]): [added] new entries, [deduped] already present *)
+  | Resume_loaded of { entries : int; skipped : int }
+      (** [--resume] replayed a prior journal: [entries] finished trials
+          reused, [skipped] corrupt lines dropped (those trials re-ran) *)
   | Campaign_interrupted of { executed : int; remaining : int }
       (** graceful stop: workers drained, journal flushed, partial report *)
   | Repro_written of {

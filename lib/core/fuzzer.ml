@@ -173,6 +173,46 @@ let phase1 ?(seeds = [ 0 ]) ?(max_steps = Engine.default_config.max_steps)
             };
       }
 
+(** Offline-only phase 1: replay previously saved recordings through the
+    detectors without executing the program at all.  This is how the serve
+    loop amortises phase 1 across campaigns — record once per target, then
+    re-analyze the saved [Btrace.t]s on every subsequent wave.  The
+    candidate set is identical to a live [Recorded] pass over the same
+    executions; [p1_outcomes] is empty because nothing ran. *)
+let phase1_of_recordings ?(shards = 1) ?governor ?(detector = Hybrid)
+    (recordings : Rf_events.Btrace.t list) : phase1_result =
+  let t0 = Unix.gettimeofday () in
+  let potential, stats =
+    Rf_detect.Offline.detect_stats ~shards
+      ~parallel:(governor = None && shards > 1)
+      ~make:(fun () -> make_p1_detector ?governor detector)
+      recordings
+  in
+  let t1 = Unix.gettimeofday () in
+  {
+    potential;
+    p1_outcomes = [];
+    p1_wall = t1 -. t0;
+    p1_degraded =
+      (match governor with
+      | Some g when Governor.degraded g -> Some (Governor.snapshot g)
+      | _ -> None);
+    p1_name = p1_detector_name detector;
+    p1_stats = stats;
+    p1_recording =
+      Some
+        {
+          rec_events = 0;
+          rec_bytes =
+            List.fold_left
+              (fun acc r -> acc + Rf_events.Btrace.byte_size r)
+              0 recordings;
+          rec_wall = 0.0;
+          detect_wall = t1 -. t0;
+          rec_shards = shards;
+        };
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
 

@@ -100,6 +100,19 @@ val phase1 :
     requires [Recorded] detection — with [Inline] there is no recording
     to hand out, so the combination is an [Invalid_argument]. *)
 
+val phase1_of_recordings :
+  ?shards:int ->
+  ?governor:Rf_resource.Governor.t ->
+  ?detector:p1_detector ->
+  Rf_events.Btrace.t list ->
+  phase1_result
+(** Offline-only phase 1 over previously saved recordings: the detectors
+    replay the [Btrace.t]s without executing anything, producing the same
+    candidate set as a live [Recorded] pass over those executions.  This
+    is how long-lived serve mode amortises phase 1 across campaign waves.
+    [p1_outcomes] is empty (no program ran); [rec_events]/[rec_wall] are
+    zero since recording happened in some earlier run. *)
+
 val potential_pairs : phase1_result -> Site.Pair.Set.t
 
 (** {1 Phase 2} *)
